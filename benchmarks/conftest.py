@@ -1,0 +1,33 @@
+"""Shared helpers for the figure-regeneration benchmark suite.
+
+Every benchmark in this directory regenerates one table/figure of the paper's
+evaluation with ``pytest-benchmark`` timing the run, asserts that the *shape*
+of the result matches the paper (who wins, by roughly what factor, where the
+knees/crossovers fall) and prints the same rows the paper reports so the
+output can be compared side by side with the original figures.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+def print_rows(title: str, rows: Iterable[Mapping[str, object]]) -> None:
+    """Print experiment rows in a compact, comparable format."""
+    print(f"\n=== {title} ===")
+    for row in rows:
+        line = "  ".join(f"{key}={value}" for key, value in row.items())
+        print(f"  {line}")
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under the benchmark timer.
+
+    The experiments are deterministic simulations, so a single timed round is
+    both sufficient and keeps the full suite fast.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

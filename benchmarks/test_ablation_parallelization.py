@@ -1,0 +1,73 @@
+"""Ablation — code parallelization (the paper's Section VII-1 future work).
+
+The paper notes that a single server imposes "an acceleration limit that a
+task can achieve" and that parallelization can surpass it at the price of
+splitting/merging overheads.  This bench sweeps the number of workers for the
+static minimax task on level-2 servers and reports where the speed-up exceeds
+the best single-server acceleration (level 4) and where coordination overheads
+make additional workers counter-productive.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.cloud.catalog import get_instance_type
+from repro.cloud.parallelization import (
+    ParallelizableTask,
+    optimal_worker_count,
+    parallel_execution_time_ms,
+    speedup_curve,
+)
+from repro.mobile.tasks import DEFAULT_TASK_POOL
+
+WORKER_SWEEP = (1, 2, 4, 8, 16, 32)
+
+
+def _run():
+    task = ParallelizableTask(
+        task=DEFAULT_TASK_POOL.get("minimax"),
+        parallel_fraction=0.9,
+        split_overhead_ms=20.0,
+        merge_overhead_ms=15.0,
+    )
+    level2 = get_instance_type("t2.large").profile
+    level4 = get_instance_type("c4.8xlarge").profile
+    curve = speedup_curve(task, level2, WORKER_SWEEP)
+    times = {workers: parallel_execution_time_ms(task, level2, workers) for workers in WORKER_SWEEP}
+    best_workers = optimal_worker_count(task, level2, max_workers=64)
+    single_server_limit = level4.service_time_ms(task.work_units, 1)
+    return task, curve, times, best_workers, single_server_limit
+
+
+def test_parallelization_ablation(benchmark):
+    task, curve, times, best_workers, single_server_limit = run_once(benchmark, _run)
+
+    # Speed-up grows initially, then the serial fraction and split/merge
+    # overheads flatten and eventually reverse it.
+    assert curve[2] > curve[1]
+    assert curve[4] > curve[2]
+    assert curve[32] < curve[8]
+    assert 4 <= best_workers <= 32
+
+    # Parallelization on level-2 servers beats the best single server (the
+    # level-4 c4.8xlarge), which is exactly the paper's point.
+    assert times[4] < single_server_limit
+
+    print_rows(
+        "Ablation: minimax parallelized over level-2 (t2.large) workers",
+        [
+            {
+                "workers": workers,
+                "execution_ms": round(times[workers], 1),
+                "speedup": round(curve[workers], 2),
+            }
+            for workers in WORKER_SWEEP
+        ],
+    )
+    print_rows(
+        "Ablation: single-server acceleration limit vs parallel execution",
+        [{
+            "best_single_server_ms (level 4)": round(single_server_limit, 1),
+            "parallel_4_workers_ms (level 2)": round(times[4], 1),
+            "optimal_worker_count": best_workers,
+        }],
+    )

@@ -1,0 +1,71 @@
+"""Fig. 10b/10c — population-wide perception and promotion rate.
+
+Paper result: as requests accumulate, the response time of the 100-user
+population rises until the model allocates more resources, then quickly
+decreases and stays relatively low; users gradually move to higher
+acceleration groups and the overall response time decreases with promotion.
+"""
+
+import numpy as np
+from conftest import print_rows, run_once
+
+from repro.experiments.figure_dynamic import run_dynamic_acceleration
+
+
+def test_fig10bc_dynamic_allocation(benchmark):
+    # Start under-provisioned (one t2.nano) under a demanding request rate so
+    # the rise-then-recover shape of Fig. 10b is visible within two hours.
+    result = run_once(
+        benchmark,
+        run_dynamic_acceleration,
+        seed=7,
+        users=100,
+        duration_hours=2.0,
+        target_requests=12000,
+    )
+
+    windows = result.mean_response_by_window(10)
+
+    # Fig. 10b: the first window (before the first hourly allocation) is far
+    # slower than the post-allocation steady state, and the tail stays low.
+    assert windows[0] > 1.5 * windows[-1]
+    assert max(windows[5:]) < windows[0]
+    assert any(action.launched for action in result.scaling_actions)
+
+    # Fig. 10c: a substantial share of users gets promoted, and promoted users
+    # perceive faster responses than users stuck in the lowest group.
+    summary = result.promotion_summary()
+    promoted = [entry for entry in summary.values() if entry["promotions"] > 0]
+    assert len(promoted) > 10
+    lowest = float(min(result.group_types))
+    stayed = [entry["mean_response_ms"] for entry in summary.values()
+              if entry["final_group"] == lowest and entry["requests"] > 0]
+    moved_to_top = [entry["mean_response_ms"] for entry in summary.values()
+                    if entry["final_group"] == float(max(result.group_types)) and entry["requests"] > 0]
+    if stayed and moved_to_top:
+        assert np.mean(moved_to_top) < np.mean(stayed)
+
+    print_rows(
+        "Fig. 10b: mean response time per progress window [ms]",
+        [{"window": index, "mean_response_ms": round(value, 1)} for index, value in enumerate(windows)],
+    )
+    print_rows(
+        "Fig. 10b/10c: headline numbers",
+        result.rows(),
+    )
+    print_rows(
+        "Fig. 10c: promotion outcome",
+        [
+            {
+                "final_group": group,
+                "users": sum(1 for entry in summary.values() if entry["final_group"] == float(group)),
+                "mean_response_ms": round(
+                    float(np.mean([
+                        entry["mean_response_ms"] for entry in summary.values()
+                        if entry["final_group"] == float(group) and entry["requests"] > 0
+                    ])), 1,
+                ) if any(entry["final_group"] == float(group) and entry["requests"] > 0 for entry in summary.values()) else float("nan"),
+            }
+            for group in sorted(result.group_types)
+        ],
+    )

@@ -1,0 +1,33 @@
+"""Fig. 10a — accuracy of the workload prediction model.
+
+Paper result: the model needs a bootstrap amount of history before producing
+high-accuracy predictions; with enough data the 10-fold cross-validated
+accuracy of the per-group user-count prediction is ≈87.5 %.
+"""
+
+import pytest
+from conftest import print_rows, run_once
+
+from repro.experiments.figure_prediction import run_fig10a_prediction_accuracy
+
+
+def test_fig10a_prediction_accuracy(benchmark):
+    result = run_once(benchmark, run_fig10a_prediction_accuracy, seed=0)
+
+    # The headline number: ≈87.5 % accuracy after the bootstrap phase.
+    assert result.cross_validation.mean_accuracy_pct == pytest.approx(87.5, abs=7.0)
+
+    # The Fig. 10a shape: low accuracy with little data, high plateau later.
+    assert result.bootstrap_accuracy_pct < 55.0
+    assert result.final_accuracy_pct > 75.0
+    assert result.final_accuracy_pct - result.bootstrap_accuracy_pct > 20.0
+
+    print_rows("Fig. 10a: accuracy vs amount of history", result.rows())
+    print_rows(
+        "Fig. 10a: paper vs measured",
+        [{
+            "metric": "10-fold CV prediction accuracy [%]",
+            "paper": 87.5,
+            "measured": round(result.cross_validation.mean_accuracy_pct, 1),
+        }],
+    )

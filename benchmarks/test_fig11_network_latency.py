@@ -1,0 +1,27 @@
+"""Fig. 11 — 3G vs LTE round-trip latency per mobile operator.
+
+Paper result (NetRadar 2015, Finland): mean 3G RTT ≈128/141/137 ms and mean
+LTE RTT ≈41/36/42 ms for operators α/β/γ, with LTE consistently faster; both
+are low enough to support offloading.
+"""
+
+import pytest
+from conftest import print_rows, run_once
+
+from repro.experiments.figure_network import run_fig11_network_latency
+
+
+def test_fig11_network_latency(benchmark):
+    result = run_once(benchmark, run_fig11_network_latency, seed=0, samples_per_profile=8000)
+
+    for key, reference in result.paper_reference.items():
+        measured = result.summary[key]
+        assert measured["mean"] == pytest.approx(reference["mean"], rel=0.15), key
+        assert measured["median"] == pytest.approx(reference["median"], rel=0.15), key
+
+    for operator in ("alpha", "beta", "gamma"):
+        assert result.summary[f"{operator}/LTE"]["mean"] < result.summary[f"{operator}/3G"]["mean"]
+        # LTE stays fast enough for cloudlet-like offloading (well under 100 ms).
+        assert result.summary[f"{operator}/LTE"]["mean"] < 100.0
+
+    print_rows("Fig. 11: paper vs measured RTT statistics", result.rows())

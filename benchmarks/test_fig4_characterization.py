@@ -1,0 +1,37 @@
+"""Fig. 4 — response time vs concurrent users per instance type.
+
+Paper result: each instance type degrades as concurrent users grow; the
+degradation slope flattens with instance size; the types fall into the
+acceleration groups {t2.micro}=0, {t2.nano, t2.small}=1, {t2.medium,
+t2.large}=2, {m4.10xlarge}=3.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.experiments.figures_characterization import run_fig4_characterization
+
+
+def test_fig4_characterization(benchmark):
+    result = run_once(benchmark, run_fig4_characterization, seed=0, samples_per_level=200)
+
+    # Shape 1: response time grows with concurrency for every type.
+    for name, bench in result.benchmarks.items():
+        means = bench.mean_response_ms()
+        assert means[100] > means[1], name
+
+    # Shape 2: the degradation slope decreases with instance power.
+    slopes = result.degradation_slopes()
+    assert slopes["t2.micro"] > slopes["t2.nano"] > slopes["t2.medium"] > slopes["m4.10xlarge"]
+
+    # Shape 3: the characterization reproduces the paper's grouping.
+    levels = result.level_map()
+    assert levels["t2.micro"] == 0
+    assert levels["t2.nano"] == levels["t2.small"] == 1
+    assert levels["t2.medium"] == levels["t2.large"] == 2
+    assert levels["m4.10xlarge"] == 3
+
+    print_rows("Fig. 4: mean response time [ms] per (type, concurrent users)", result.rows())
+    print_rows(
+        "Fig. 4: acceleration level per type",
+        [{"instance_type": name, "level": level} for name, level in sorted(levels.items())],
+    )

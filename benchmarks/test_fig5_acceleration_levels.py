@@ -1,0 +1,32 @@
+"""Fig. 5 — differences between the levels of acceleration (static minimax load).
+
+Paper result: a task executes ≈1.25× faster on a level-2 server than on a
+level-1 server, ≈1.73× faster on level 3 than level 1, and ≈1.36× faster on
+level 3 than level 2.
+"""
+
+import pytest
+from conftest import print_rows, run_once
+
+from repro.experiments.figures_characterization import run_fig5_acceleration_ratios
+
+
+def test_fig5_acceleration_ratios(benchmark):
+    result = run_once(benchmark, run_fig5_acceleration_ratios, seed=0, samples_per_level=300)
+
+    assert result.ratios["level2_vs_level1"] == pytest.approx(1.25, rel=0.08)
+    assert result.ratios["level3_vs_level1"] == pytest.approx(1.73, rel=0.08)
+    assert result.ratios["level3_vs_level2"] == pytest.approx(1.36, rel=0.08)
+
+    means = result.mean_response_by_level
+    assert means[1] > means[2] > means[3]
+
+    print_rows("Fig. 5: static minimax response time and acceleration ratios", result.rows())
+    print_rows(
+        "Fig. 5: paper vs measured ratios",
+        [
+            {"comparison": "level2 vs level1", "paper": 1.25, "measured": round(result.ratios["level2_vs_level1"], 2)},
+            {"comparison": "level3 vs level1", "paper": 1.73, "measured": round(result.ratios["level3_vs_level1"], 2)},
+            {"comparison": "level3 vs level2", "paper": 1.36, "measured": round(result.ratios["level3_vs_level2"], 2)},
+        ],
+    )

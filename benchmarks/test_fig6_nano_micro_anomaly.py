@@ -1,0 +1,33 @@
+"""Fig. 6 — the t2.nano / t2.micro anomaly.
+
+Paper result: despite nominally smaller resources, the t2.nano instance
+handles load better than the free-tier t2.micro, so the micro server is
+assigned to a lower acceleration level (group 0).
+"""
+
+from conftest import print_rows, run_once
+
+from repro.experiments.figures_characterization import run_fig6_nano_micro_anomaly
+
+
+def test_fig6_nano_micro_anomaly(benchmark):
+    result = run_once(benchmark, run_fig6_nano_micro_anomaly, seed=0, samples_per_level=200)
+
+    nano = result.mean_curve("t2.nano")
+    micro = result.mean_curve("t2.micro")
+
+    # Under load the micro server is consistently slower than the nano server.
+    loaded_points = [c for c in nano if c >= 20]
+    assert all(micro[c] > nano[c] for c in loaded_points)
+
+    # And the characterization therefore places micro below nano.
+    levels = result.level_map()
+    assert levels["t2.micro"] < levels["t2.nano"]
+
+    print_rows(
+        "Fig. 6: t2.nano vs t2.micro mean response time [ms]",
+        [
+            {"concurrent_users": c, "t2.nano_ms": round(nano[c], 1), "t2.micro_ms": round(micro[c], 1)}
+            for c in sorted(nano)
+        ],
+    )

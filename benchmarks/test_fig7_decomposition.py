@@ -1,0 +1,47 @@
+"""Fig. 7a/7b/7c — response-time decomposition and per-level stability.
+
+Paper result: T_response = T1 + T2 + T_cloud (+ routing); the communication
+time T1 + T2 stays under one second; T_cloud dominates and decreases
+monotonically from acceleration level 1 to level 4 (c4.8xlarge); the
+response-time standard deviation shrinks as the acceleration level grows.
+"""
+
+import pytest
+from conftest import print_rows, run_once
+
+from repro.experiments.figures_characterization import run_fig7c_level_stability
+from repro.experiments.figure_decomposition import run_fig7_decomposition
+
+
+def test_fig7ab_decomposition(benchmark):
+    result = run_once(benchmark, run_fig7_decomposition, seed=0, rounds=6)
+
+    for level in (1, 2, 3, 4):
+        components = result.component_means_ms[level]
+        # T_cloud dominates every other component (Fig. 7b).
+        assert components["Tcloud"] > max(components["T1"], components["T2"], components["routing"])
+        # Total communication time stays under a second.
+        assert result.communication_time_ms(level) < 1000.0
+        # The front-end adds its ≈150 ms routing overhead.
+        assert components["routing"] == pytest.approx(150.0, rel=0.15)
+
+    # T_cloud (and hence T_response) decreases monotonically with the level.
+    cloud_times = [result.cloud_time_ms(level) for level in (1, 2, 3, 4)]
+    assert cloud_times == sorted(cloud_times, reverse=True)
+
+    print_rows("Fig. 7b: mean component times per acceleration level [ms]", result.rows())
+
+
+def test_fig7c_level_stability(benchmark):
+    stds = run_once(benchmark, run_fig7c_level_stability, seed=0, samples_per_level=200)
+
+    # Higher acceleration levels execute more stably under heavy load.
+    assert stds[4][100] < stds[2][100] < stds[1][100]
+
+    print_rows(
+        "Fig. 7c: response-time standard deviation per level [ms]",
+        [
+            {"concurrent_users": c, **{f"level{level}": round(stds[level][c], 1) for level in (1, 2, 3, 4)}}
+            for c in sorted(stds[1])
+        ],
+    )

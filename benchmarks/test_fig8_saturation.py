@@ -1,0 +1,41 @@
+"""Fig. 8b/8c — server throughput under a doubling arrival rate.
+
+Paper result (t2.large case study): response time stays flat while the
+arrival rate doubles from 1 Hz up to the server's capacity at 32 Hz, then
+degrades dramatically with every further doubling; beyond 32 Hz an increasing
+share of requests is dropped (success vs fail split).
+"""
+
+import pytest
+from conftest import print_rows, run_once
+
+from repro.experiments.figure_saturation import run_fig8_saturation
+
+
+def test_fig8bc_saturation(benchmark):
+    result = run_once(
+        benchmark, run_fig8_saturation, seed=0, step_duration_s=10.0, max_requests_per_step=1500
+    )
+
+    # The simulated t2.large saturates at the paper's 32 Hz knee.
+    assert result.saturation_rate_hz == pytest.approx(32.0, rel=0.05)
+
+    base = result.mean_response_ms[1]
+    # Flat region below the knee.
+    for rate in (2, 4, 8, 16):
+        assert result.mean_response_ms[rate] < 2.0 * base
+    # Collapse beyond the knee.
+    assert result.mean_response_ms[64] > 5.0 * base
+    assert result.mean_response_ms[256] > result.mean_response_ms[64]
+
+    # Fig. 8c: no drops below the knee, growing drops beyond it.
+    for rate in (1, 2, 4, 8, 16):
+        assert result.fail_pct[rate] == 0.0
+    assert result.fail_pct[128] > result.fail_pct[64] > 0.0
+    assert result.fail_pct[1024] > 50.0
+
+    print_rows("Fig. 8b/8c: response time and success/fail split per arrival rate", result.rows())
+    print_rows(
+        "Fig. 8b: paper vs measured knee",
+        [{"metric": "saturation arrival rate [Hz]", "paper": 32, "measured": round(result.saturation_rate_hz, 1)}],
+    )

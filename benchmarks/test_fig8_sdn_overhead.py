@@ -1,0 +1,27 @@
+"""Fig. 8a — routing time introduced by the SDN-accelerator.
+
+Paper result: the front-end adds ≈150 ms to the response time of a request,
+roughly the same for every acceleration group — "a fair price to pay for
+tuning code execution on demand".
+"""
+
+import pytest
+from conftest import print_rows, run_once
+
+from repro.experiments.figure_sdn_overhead import run_fig8a_sdn_overhead
+
+
+def test_fig8a_sdn_overhead(benchmark):
+    result = run_once(benchmark, run_fig8a_sdn_overhead, seed=0, requests_per_group=250)
+
+    assert result.overall_mean_ms == pytest.approx(150.0, rel=0.1)
+    means = result.mean_by_group()
+    assert set(means) == {1, 2, 3, 4}
+    for group, mean in means.items():
+        assert mean == pytest.approx(150.0, rel=0.15), f"group {group}"
+
+    print_rows("Fig. 8a: SDN-accelerator routing overhead per group", result.rows())
+    print_rows(
+        "Fig. 8a: paper vs measured",
+        [{"metric": "mean routing overhead [ms]", "paper": "~150", "measured": round(result.overall_mean_ms, 1)}],
+    )

@@ -1,0 +1,55 @@
+"""Quickstart: predict the next hour's workload and allocate instances for it.
+
+This is the smallest end-to-end use of the library's core contribution:
+
+1. describe the instance types available to the back-end (``InstanceOption``),
+2. feed the adaptive model the per-hour workload history (``TimeSlot``),
+3. ask it to predict the next hour and compute the cheapest allocation.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import AdaptiveModel, InstanceOption, TimeSlot
+
+
+def main() -> None:
+    # The back-end can run three instance types, one per acceleration group.
+    # ``capacity`` is how many users one instance serves per hour while
+    # meeting the target response time (K_s in the paper, found by
+    # benchmarking — see examples/characterize_cloud.py).
+    options = [
+        InstanceOption("t2.nano", acceleration_group=1, cost_per_hour=0.0063, capacity=10),
+        InstanceOption("t2.large", acceleration_group=2, cost_per_hour=0.101, capacity=40),
+        InstanceOption("m4.4xlarge", acceleration_group=3, cost_per_hour=0.888, capacity=150),
+    ]
+    model = AdaptiveModel(options, instance_cap=20)
+
+    # Hourly workload history: how many users offloaded at each acceleration
+    # level during each of the past hours (normally built from the trace log).
+    hourly_workloads = [
+        {1: 12, 2: 3, 3: 0},
+        {1: 20, 2: 6, 3: 1},
+        {1: 35, 2: 12, 3: 4},
+        {1: 41, 2: 18, 3: 6},
+        {1: 30, 2: 22, 3: 9},
+    ]
+    for hour, counts in enumerate(hourly_workloads):
+        model.observe_slot(TimeSlot.from_counts(hour, counts))
+
+    decision = model.decide()
+    print("Predicted workload for the next hour (users per acceleration group):")
+    for group, users in sorted(decision.predicted_workloads.items()):
+        print(f"  group {group}: {users} users")
+
+    plan = decision.plan
+    print("\nCost-optimal allocation for that workload:")
+    for type_name, count in sorted(plan.non_zero_counts().items()):
+        print(f"  {count} x {type_name}")
+    print(f"  total instances: {plan.total_instances} (account cap 20)")
+    print(f"  hourly cost: ${plan.total_cost:.4f}  [solver: {plan.solver}]")
+
+
+if __name__ == "__main__":
+    main()

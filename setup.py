@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+only so that ``pip install -e .`` works in offline environments whose
+setuptools/pip combination cannot perform PEP 660 editable installs (no
+``wheel`` package available); in that case run::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""Analysis utilities.
+
+* :mod:`repro.analysis.characterization` — the simulated counterpart of the
+  paper's instance benchmarking (Section VI-A): stress each instance type
+  with 1–100 concurrent users, collect response-time distributions, derive
+  capacities and acceleration-level groupings.
+* :mod:`repro.analysis.crossval` — k-fold cross-validation of the workload
+  predictor and the accuracy-vs-history-size curve of Fig. 10a.
+* :mod:`repro.analysis.metrics` — summary metrics shared by the experiments
+  (response-time summaries, success rates, speed-up ratios).
+"""
+
+from repro.analysis.characterization import (
+    BenchmarkResult,
+    benchmark_catalog,
+    benchmark_instance_type,
+    measured_capacities,
+)
+from repro.analysis.crossval import (
+    CrossValidationResult,
+    accuracy_vs_history_size,
+    cross_validate_predictor,
+)
+from repro.analysis.metrics import (
+    acceleration_ratio,
+    response_time_summary,
+    success_failure_split,
+)
+from repro.analysis.reporting import format_table, read_csv, summarize_comparison, write_csv
+
+__all__ = [
+    "BenchmarkResult",
+    "CrossValidationResult",
+    "acceleration_ratio",
+    "accuracy_vs_history_size",
+    "benchmark_catalog",
+    "benchmark_instance_type",
+    "cross_validate_predictor",
+    "format_table",
+    "measured_capacities",
+    "read_csv",
+    "response_time_summary",
+    "success_failure_split",
+    "summarize_comparison",
+    "write_csv",
+]

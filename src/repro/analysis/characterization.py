@@ -1,0 +1,254 @@
+"""Instance benchmarking and acceleration-level characterization (Section VI-A).
+
+The paper stresses each instance type with a heavy concurrent load (1 to 100
+users in steps of 10, random tasks from the pool, three hours per server) and
+observes how the response time degrades; the degradation pattern classifies
+the servers into acceleration groups (Fig. 4), with the t2.nano/t2.micro
+anomaly of Fig. 6 and the static-load acceleration ratios of Fig. 5.
+
+This module reproduces that benchmark on top of the calibrated performance
+profiles: for every concurrency level it draws many jittered response-time
+samples from the instance's profile and summarises them, which is what the
+real benchmark's repeated rounds amount to statistically.  The measured
+capacities and speed factors then feed
+:func:`repro.core.acceleration.characterize_instances`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.cloud.catalog import InstanceCatalog, InstanceType
+from repro.mobile.tasks import TaskPool, DEFAULT_TASK_POOL
+from repro.simulation.stats import percentile_summary
+
+#: The concurrency sweep used throughout Section VI-A (Fig. 4, 5, 7c).
+DEFAULT_CONCURRENCY_SWEEP: tuple = (1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+
+
+@dataclass
+class BenchmarkResult:
+    """The benchmark of one instance type: response-time stats per concurrency."""
+
+    instance_type: str
+    concurrencies: List[int]
+    summaries: List[Dict[str, float]]
+    samples: Dict[int, np.ndarray] = field(default_factory=dict)
+
+    def mean_response_ms(self) -> Dict[int, float]:
+        """Concurrency -> mean response time (the Fig. 4 mean line)."""
+        return {
+            concurrency: summary["mean"]
+            for concurrency, summary in zip(self.concurrencies, self.summaries)
+        }
+
+    def std_response_ms(self) -> Dict[int, float]:
+        """Concurrency -> response-time standard deviation (Fig. 6 / Fig. 7c)."""
+        return {
+            concurrency: summary["std"]
+            for concurrency, summary in zip(self.concurrencies, self.summaries)
+        }
+
+    def capacity_under_threshold(self, threshold_ms: float) -> float:
+        """Largest concurrency whose mean response time stays under the threshold.
+
+        The benchmark samples a coarse concurrency sweep (1, 10, 20, ...), so
+        the crossing point is located by linear interpolation between the two
+        sweep points that straddle the threshold; this gives the fractional
+        capacity the Section IV-C1 sorting needs to separate types whose
+        curves cross the threshold between the same two sweep points.
+        Returns 0.0 when even the lowest benchmarked concurrency misses the
+        threshold, and the largest benchmarked concurrency when the curve
+        never crosses it.
+        """
+        if threshold_ms <= 0:
+            raise ValueError(f"threshold_ms must be positive, got {threshold_ms}")
+        means = [summary["mean"] for summary in self.summaries]
+        if means[0] > threshold_ms:
+            return 0.0
+        for index in range(1, len(means)):
+            if means[index] > threshold_ms:
+                lower_c, upper_c = self.concurrencies[index - 1], self.concurrencies[index]
+                lower_m, upper_m = means[index - 1], means[index]
+                if upper_m == lower_m:
+                    return float(lower_c)
+                fraction = (threshold_ms - lower_m) / (upper_m - lower_m)
+                return float(lower_c + fraction * (upper_c - lower_c))
+        return float(self.concurrencies[-1])
+
+    def degradation_slope(self) -> float:
+        """Mean response-time increase per added concurrent user (linear fit).
+
+        The paper observes that "the slope of the mean response time becomes
+        less steep as we use more powerful instances"; this is that slope.
+        """
+        x = np.asarray(self.concurrencies, dtype=float)
+        y = np.asarray([summary["mean"] for summary in self.summaries], dtype=float)
+        slope, _intercept = np.polyfit(x, y, 1)
+        return float(slope)
+
+
+def sample_workload_matrix(
+    rng: np.random.Generator,
+    *,
+    task_pool: Optional[TaskPool] = None,
+    fixed_task: Optional[str] = None,
+    concurrencies: Sequence[int] = DEFAULT_CONCURRENCY_SWEEP,
+    samples_per_level: int = 200,
+) -> Dict[int, np.ndarray]:
+    """Pre-draw the per-request work for a benchmark sweep.
+
+    Using the *same* request mix for every instance type (common random
+    numbers) is how a fair benchmark compares servers: differences between
+    the resulting curves then reflect only the servers, not sampling noise in
+    the task mix.
+    """
+    if samples_per_level < 1:
+        raise ValueError(f"samples_per_level must be >= 1, got {samples_per_level}")
+    pool = task_pool if task_pool is not None else DEFAULT_TASK_POOL
+    matrix: Dict[int, np.ndarray] = {}
+    for concurrency in concurrencies:
+        if concurrency < 1:
+            raise ValueError("all concurrencies must be >= 1")
+        work = np.empty(samples_per_level, dtype=float)
+        for index in range(samples_per_level):
+            task = pool.get(fixed_task) if fixed_task is not None else pool.sample(rng)
+            work[index] = task.sample_work_units(rng)
+        matrix[int(concurrency)] = work
+    return matrix
+
+
+def benchmark_instance_type(
+    instance_type: InstanceType,
+    *,
+    rng: np.random.Generator,
+    task_pool: Optional[TaskPool] = None,
+    fixed_task: Optional[str] = None,
+    concurrencies: Sequence[int] = DEFAULT_CONCURRENCY_SWEEP,
+    samples_per_level: int = 200,
+    keep_samples: bool = False,
+    work_samples: Optional[Dict[int, np.ndarray]] = None,
+) -> BenchmarkResult:
+    """Benchmark one instance type over a concurrency sweep.
+
+    Parameters
+    ----------
+    fixed_task:
+        When given (e.g. ``"minimax"``), every request runs that task with its
+        static input — the Fig. 5 setup.  Otherwise each request draws a
+        random task from the pool — the Fig. 4 setup.
+    samples_per_level:
+        Number of response-time samples per concurrency level; the paper's
+        3-hour runs collect on the order of hundreds of completions per level.
+    work_samples:
+        Optional pre-drawn request mix (see :func:`sample_workload_matrix`);
+        when given, every instance type sees exactly this mix.
+    """
+    if samples_per_level < 1:
+        raise ValueError(f"samples_per_level must be >= 1, got {samples_per_level}")
+    pool = task_pool if task_pool is not None else DEFAULT_TASK_POOL
+    profile = instance_type.profile
+    concurrencies = [int(c) for c in concurrencies]
+    if any(c < 1 for c in concurrencies):
+        raise ValueError("all concurrencies must be >= 1")
+
+    summaries: List[Dict[str, float]] = []
+    samples_by_level: Dict[int, np.ndarray] = {}
+    for concurrency in concurrencies:
+        samples = np.empty(samples_per_level, dtype=float)
+        for index in range(samples_per_level):
+            if work_samples is not None and concurrency in work_samples:
+                work = float(work_samples[concurrency][index % len(work_samples[concurrency])])
+            else:
+                task = pool.get(fixed_task) if fixed_task is not None else pool.sample(rng)
+                work = task.sample_work_units(rng)
+            samples[index] = profile.sample_service_time_ms(work, concurrency, rng)
+        summaries.append(percentile_summary(samples))
+        if keep_samples:
+            samples_by_level[concurrency] = samples
+    return BenchmarkResult(
+        instance_type=instance_type.name,
+        concurrencies=list(concurrencies),
+        summaries=summaries,
+        samples=samples_by_level,
+    )
+
+
+def benchmark_catalog(
+    catalog: InstanceCatalog,
+    *,
+    rng: np.random.Generator,
+    task_pool: Optional[TaskPool] = None,
+    fixed_task: Optional[str] = None,
+    concurrencies: Sequence[int] = DEFAULT_CONCURRENCY_SWEEP,
+    samples_per_level: int = 200,
+    type_names: Optional[Sequence[str]] = None,
+    common_random_numbers: bool = True,
+) -> Dict[str, BenchmarkResult]:
+    """Benchmark every (or a subset of) instance type in the catalog.
+
+    With ``common_random_numbers`` (the default) every type is stressed with
+    exactly the same request mix, so the curves are directly comparable.
+    """
+    work_samples = None
+    if common_random_numbers:
+        work_samples = sample_workload_matrix(
+            rng,
+            task_pool=task_pool,
+            fixed_task=fixed_task,
+            concurrencies=concurrencies,
+            samples_per_level=samples_per_level,
+        )
+    results: Dict[str, BenchmarkResult] = {}
+    for instance_type in catalog:
+        if type_names is not None and instance_type.name not in type_names:
+            continue
+        results[instance_type.name] = benchmark_instance_type(
+            instance_type,
+            rng=rng,
+            task_pool=task_pool,
+            fixed_task=fixed_task,
+            concurrencies=concurrencies,
+            samples_per_level=samples_per_level,
+            work_samples=work_samples,
+        )
+    return results
+
+
+def measured_capacities(
+    results: Mapping[str, BenchmarkResult], response_threshold_ms: float
+) -> Dict[str, float]:
+    """Per-type measured capacity (users under the threshold) from a benchmark.
+
+    This is the empirical ``K_s`` input of the allocation model and the
+    sorting key of the Section IV-C1 grouping procedure.
+    """
+    return {
+        name: float(result.capacity_under_threshold(response_threshold_ms))
+        for name, result in results.items()
+    }
+
+
+def measured_speed_factors(
+    results: Mapping[str, BenchmarkResult],
+    *,
+    reference_type: Optional[str] = None,
+) -> Dict[str, float]:
+    """Single-request speed of each type relative to a reference type.
+
+    The speed is estimated from the mean response time at concurrency 1; the
+    reference (default: the slowest type) gets speed 1.0.
+    """
+    single_user_means: Dict[str, float] = {}
+    for name, result in results.items():
+        means = result.mean_response_ms()
+        if 1 not in means:
+            raise ValueError(f"benchmark of {name!r} has no concurrency-1 measurement")
+        single_user_means[name] = means[1]
+    if reference_type is None:
+        reference_type = max(single_user_means, key=lambda name: single_user_means[name])
+    reference = single_user_means[reference_type]
+    return {name: reference / mean for name, mean in single_user_means.items()}

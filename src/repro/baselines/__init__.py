@@ -1,0 +1,60 @@
+"""Baselines the paper contrasts against (and the ablation benches use).
+
+* **Round-robin routing** (:class:`repro.sdn.accelerator.RoundRobinRouting`) —
+  "our work is not ruled by a fixed and simple load balancing algorithm, e.g.,
+  round-robin" (Section VII-3): requests are spread over groups regardless of
+  the user's requested acceleration level.
+* **Static provisioning** (:func:`build_static_backend`) — the "static and not
+  dynamic" system of Section VI-B3: a fixed instance mix provisioned once and
+  never adjusted.
+* **Over-provisioning** (:class:`repro.core.allocation.OverProvisioningAllocator`)
+  — size every group for a multiple of its demand instead of following the
+  prediction.
+* **Greedy allocation** (:class:`repro.core.allocation.GreedyAllocator`) — a
+  cost-per-capacity heuristic instead of the exact ILP.
+* **Reactive autoscaling** (:class:`repro.sdn.autoscaler.ReactiveAutoscaler`) —
+  provision for the workload just observed, without prediction.
+* **Naive predictors** (:class:`repro.core.prediction.LastValuePredictor`,
+  :class:`repro.core.prediction.MeanWorkloadPredictor`) — last-value and
+  mean-history forecasting instead of the edit-distance nearest-slot search.
+"""
+
+from typing import Mapping
+
+from repro.cloud.backend import BackendPool
+from repro.cloud.catalog import InstanceCatalog
+from repro.cloud.provisioner import Provisioner
+from repro.core.allocation import GreedyAllocator, OverProvisioningAllocator
+from repro.core.prediction import LastValuePredictor, MeanWorkloadPredictor
+from repro.sdn.accelerator import RoundRobinRouting
+from repro.sdn.autoscaler import ReactiveAutoscaler
+
+__all__ = [
+    "GreedyAllocator",
+    "LastValuePredictor",
+    "MeanWorkloadPredictor",
+    "OverProvisioningAllocator",
+    "ReactiveAutoscaler",
+    "RoundRobinRouting",
+    "build_static_backend",
+]
+
+
+def build_static_backend(
+    provisioner: Provisioner,
+    backend: BackendPool,
+    counts_by_group: Mapping[int, Mapping[str, int]],
+) -> BackendPool:
+    """Provision a fixed instance mix once (the no-adjustment baseline).
+
+    ``counts_by_group`` maps an acceleration group to the instance-type counts
+    to launch for it, e.g. ``{1: {"t2.nano": 2}, 2: {"t2.large": 1}}``.  The
+    instances are launched immediately and never touched again.
+    """
+    for group, type_counts in counts_by_group.items():
+        for type_name, count in type_counts.items():
+            if count < 0:
+                raise ValueError(f"negative instance count for {type_name!r}: {count}")
+            for _ in range(count):
+                backend.add_instance(provisioner.launch(type_name), group)
+    return backend

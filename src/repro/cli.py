@@ -1,0 +1,188 @@
+"""Command-line interface.
+
+``repro-accel`` regenerates any of the paper's evaluation figures from the
+command line and prints the resulting rows as a plain table, e.g.::
+
+    repro-accel fig5                 # acceleration ratios (Fig. 5)
+    repro-accel fig10a --seed 3      # prediction accuracy (Fig. 10a)
+    repro-accel dynamic --hours 2    # the Fig. 9/10 system experiment
+    repro-accel export --output-dir results/   # CSVs for every fast figure
+
+Every experiment accepts ``--seed`` so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.analysis.reporting import format_table, write_csv
+from repro.experiments import (
+    build_reproduction_summary,
+    run_dynamic_acceleration,
+    run_fig4_characterization,
+    run_fig5_acceleration_ratios,
+    run_fig6_nano_micro_anomaly,
+    run_fig7_decomposition,
+    run_fig8_saturation,
+    run_fig8a_sdn_overhead,
+    run_fig10a_prediction_accuracy,
+    run_fig11_network_latency,
+)
+
+
+def _print_rows(rows: Iterable[Dict[str, object]]) -> None:
+    """Print a list of dict rows as aligned ``key=value`` lines."""
+    for row in rows:
+        line = "  ".join(f"{key}={value}" for key, value in row.items())
+        print(line)
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    result = run_fig4_characterization(seed=args.seed, samples_per_level=args.samples)
+    _print_rows(result.rows())
+    print("acceleration level map:", result.level_map())
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    result = run_fig5_acceleration_ratios(seed=args.seed, samples_per_level=args.samples)
+    _print_rows(result.rows())
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    result = run_fig6_nano_micro_anomaly(seed=args.seed, samples_per_level=args.samples)
+    _print_rows(result.rows())
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    result = run_fig7_decomposition(seed=args.seed)
+    _print_rows(result.rows())
+    return 0
+
+
+def _cmd_fig8a(args: argparse.Namespace) -> int:
+    result = run_fig8a_sdn_overhead(seed=args.seed)
+    _print_rows(result.rows())
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    result = run_fig8_saturation(seed=args.seed, step_duration_s=args.step_seconds)
+    _print_rows(result.rows())
+    return 0
+
+
+def _cmd_fig10a(args: argparse.Namespace) -> int:
+    result = run_fig10a_prediction_accuracy(seed=args.seed)
+    _print_rows(result.rows())
+    return 0
+
+
+def _cmd_fig11(args: argparse.Namespace) -> int:
+    result = run_fig11_network_latency(seed=args.seed)
+    _print_rows(result.rows())
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    """Print the paper-vs-measured comparison for every headline number."""
+    rows = build_reproduction_summary(seed=args.seed, samples_per_level=args.samples)
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    """Run every fast figure experiment and write its rows to CSV files."""
+    output_dir = Path(args.output_dir)
+    experiments = {
+        "fig4_characterization": lambda: run_fig4_characterization(seed=args.seed, samples_per_level=args.samples).rows(),
+        "fig5_acceleration_ratios": lambda: run_fig5_acceleration_ratios(seed=args.seed, samples_per_level=args.samples).rows(),
+        "fig7_decomposition": lambda: run_fig7_decomposition(seed=args.seed).rows(),
+        "fig8a_sdn_overhead": lambda: run_fig8a_sdn_overhead(seed=args.seed).rows(),
+        "fig8_saturation": lambda: run_fig8_saturation(seed=args.seed).rows(),
+        "fig10a_prediction_accuracy": lambda: run_fig10a_prediction_accuracy(seed=args.seed).rows(),
+        "fig11_network_latency": lambda: run_fig11_network_latency(seed=args.seed).rows(),
+    }
+    written = []
+    for name, runner in experiments.items():
+        path = write_csv(runner(), output_dir / f"{name}.csv")
+        written.append(path)
+        print(f"wrote {path}")
+    print(f"exported {len(written)} figure datasets to {output_dir}")
+    return 0
+
+
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    result = run_dynamic_acceleration(
+        seed=args.seed,
+        users=args.users,
+        duration_hours=args.hours,
+        target_requests=args.requests,
+    )
+    _print_rows(result.rows())
+    stable = result.stable_user()
+    print(f"stable user (Fig. 9b analogue): user {stable}")
+    try:
+        promoted = result.fully_promoted_user()
+        print(f"fully promoted user (Fig. 9c analogue): user {promoted}")
+    except ValueError:
+        print("no user reached the highest group in this run")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro-accel`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-accel",
+        description="Regenerate the evaluation figures of 'Modeling Mobile Code "
+        "Acceleration in the Cloud' (ICDCS 2017).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add(name: str, handler: Callable[[argparse.Namespace], int], help_text: str):
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument("--seed", type=int, default=0, help="root random seed")
+        sub.set_defaults(handler=handler)
+        return sub
+
+    for name, handler, help_text in [
+        ("fig4", _cmd_fig4, "instance characterization curves (Fig. 4)"),
+        ("fig5", _cmd_fig5, "acceleration-level ratios (Fig. 5)"),
+        ("fig6", _cmd_fig6, "t2.nano vs t2.micro anomaly (Fig. 6)"),
+        ("fig7", _cmd_fig7, "response-time decomposition (Fig. 7a/7b)"),
+        ("fig8a", _cmd_fig8a, "SDN routing overhead (Fig. 8a)"),
+        ("fig8", _cmd_fig8, "saturation under doubling arrival rate (Fig. 8b/8c)"),
+        ("fig10a", _cmd_fig10a, "prediction accuracy (Fig. 10a)"),
+        ("fig11", _cmd_fig11, "3G/LTE latency per operator (Fig. 11)"),
+        ("dynamic", _cmd_dynamic, "dynamic acceleration experiment (Fig. 9, 10b, 10c)"),
+        ("export", _cmd_export, "write CSV datasets for every fast figure"),
+        ("summary", _cmd_summary, "paper-vs-measured comparison of every headline number"),
+    ]:
+        sub = add(name, handler, help_text)
+        if name in ("fig4", "fig5", "fig6", "export", "summary"):
+            sub.add_argument("--samples", type=int, default=200, help="samples per concurrency level")
+        if name == "fig8":
+            sub.add_argument("--step-seconds", type=float, default=10.0, help="seconds per arrival rate step")
+        if name == "dynamic":
+            sub.add_argument("--users", type=int, default=100, help="number of mobile users")
+            sub.add_argument("--hours", type=float, default=2.0, help="experiment duration in hours")
+            sub.add_argument("--requests", type=int, default=1000, help="approximate total requests")
+        if name == "export":
+            sub.add_argument("--output-dir", default="results", help="directory for the CSV files")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro-accel`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

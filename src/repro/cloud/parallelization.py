@@ -1,0 +1,124 @@
+"""Code parallelization model (the paper's Section VII-1 future work).
+
+The paper observes that "there is an acceleration limit that a task can
+achieve" on a single server and that the limit "can be surpassed by applying
+techniques of code parallelization", at the price of new modelling issues:
+"optimal splitting and result merging".  This module provides that model:
+
+* :class:`ParallelizableTask` — a task with a serial fraction (Amdahl's law)
+  and explicit split/merge overheads per additional worker;
+* :func:`parallel_execution_time_ms` — the execution time of such a task
+  split over ``workers`` instances of a given performance profile;
+* :func:`optimal_worker_count` — the worker count that minimises the execution
+  time (beyond it, split/merge overheads dominate);
+* :func:`speedup_curve` — the speed-up for a sweep of worker counts, used by
+  the parallelization ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.cloud.performance import PerformanceProfile
+from repro.mobile.tasks import OffloadableTask
+
+
+@dataclass(frozen=True)
+class ParallelizableTask:
+    """An offloadable task annotated with its parallel structure.
+
+    Attributes
+    ----------
+    task:
+        The underlying offloadable task (work measured in level-1 core ms).
+    parallel_fraction:
+        Fraction of the work that can be split across workers (Amdahl's law);
+        the rest is inherently serial.
+    split_overhead_ms:
+        Extra coordination work, per additional worker, spent partitioning the
+        input and dispatching the sub-tasks.
+    merge_overhead_ms:
+        Extra work, per additional worker, spent merging the partial results.
+    """
+
+    task: OffloadableTask
+    parallel_fraction: float = 0.9
+    split_overhead_ms: float = 20.0
+    merge_overhead_ms: float = 15.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.parallel_fraction <= 1.0:
+            raise ValueError(
+                f"parallel_fraction must be in [0, 1], got {self.parallel_fraction}"
+            )
+        if self.split_overhead_ms < 0 or self.merge_overhead_ms < 0:
+            raise ValueError("split/merge overheads must be >= 0")
+
+    @property
+    def name(self) -> str:
+        return self.task.name
+
+    @property
+    def work_units(self) -> float:
+        return self.task.work_units
+
+    def coordination_overhead_ms(self, workers: int) -> float:
+        """Split + merge overhead for a given worker count."""
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        return (workers - 1) * (self.split_overhead_ms + self.merge_overhead_ms)
+
+
+def parallel_execution_time_ms(
+    parallel_task: ParallelizableTask,
+    profile: PerformanceProfile,
+    workers: int,
+) -> float:
+    """Execution time of the task split across ``workers`` identical instances.
+
+    The serial fraction runs on one instance; the parallel fraction is divided
+    evenly across all workers; split/merge overheads grow linearly with the
+    number of additional workers.  Each worker is assumed otherwise idle
+    (concurrency 1), which is the setting of the paper's discussion.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    work = parallel_task.work_units
+    serial_work = work * (1.0 - parallel_task.parallel_fraction)
+    parallel_work = work * parallel_task.parallel_fraction / workers
+    per_worker_time = profile.service_time_ms(max(serial_work + parallel_work, 1e-9), 1)
+    return per_worker_time + parallel_task.coordination_overhead_ms(workers)
+
+
+def speedup_curve(
+    parallel_task: ParallelizableTask,
+    profile: PerformanceProfile,
+    worker_counts: Sequence[int],
+) -> Dict[int, float]:
+    """Speed-up relative to single-worker execution for each worker count."""
+    if not worker_counts:
+        raise ValueError("worker_counts must be non-empty")
+    baseline = parallel_execution_time_ms(parallel_task, profile, 1)
+    return {
+        workers: baseline / parallel_execution_time_ms(parallel_task, profile, workers)
+        for workers in worker_counts
+    }
+
+
+def optimal_worker_count(
+    parallel_task: ParallelizableTask,
+    profile: PerformanceProfile,
+    max_workers: int = 32,
+) -> int:
+    """The worker count minimising execution time (ties go to fewer workers)."""
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    best_workers = 1
+    best_time = parallel_execution_time_ms(parallel_task, profile, 1)
+    for workers in range(2, max_workers + 1):
+        time_ms = parallel_execution_time_ms(parallel_task, profile, workers)
+        if time_ms < best_time - 1e-9:
+            best_time = time_ms
+            best_workers = workers
+    return best_workers

@@ -1,0 +1,154 @@
+"""Simulated cloud instance server.
+
+A :class:`CloudInstance` is the discrete-event counterpart of one running EC2
+instance hosting the paper's Dalvik-x86 surrogate.  Each offloaded request is
+a job of some number of work units; jobs share the instance's processing
+capacity through an egalitarian processor-sharing discipline
+(:class:`~repro.simulation.queues.ProcessorSharingServer`).
+
+Admission control reproduces the saturation behaviour of Fig. 8b/8c: each
+instance admits at most ``admission_limit`` simultaneous requests.  Requests
+beyond the limit are *dropped* (the "fail" series of Fig. 8c).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.cloud.catalog import InstanceType
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.queues import ProcessorSharingServer
+from repro.simulation.stats import OnlineStatistics
+
+
+@dataclass(frozen=True)
+class OffloadOutcome:
+    """The result of one offloaded request handled by an instance."""
+
+    request_id: int
+    instance_id: str
+    accepted: bool
+    execution_time_ms: float
+    completed_at_ms: float
+
+
+class CloudInstance:
+    """One running instance of a given :class:`~repro.cloud.catalog.InstanceType`."""
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        instance_type: InstanceType,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        admission_limit: Optional[int] = None,
+        instance_id: Optional[str] = None,
+    ) -> None:
+        self.engine = engine
+        self.instance_type = instance_type
+        self.instance_id = instance_id or f"{instance_type.name}-{next(self._ids)}"
+        self._rng = rng
+        profile = instance_type.profile
+        # Default admission limit: the concurrency at which a median task from
+        # the workload pool would exceed ~5 seconds, bounded to a sane range.
+        if admission_limit is None:
+            admission_limit = max(int(profile.effective_cores * 40), 100)
+        self._server = ProcessorSharingServer(
+            engine,
+            service_rate_per_core=profile.speed_factor,
+            cores=max(int(round(profile.effective_cores)), 1),
+            max_concurrency=None,
+            name=self.instance_id,
+        )
+        self.admission_limit = admission_limit
+        self.launched_at_ms = engine.now_ms
+        self.terminated_at_ms: Optional[float] = None
+        self.accepted_requests = 0
+        self.dropped_requests = 0
+        self.completed_requests = 0
+        self.execution_stats = OnlineStatistics()
+        self._request_ids = itertools.count()
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the instance has not been terminated."""
+        return self.terminated_at_ms is None
+
+    @property
+    def in_service(self) -> int:
+        """Number of requests currently executing on the instance."""
+        return self._server.in_service
+
+    @property
+    def acceleration_level(self) -> int:
+        return self.instance_type.acceleration_level
+
+    def utilization(self) -> float:
+        """Fraction of admission capacity currently in use."""
+        return self.in_service / self.admission_limit
+
+    def submit(
+        self,
+        work_units: float,
+        on_complete: Callable[[OffloadOutcome], None],
+    ) -> OffloadOutcome | None:
+        """Submit one offloaded request.
+
+        Returns ``None`` when the request is admitted (the outcome is
+        delivered later through ``on_complete``), or an immediate rejected
+        :class:`OffloadOutcome` when the request is dropped.
+        """
+        if not self.is_running:
+            raise RuntimeError(f"instance {self.instance_id} has been terminated")
+        request_id = next(self._request_ids)
+        if self._server.in_service >= self.admission_limit:
+            self.dropped_requests += 1
+            outcome = OffloadOutcome(
+                request_id=request_id,
+                instance_id=self.instance_id,
+                accepted=False,
+                execution_time_ms=0.0,
+                completed_at_ms=self.engine.now_ms,
+            )
+            return outcome
+        self.accepted_requests += 1
+        # Per-request jitter models variation in code paths and VM scheduling.
+        effective_work = work_units
+        if self._rng is not None:
+            jitter = self._rng.normal(1.0, self.instance_type.profile.jitter_fraction)
+            effective_work = work_units * float(np.clip(jitter, 0.05, 3.0))
+        overhead = self.instance_type.profile.base_overhead_ms
+
+        def _finished(sojourn_ms: float, request_id: int = request_id) -> None:
+            execution_time = sojourn_ms + overhead
+            self.completed_requests += 1
+            self.execution_stats.add(execution_time)
+            on_complete(
+                OffloadOutcome(
+                    request_id=request_id,
+                    instance_id=self.instance_id,
+                    accepted=True,
+                    execution_time_ms=execution_time,
+                    completed_at_ms=self.engine.now_ms,
+                )
+            )
+
+        self._server.submit(effective_work, _finished)
+        return None
+
+    def terminate(self) -> None:
+        """Mark the instance as terminated; no further submissions allowed."""
+        if self.terminated_at_ms is None:
+            self.terminated_at_ms = self.engine.now_ms
+
+    def __repr__(self) -> str:
+        return (
+            f"CloudInstance(id={self.instance_id!r}, type={self.instance_type.name}, "
+            f"level={self.acceleration_level}, in_service={self.in_service})"
+        )

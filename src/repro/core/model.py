@@ -1,0 +1,171 @@
+"""The combined adaptive model.
+
+:class:`AdaptiveModel` is the component the SDN-accelerator invokes at the end
+of each provisioning period: it
+
+1. slices the request trace log into time slots
+   (:class:`~repro.core.timeslots.TimeSlotHistory`),
+2. predicts the workload of the next period with the edit-distance predictor
+   (:class:`~repro.core.prediction.WorkloadPredictor`), and
+3. computes the cost-minimal instance allocation for the predicted workload
+   with the ILP allocator (:class:`~repro.core.allocation.IlpAllocator`).
+
+The model is substrate-independent: it consumes only plain trace records and
+an instance-option table, so it can be run against real production logs just
+as well as against the simulated testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.allocation import (
+    AllocationPlan,
+    AllocationProblem,
+    IlpAllocator,
+    InstanceOption,
+)
+from repro.core.prediction import PredictionOutcome, WorkloadPredictor, prediction_accuracy
+from repro.core.timeslots import TimeSlot, TimeSlotHistory
+from repro.simulation.clock import MILLISECONDS_PER_HOUR
+from repro.workload.traces import TraceLog
+
+
+@dataclass(frozen=True)
+class ModelDecision:
+    """One end-of-period decision of the adaptive model."""
+
+    period_index: int
+    current_slot: TimeSlot
+    prediction: PredictionOutcome
+    plan: AllocationPlan
+
+    @property
+    def predicted_workloads(self) -> Dict[int, int]:
+        return self.prediction.predicted_slot.workload_vector()
+
+    @property
+    def predicted_total(self) -> int:
+        return self.prediction.predicted_slot.total_workload()
+
+
+class AdaptiveModel:
+    """Workload prediction plus cost-optimal allocation (Section IV)."""
+
+    def __init__(
+        self,
+        options: Sequence[InstanceOption],
+        *,
+        slot_length_ms: float = MILLISECONDS_PER_HOUR,
+        instance_cap: int = 20,
+        predictor: Optional[WorkloadPredictor] = None,
+        allocator: Optional[IlpAllocator] = None,
+        min_history: int = 2,
+    ) -> None:
+        if not options:
+            raise ValueError("the model needs at least one instance option")
+        if slot_length_ms <= 0:
+            raise ValueError(f"slot_length_ms must be positive, got {slot_length_ms}")
+        self.options = tuple(options)
+        self.slot_length_ms = slot_length_ms
+        self.instance_cap = instance_cap
+        if min_history < 2:
+            raise ValueError(f"min_history must be >= 2, got {min_history}")
+        # ``min_history`` counts the slots that must have been observed before
+        # the first prediction.  The newest slot is the prediction query and is
+        # excluded from the knowledge base, so the predictor itself needs one
+        # fewer slot of knowledge.
+        self.predictor = (
+            predictor
+            if predictor is not None
+            else WorkloadPredictor(
+                TimeSlotHistory(slot_length_ms=slot_length_ms),
+                min_history=max(min_history - 1, 1),
+            )
+        )
+        self.allocator = allocator if allocator is not None else IlpAllocator()
+        self.decisions: List[ModelDecision] = []
+
+    @property
+    def history(self) -> TimeSlotHistory:
+        """The slot history accumulated so far."""
+        return self.predictor.history
+
+    def groups(self) -> List[int]:
+        """Acceleration groups known to the model (from its instance options)."""
+        return sorted({option.acceleration_group for option in self.options})
+
+    def observe_slot(self, slot: TimeSlot) -> None:
+        """Record one completed time slot in the knowledge base."""
+        self.predictor.observe(slot)
+
+    def observe_trace_window(
+        self, log: TraceLog, start_ms: float, end_ms: float
+    ) -> TimeSlot:
+        """Slot the log records of ``[start_ms, end_ms)`` and record the slot."""
+        window = log.window(start_ms, end_ms)
+        users_per_group = {group: set() for group in self.groups()}
+        for record in window:
+            users_per_group.setdefault(record.acceleration_group, set()).add(record.user_id)
+        slot = TimeSlot.from_user_sets(len(self.history), users_per_group)
+        self.observe_slot(slot)
+        return slot
+
+    def can_predict(self) -> bool:
+        """Whether enough history has accumulated for a prediction."""
+        return len(self.history) >= self.predictor.required_history(current_in_history=True)
+
+    def decide(self, current_slot: Optional[TimeSlot] = None) -> ModelDecision:
+        """Predict the next period's workload and compute the allocation plan.
+
+        Parameters
+        ----------
+        current_slot:
+            The slot describing the period that just ended; defaults to the
+            latest slot in the history.
+        """
+        if current_slot is None:
+            current_slot = self.history.latest()
+        prediction = self.predictor.predict(current_slot)
+        workloads = prediction.predicted_slot.workload_vector(self.groups())
+        problem = AllocationProblem(
+            options=self.options,
+            group_workloads=workloads,
+            instance_cap=self.instance_cap,
+        )
+        plan = self.allocator.allocate(problem)
+        decision = ModelDecision(
+            period_index=len(self.decisions),
+            current_slot=current_slot,
+            prediction=prediction,
+            plan=plan,
+        )
+        self.decisions.append(decision)
+        return decision
+
+    def evaluate_decision(self, decision: ModelDecision, realised_slot: TimeSlot) -> float:
+        """Accuracy of a past decision once the period's real workload is known."""
+        return prediction_accuracy(decision.prediction.predicted_slot, realised_slot)
+
+    def run_over_history(
+        self, history: TimeSlotHistory, *, warmup: Optional[int] = None
+    ) -> List[ModelDecision]:
+        """Replay a full slot history, deciding after every slot.
+
+        ``warmup`` slots (default: the predictor's required history) are only
+        observed, not predicted from.  Returns the decisions made.
+        """
+        if warmup is None:
+            warmup = self.predictor.required_history(current_in_history=True)
+        if warmup < 1:
+            raise ValueError(f"warmup must be >= 1, got {warmup}")
+        decisions: List[ModelDecision] = []
+        for index, slot in enumerate(history):
+            self.observe_slot(slot)
+            if index + 1 < warmup:
+                continue
+            if not self.can_predict():
+                continue
+            decisions.append(self.decide(slot))
+        return decisions

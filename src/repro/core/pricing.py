@@ -1,0 +1,177 @@
+"""Code Acceleration as a Service (CaaS) pricing model.
+
+Section VII-4 of the paper argues that controlling the level of code execution
+"opens new opportunities to monetize software": a user can buy a higher
+acceleration level for an application instead of buying a faster device.  This
+module provides the economic model needed to reason about that:
+
+* :class:`AccelerationPlan` — a subscription tier: an acceleration group and
+  its monthly price per user;
+* :class:`CaaSPricingModel` — maps per-group subscriber counts to revenue,
+  pairs them with the provisioning cost computed by the allocation model, and
+  reports the margin;
+* :func:`break_even_subscribers` — how many subscribers a tier needs before
+  its revenue covers the instances it requires.
+
+The model is intentionally simple (flat per-tier monthly prices, the paper's
+hourly instance billing) but exercises the real allocator, so the provisioning
+cost side is exactly the Section IV-C optimisation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.core.allocation import (
+    AllocationError,
+    AllocationPlan,
+    AllocationProblem,
+    IlpAllocator,
+    InstanceOption,
+)
+
+#: Hours in a billing month, used to convert hourly instance prices.
+HOURS_PER_MONTH = 24 * 30
+
+
+@dataclass(frozen=True)
+class AccelerationPlan:
+    """One subscription tier of the CaaS offering."""
+
+    name: str
+    acceleration_group: int
+    monthly_price_per_user: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("plan name must be non-empty")
+        if self.acceleration_group < 0:
+            raise ValueError(
+                f"acceleration_group must be >= 0, got {self.acceleration_group}"
+            )
+        if self.monthly_price_per_user < 0:
+            raise ValueError(
+                f"monthly_price_per_user must be >= 0, got {self.monthly_price_per_user}"
+            )
+
+
+@dataclass(frozen=True)
+class CaaSReport:
+    """Revenue/cost breakdown for one subscriber mix."""
+
+    subscribers: Mapping[int, int]
+    monthly_revenue: float
+    monthly_provisioning_cost: float
+    plan: AllocationPlan
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "subscribers", dict(self.subscribers))
+
+    @property
+    def monthly_margin(self) -> float:
+        """Revenue minus provisioning cost."""
+        return self.monthly_revenue - self.monthly_provisioning_cost
+
+    @property
+    def is_profitable(self) -> bool:
+        return self.monthly_margin > 0
+
+
+class CaaSPricingModel:
+    """Economics of selling acceleration levels as subscription tiers."""
+
+    def __init__(
+        self,
+        plans: Sequence[AccelerationPlan],
+        options: Sequence[InstanceOption],
+        *,
+        instance_cap: int = 20,
+        allocator: Optional[IlpAllocator] = None,
+    ) -> None:
+        if not plans:
+            raise ValueError("at least one acceleration plan is required")
+        groups = [plan.acceleration_group for plan in plans]
+        if len(set(groups)) != len(groups):
+            raise ValueError("each acceleration group may have at most one plan")
+        self.plans = {plan.acceleration_group: plan for plan in plans}
+        self.options = tuple(options)
+        self.instance_cap = instance_cap
+        self.allocator = allocator if allocator is not None else IlpAllocator()
+
+    def plan_for_group(self, group: int) -> AccelerationPlan:
+        """The subscription plan sold for ``group``."""
+        try:
+            return self.plans[group]
+        except KeyError:
+            raise KeyError(f"no plan covers acceleration group {group}") from None
+
+    def monthly_revenue(self, subscribers: Mapping[int, int]) -> float:
+        """Total subscription revenue for a per-group subscriber count."""
+        revenue = 0.0
+        for group, count in subscribers.items():
+            if count < 0:
+                raise ValueError(f"subscriber count for group {group} must be >= 0")
+            revenue += self.plan_for_group(group).monthly_price_per_user * count
+        return revenue
+
+    def provisioning_plan(self, concurrent_users: Mapping[int, int]) -> AllocationPlan:
+        """Cost-optimal instance mix for the peak concurrent users per group."""
+        problem = AllocationProblem(
+            options=self.options,
+            group_workloads=dict(concurrent_users),
+            instance_cap=self.instance_cap,
+        )
+        return self.allocator.allocate(problem)
+
+    def monthly_report(
+        self,
+        subscribers: Mapping[int, int],
+        *,
+        peak_concurrency_fraction: float = 0.2,
+    ) -> CaaSReport:
+        """Revenue, provisioning cost and margin for a subscriber mix.
+
+        ``peak_concurrency_fraction`` converts subscriber counts into the peak
+        number of simultaneously active users the back-end must be sized for
+        (not every subscriber offloads at once).
+        """
+        if not 0 < peak_concurrency_fraction <= 1:
+            raise ValueError(
+                f"peak_concurrency_fraction must be in (0, 1], got {peak_concurrency_fraction}"
+            )
+        concurrent = {
+            group: int(math.ceil(count * peak_concurrency_fraction))
+            for group, count in subscribers.items()
+        }
+        plan = self.provisioning_plan(concurrent)
+        return CaaSReport(
+            subscribers=subscribers,
+            monthly_revenue=self.monthly_revenue(subscribers),
+            monthly_provisioning_cost=plan.total_cost * HOURS_PER_MONTH,
+            plan=plan,
+        )
+
+    def break_even_subscribers(
+        self,
+        group: int,
+        *,
+        peak_concurrency_fraction: float = 0.2,
+        max_subscribers: int = 5000,
+    ) -> Optional[int]:
+        """Smallest subscriber count at which a tier becomes profitable.
+
+        Returns ``None`` when the tier cannot break even within
+        ``max_subscribers`` (or within the instance cap).
+        """
+        for count in range(1, max_subscribers + 1):
+            try:
+                report = self.monthly_report(
+                    {group: count}, peak_concurrency_fraction=peak_concurrency_fraction
+                )
+            except AllocationError:
+                return None
+            if report.is_profitable:
+                return count
+        return None

@@ -1,0 +1,170 @@
+"""Time slots and slot history.
+
+The adaptive model works on a set of time slots ``T = {t_i : 1 <= i <= H}``
+of equal length (Section IV-A).  Each slot consists of a set of acceleration
+groups ``A = {a_n : 1 <= n <= N}``; each group holds the (possibly empty) set
+of users that required that level of acceleration during the slot.  The
+workload of group ``a_n`` in a slot, ``W_{a_n}``, is the number of such users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set
+
+from repro.simulation.clock import MILLISECONDS_PER_HOUR
+from repro.workload.traces import TraceLog
+
+
+@dataclass(frozen=True)
+class TimeSlot:
+    """One time slot: per-acceleration-group user sets.
+
+    Attributes
+    ----------
+    index:
+        Position of the slot in its history (0-based).
+    groups:
+        Mapping from acceleration group id to the frozen set of user ids that
+        offloaded with that group during the slot.  Groups with no users map
+        to an empty set (the paper's ``a_n = ∅`` case).
+    """
+
+    index: int
+    groups: Mapping[int, FrozenSet[int]]
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"slot index must be >= 0, got {self.index}")
+        frozen = {int(group): frozenset(users) for group, users in self.groups.items()}
+        object.__setattr__(self, "groups", frozen)
+
+    @classmethod
+    def from_user_sets(cls, index: int, groups: Mapping[int, Iterable[int]]) -> "TimeSlot":
+        """Build a slot from any mapping of group -> iterable of user ids."""
+        return cls(index=index, groups={g: frozenset(users) for g, users in groups.items()})
+
+    @classmethod
+    def from_counts(cls, index: int, counts: Mapping[int, int]) -> "TimeSlot":
+        """Build a slot from per-group user *counts* only.
+
+        When user identities are not available (e.g. aggregate logs), synthetic
+        user ids are generated per group; the edit distance then degenerates to
+        the absolute difference of counts, which is the intended behaviour.
+        """
+        groups: Dict[int, FrozenSet[int]] = {}
+        for group, count in counts.items():
+            if count < 0:
+                raise ValueError(f"count for group {group} must be >= 0, got {count}")
+            groups[int(group)] = frozenset(range(int(count)))
+        return cls(index=index, groups=groups)
+
+    @property
+    def group_ids(self) -> List[int]:
+        """Sorted acceleration group ids present in the slot."""
+        return sorted(self.groups)
+
+    def users_in_group(self, group: int) -> FrozenSet[int]:
+        """Users assigned to ``group`` during the slot (empty if absent)."""
+        return self.groups.get(group, frozenset())
+
+    def workload(self, group: int) -> int:
+        """``W_{a_n}``: number of users requiring acceleration ``group``."""
+        return len(self.users_in_group(group))
+
+    def workload_vector(self, groups: Optional[Sequence[int]] = None) -> Dict[int, int]:
+        """Per-group workloads as a plain dict, over ``groups`` or all present."""
+        group_ids = list(groups) if groups is not None else self.group_ids
+        return {group: self.workload(group) for group in group_ids}
+
+    def total_workload(self) -> int:
+        """``W = Σ W_{a_i}``: total number of users in the slot."""
+        return sum(len(users) for users in self.groups.values())
+
+    def all_users(self) -> Set[int]:
+        """Union of users across all groups."""
+        users: Set[int] = set()
+        for group_users in self.groups.values():
+            users.update(group_users)
+        return users
+
+    def is_empty(self) -> bool:
+        """Whether no user offloaded during the slot."""
+        return self.total_workload() == 0
+
+
+class TimeSlotHistory:
+    """The ordered history ``T`` of time slots available to the model."""
+
+    def __init__(
+        self,
+        slots: Optional[Iterable[TimeSlot]] = None,
+        *,
+        slot_length_ms: float = MILLISECONDS_PER_HOUR,
+    ) -> None:
+        if slot_length_ms <= 0:
+            raise ValueError(f"slot_length_ms must be positive, got {slot_length_ms}")
+        self.slot_length_ms = slot_length_ms
+        self._slots: List[TimeSlot] = list(slots) if slots else []
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self) -> Iterator[TimeSlot]:
+        return iter(self._slots)
+
+    def __getitem__(self, index: int) -> TimeSlot:
+        return self._slots[index]
+
+    @property
+    def slots(self) -> List[TimeSlot]:
+        return list(self._slots)
+
+    def append(self, slot: TimeSlot) -> None:
+        """Append the newest slot to the history."""
+        self._slots.append(slot)
+
+    def append_user_sets(self, groups: Mapping[int, Iterable[int]]) -> TimeSlot:
+        """Create a slot with the next index from per-group user sets and append it."""
+        slot = TimeSlot.from_user_sets(len(self._slots), groups)
+        self.append(slot)
+        return slot
+
+    def latest(self) -> TimeSlot:
+        """The most recent slot."""
+        if not self._slots:
+            raise ValueError("history is empty")
+        return self._slots[-1]
+
+    def group_ids(self) -> List[int]:
+        """All acceleration groups seen anywhere in the history."""
+        groups: Set[int] = set()
+        for slot in self._slots:
+            groups.update(slot.group_ids)
+        return sorted(groups)
+
+    def truncate(self, keep_last: int) -> "TimeSlotHistory":
+        """A new history containing only the ``keep_last`` most recent slots."""
+        if keep_last < 0:
+            raise ValueError(f"keep_last must be >= 0, got {keep_last}")
+        return TimeSlotHistory(self._slots[-keep_last:] if keep_last else [],
+                               slot_length_ms=self.slot_length_ms)
+
+    @classmethod
+    def from_trace_log(
+        cls,
+        log: TraceLog,
+        *,
+        slot_length_ms: float = MILLISECONDS_PER_HOUR,
+        groups: Optional[Sequence[int]] = None,
+        start_ms: Optional[float] = None,
+        end_ms: Optional[float] = None,
+    ) -> "TimeSlotHistory":
+        """Build the history from a request trace log (the system's MySQL logs)."""
+        raw_slots = log.slot_workloads(
+            slot_length_ms, groups=groups, start_ms=start_ms, end_ms=end_ms
+        )
+        history = cls(slot_length_ms=slot_length_ms)
+        for raw in raw_slots:
+            history.append_user_sets(raw)
+        return history

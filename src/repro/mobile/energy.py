@@ -1,0 +1,89 @@
+"""Device energy model for local execution vs offloading.
+
+The paper keeps the latency/energy trade-off out of scope (Section VII-2) but
+its motivation — "the ultimate goal of the technique is to reduce the overall
+amount of processing of the device to extend battery life" (Section II-A) —
+and its battery-aware future-work policy both need an energy model.  This
+module provides a standard linear power model:
+
+* local execution drains ``compute_power_watts`` for the task's local runtime;
+* offloading drains ``radio_power_watts`` (3G or LTE) while the connection is
+  open (the request's response time) plus ``idle_power_watts`` as a baseline;
+* the classic energy-based offloading condition compares the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mobile.device import DeviceProfile
+from repro.mobile.tasks import OffloadableTask
+
+#: Typical smartphone power draws in watts (order-of-magnitude literature values).
+DEFAULT_COMPUTE_POWER_W = 2.2
+DEFAULT_LTE_RADIO_POWER_W = 1.2
+DEFAULT_3G_RADIO_POWER_W = 1.6
+DEFAULT_IDLE_POWER_W = 0.4
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Linear power model of a mobile device."""
+
+    compute_power_watts: float = DEFAULT_COMPUTE_POWER_W
+    radio_power_watts: float = DEFAULT_LTE_RADIO_POWER_W
+    idle_power_watts: float = DEFAULT_IDLE_POWER_W
+
+    def __post_init__(self) -> None:
+        for name in ("compute_power_watts", "radio_power_watts", "idle_power_watts"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    def local_energy_joules(self, device: DeviceProfile, task: OffloadableTask) -> float:
+        """Energy to execute ``task`` locally on ``device``."""
+        runtime_s = device.local_execution_time_ms(task.work_units) / 1000.0
+        return runtime_s * (self.compute_power_watts + self.idle_power_watts)
+
+    def offload_energy_joules(self, response_time_ms: float) -> float:
+        """Energy to offload a task whose result arrives after ``response_time_ms``.
+
+        The radio stays active for the whole round trip in the homogeneous
+        offloading model (the connection remains open until the result
+        returns), plus the idle baseline.
+        """
+        if response_time_ms < 0:
+            raise ValueError(f"response_time_ms must be >= 0, got {response_time_ms}")
+        duration_s = response_time_ms / 1000.0
+        return duration_s * (self.radio_power_watts + self.idle_power_watts)
+
+    def offloading_saves_energy(
+        self,
+        device: DeviceProfile,
+        task: OffloadableTask,
+        expected_response_time_ms: float,
+    ) -> bool:
+        """The energy form of the Section II-A offloading condition."""
+        return self.offload_energy_joules(expected_response_time_ms) < self.local_energy_joules(
+            device, task
+        )
+
+    def energy_saving_joules(
+        self,
+        device: DeviceProfile,
+        task: OffloadableTask,
+        expected_response_time_ms: float,
+    ) -> float:
+        """Energy saved by offloading (negative when offloading costs more)."""
+        return self.local_energy_joules(device, task) - self.offload_energy_joules(
+            expected_response_time_ms
+        )
+
+
+def lte_energy_model() -> EnergyModel:
+    """Energy model with the LTE radio power draw."""
+    return EnergyModel(radio_power_watts=DEFAULT_LTE_RADIO_POWER_W)
+
+
+def three_g_energy_model() -> EnergyModel:
+    """Energy model with the (hungrier) 3G radio power draw."""
+    return EnergyModel(radio_power_watts=DEFAULT_3G_RADIO_POWER_W)

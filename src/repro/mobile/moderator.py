@@ -1,0 +1,183 @@
+"""Client-side moderator: promotion policies.
+
+The paper's architecture places the promotion decision on the mobile client:
+"a client-side moderator component, which monitors the execution time of the
+code in the application, and promotes the execution of code to a higher level
+of acceleration when it detects that the response time of the application
+starts to degrade" (Section I).  For the evaluation the paper uses a *static
+probability of 1/50* to promote a user per request (Section VI-C3) and leaves
+context-based policies as future work.
+
+This module implements:
+
+* :class:`StaticProbabilityPolicy` — the paper's 1/50 rule.
+* :class:`ResponseTimeThresholdPolicy` — the mechanism the paper describes
+  qualitatively ("if the processing of a task in a certain device requires
+  more than t milliseconds, then the mobile promotes the user").
+* :class:`BatteryAwarePolicy` — the future-work extension of Section VII-3:
+  low battery pushes the device to a higher acceleration level to shorten the
+  time the radio connection stays open.
+* :class:`Moderator` — the component that applies a policy to a device after
+  each completed request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+import numpy as np
+
+from repro.mobile.device import MobileDevice
+
+
+@dataclass(frozen=True)
+class PromotionDecision:
+    """The outcome of one promotion check."""
+
+    promote: bool
+    reason: str = ""
+
+
+class PromotionPolicy(Protocol):
+    """Decides, after each completed request, whether to promote the device."""
+
+    def decide(
+        self,
+        device: MobileDevice,
+        response_time_ms: float,
+        rng: np.random.Generator,
+    ) -> PromotionDecision:
+        """Return the promotion decision for this request."""
+        ...
+
+
+@dataclass(frozen=True)
+class StaticProbabilityPolicy:
+    """Promote with a fixed probability per completed request (paper default 1/50)."""
+
+    probability: float = 1.0 / 50.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+
+    def decide(
+        self,
+        device: MobileDevice,
+        response_time_ms: float,
+        rng: np.random.Generator,
+    ) -> PromotionDecision:
+        if rng.random() < self.probability:
+            return PromotionDecision(True, f"static probability {self.probability:.4f}")
+        return PromotionDecision(False)
+
+
+@dataclass(frozen=True)
+class ResponseTimeThresholdPolicy:
+    """Promote when the recent mean response time exceeds a threshold.
+
+    This is the degradation-detection behaviour the paper attributes to the
+    moderator: promotion happens when the perceived response time "starts to
+    degrade" beyond the application's tolerance ``threshold_ms``.
+    """
+
+    threshold_ms: float = 2000.0
+    window: int = 5
+
+    def __post_init__(self) -> None:
+        if self.threshold_ms <= 0:
+            raise ValueError(f"threshold_ms must be positive, got {self.threshold_ms}")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+
+    def decide(
+        self,
+        device: MobileDevice,
+        response_time_ms: float,
+        rng: np.random.Generator,
+    ) -> PromotionDecision:
+        recent = device.recent_mean_response_ms(self.window)
+        if recent is not None and recent > self.threshold_ms:
+            return PromotionDecision(
+                True, f"mean of last {self.window} responses {recent:.0f} ms > {self.threshold_ms:.0f} ms"
+            )
+        return PromotionDecision(False)
+
+
+@dataclass(frozen=True)
+class BatteryAwarePolicy:
+    """Promote when the battery is low (Section VII-3 future-work policy).
+
+    Below ``battery_threshold`` the device promotes with ``low_battery_probability``
+    per request (to shorten connection-open time); above the threshold it falls
+    back to the static probability.
+    """
+
+    battery_threshold: float = 0.2
+    low_battery_probability: float = 0.25
+    base_probability: float = 1.0 / 50.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.battery_threshold <= 1.0:
+            raise ValueError(
+                f"battery_threshold must be in [0, 1], got {self.battery_threshold}"
+            )
+        for name, value in (
+            ("low_battery_probability", self.low_battery_probability),
+            ("base_probability", self.base_probability),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+    def decide(
+        self,
+        device: MobileDevice,
+        response_time_ms: float,
+        rng: np.random.Generator,
+    ) -> PromotionDecision:
+        if device.battery.level <= self.battery_threshold:
+            if rng.random() < self.low_battery_probability:
+                return PromotionDecision(
+                    True, f"battery at {device.battery.level:.0%} <= {self.battery_threshold:.0%}"
+                )
+            return PromotionDecision(False)
+        if rng.random() < self.base_probability:
+            return PromotionDecision(True, "base static probability")
+        return PromotionDecision(False)
+
+
+class Moderator:
+    """Applies a promotion policy to a device after each completed request."""
+
+    def __init__(
+        self,
+        policy: Optional[PromotionPolicy] = None,
+        *,
+        max_group: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if max_group < 0:
+            raise ValueError(f"max_group must be >= 0, got {max_group}")
+        self.policy = policy if policy is not None else StaticProbabilityPolicy()
+        self.max_group = max_group
+        self._rng = rng
+        self.promotions_made = 0
+
+    def observe(
+        self, device: MobileDevice, response_time_ms: float, now_ms: float
+    ) -> PromotionDecision:
+        """Record one completed request and possibly promote the device.
+
+        Promotion is *sequential*: the device moves up exactly one group per
+        promotion, matching the paper ("a user um is gradually promoted in a
+        sequential manner to a higher acceleration group").
+        """
+        device.record_response(response_time_ms)
+        if device.acceleration_group >= self.max_group:
+            return PromotionDecision(False, "already at the highest group")
+        decision = self.policy.decide(device, response_time_ms, self._rng)
+        if decision.promote:
+            device.promote(device.acceleration_group + 1, now_ms)
+            self.promotions_made += 1
+        return decision

@@ -1,0 +1,102 @@
+"""Communication channel and response-time decomposition.
+
+Fig. 7a of the paper decomposes the response time of one offloaded request as
+
+    T_response = T1 + T2 + T_cloud
+
+where ``T1 = T_{m-f} + T_{f-m}`` is the mobile ↔ front-end round trip,
+``T2 = T_{f-b} + T_{b-f}`` is the front-end ↔ back-end round trip (intra-cloud,
+small and stable), and ``T_cloud`` is the code execution time on the instance.
+The paper assumes the forward and return legs of each hop are symmetric
+because the channel stays open for the duration of the operation.
+
+:class:`CommunicationChannel` samples the two hops; the SDN front-end adds its
+own routing overhead (≈150 ms, Fig. 8a) which is accounted separately by
+:class:`~repro.sdn.accelerator.SDNAccelerator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.network.latency import LatencyModel, LogNormalLatencyModel, lte_latency_model
+
+
+@dataclass(frozen=True)
+class ResponseTimeBreakdown:
+    """The additive components of one request's response time (milliseconds)."""
+
+    t1_ms: float
+    t2_ms: float
+    routing_ms: float
+    cloud_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        """Total response time perceived by the mobile device."""
+        return self.t1_ms + self.t2_ms + self.routing_ms + self.cloud_ms
+
+    def as_dict(self) -> dict:
+        """Plain-dict view used by the figure builders."""
+        return {
+            "T1": self.t1_ms,
+            "T2": self.t2_ms,
+            "routing": self.routing_ms,
+            "Tcloud": self.cloud_ms,
+            "Tresponse": self.total_ms,
+        }
+
+
+#: Default intra-cloud latency between the front-end and back-end instances.
+#: The paper notes T2 "is less likely to change drastically as the latency
+#: results from the internal cloud communication, between servers in the same
+#: private network".
+DEFAULT_INTRA_CLOUD_MODEL = LogNormalLatencyModel(median_ms=8.0, mean_ms=10.0, floor_ms=1.0, diurnal_amplitude=0.0)
+
+
+class CommunicationChannel:
+    """Samples the access-network and intra-cloud hops of an offloading request."""
+
+    def __init__(
+        self,
+        *,
+        access_model: Optional[LatencyModel] = None,
+        intra_cloud_model: Optional[LatencyModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.access_model = access_model if access_model is not None else lte_latency_model()
+        self.intra_cloud_model = (
+            intra_cloud_model if intra_cloud_model is not None else DEFAULT_INTRA_CLOUD_MODEL
+        )
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def sample_t1_ms(self, hour_of_day: float = 12.0) -> float:
+        """Round trip mobile → front-end → mobile (both legs)."""
+        one_way = self.access_model.sample_rtt_ms(self._rng, hour_of_day) / 2.0
+        return 2.0 * one_way
+
+    def sample_t2_ms(self, hour_of_day: float = 12.0) -> float:
+        """Round trip front-end → back-end → front-end (both legs)."""
+        one_way = self.intra_cloud_model.sample_rtt_ms(self._rng, hour_of_day) / 2.0
+        return 2.0 * one_way
+
+    def breakdown(
+        self,
+        cloud_ms: float,
+        routing_ms: float = 0.0,
+        hour_of_day: float = 12.0,
+    ) -> ResponseTimeBreakdown:
+        """Assemble a full response-time breakdown around a cloud execution time."""
+        if cloud_ms < 0:
+            raise ValueError(f"cloud_ms must be >= 0, got {cloud_ms}")
+        if routing_ms < 0:
+            raise ValueError(f"routing_ms must be >= 0, got {routing_ms}")
+        return ResponseTimeBreakdown(
+            t1_ms=self.sample_t1_ms(hour_of_day),
+            t2_ms=self.sample_t2_ms(hour_of_day),
+            routing_ms=routing_ms,
+            cloud_ms=cloud_ms,
+        )

@@ -1,0 +1,46 @@
+"""Homogeneous code-offloading runtime (Fig. 1a of the paper).
+
+The paper's system uses the *homogeneous* offloading model: the mobile device
+and the cloud surrogate run identical runtime environments (the authors build
+a Dalvik-x86 image), the offloadable code exists on both sides, and what
+travels over the network is the serialized *application state* of a method
+invocation, which the surrogate reconstructs and executes.
+
+This package is the executable counterpart of that model:
+
+* :mod:`repro.offloading.state` — capture, serialize and reconstruct the
+  application state of a method invocation (method name, arguments, app
+  metadata), with payload-size accounting;
+* :mod:`repro.offloading.runtime` — the method registry (method-level
+  offloading granularity, assumption (b) of Section IV), the local runtime and
+  the cloud surrogate runtime that executes serialized invocations — the
+  stand-in for the paper's Dalvik-x86 instance;
+* :mod:`repro.offloading.client` — the client-side component that applies the
+  Section II-A decision rule (offload iff the remote path is expected to be
+  cheaper), really executes the method locally or remotely, and reports what
+  happened.
+
+Everything here really runs the registered Python functions; the simulation
+substrate is only used to *estimate* remote execution time for the decision.
+"""
+
+from repro.offloading.client import OffloadingClient, OffloadingReport
+from repro.offloading.runtime import (
+    LocalRuntime,
+    MethodRegistry,
+    OffloadableMethod,
+    SurrogateRuntime,
+)
+from repro.offloading.state import ApplicationState, deserialize_state, serialize_state
+
+__all__ = [
+    "ApplicationState",
+    "LocalRuntime",
+    "MethodRegistry",
+    "OffloadableMethod",
+    "OffloadingClient",
+    "OffloadingReport",
+    "SurrogateRuntime",
+    "deserialize_state",
+    "serialize_state",
+]

@@ -1,0 +1,163 @@
+"""Client-side offloading: the Section II-A decision, made executable.
+
+:class:`OffloadingClient` owns the device profile, the shared method registry
+and a connection to a surrogate runtime.  For each invocation it
+
+1. estimates the local execution time from the device profile and the method's
+   calibrated work,
+2. estimates the remote response time from the target instance's performance
+   profile, the expected network round trip and the SDN routing overhead,
+3. applies the decision rule — offload if and only if the remote path is
+   expected to be cheaper (optionally also requiring an energy saving), and
+4. really executes the method on the chosen side, returning both the result
+   and the accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from repro.cloud.catalog import InstanceType
+from repro.mobile.device import DeviceProfile
+from repro.mobile.energy import EnergyModel
+from repro.offloading.runtime import ExecutionResult, LocalRuntime, MethodRegistry, SurrogateRuntime
+from repro.offloading.state import ApplicationState, payload_size_bytes, serialize_state
+
+
+@dataclass(frozen=True)
+class OffloadingReport:
+    """What happened for one invocation: decision, estimates and real result."""
+
+    state: ApplicationState
+    offloaded: bool
+    reason: str
+    estimated_local_ms: float
+    estimated_remote_ms: float
+    payload_bytes: int
+    execution: ExecutionResult
+
+    @property
+    def value(self) -> Any:
+        """The method's return value (identical whichever side executed it)."""
+        return self.execution.value
+
+
+class OffloadingClient:
+    """Decides where to run each offloadable invocation and really runs it."""
+
+    def __init__(
+        self,
+        registry: MethodRegistry,
+        device: DeviceProfile,
+        surrogate: SurrogateRuntime,
+        target_instance: InstanceType,
+        *,
+        expected_rtt_ms: float = 40.0,
+        routing_overhead_ms: float = 150.0,
+        expected_concurrency: int = 1,
+        energy_model: Optional[EnergyModel] = None,
+        require_energy_saving: bool = False,
+    ) -> None:
+        if expected_rtt_ms < 0 or routing_overhead_ms < 0:
+            raise ValueError("latency estimates must be >= 0")
+        if expected_concurrency < 1:
+            raise ValueError(f"expected_concurrency must be >= 1, got {expected_concurrency}")
+        self.registry = registry
+        self.device = device
+        self.local_runtime = LocalRuntime(registry)
+        self.surrogate = surrogate
+        self.target_instance = target_instance
+        self.expected_rtt_ms = expected_rtt_ms
+        self.routing_overhead_ms = routing_overhead_ms
+        self.expected_concurrency = expected_concurrency
+        self.energy_model = energy_model
+        self.require_energy_saving = require_energy_saving
+        self.offloaded_count = 0
+        self.local_count = 0
+
+    # -- estimates -------------------------------------------------------------
+
+    def estimate_local_ms(self, method_name: str) -> float:
+        """Expected local execution time from the device profile."""
+        method = self.registry.get(method_name)
+        return self.device.local_execution_time_ms(method.work_units)
+
+    def estimate_remote_ms(self, method_name: str) -> float:
+        """Expected remote response time (cloud + network + routing)."""
+        method = self.registry.get(method_name)
+        cloud_ms = self.target_instance.profile.service_time_ms(
+            method.work_units, self.expected_concurrency
+        )
+        return cloud_ms + self.expected_rtt_ms + self.routing_overhead_ms
+
+    def _energy_allows_offloading(self, method_name: str, remote_ms: float) -> bool:
+        if self.energy_model is None or not self.require_energy_saving:
+            return True
+        method = self.registry.get(method_name)
+        # The energy model works on OffloadableTask-like objects; only the
+        # work_units attribute is needed, which OffloadableMethod also has.
+        return self.energy_model.offload_energy_joules(remote_ms) < self.energy_model.local_energy_joules(
+            self.device, method  # type: ignore[arg-type]
+        )
+
+    # -- execution ---------------------------------------------------------------
+
+    def invoke(
+        self,
+        method_name: str,
+        *args: Any,
+        app_metadata: Optional[Mapping[str, Any]] = None,
+        force: Optional[str] = None,
+        **kwargs: Any,
+    ) -> OffloadingReport:
+        """Execute one offloadable invocation, locally or on the surrogate.
+
+        ``force`` overrides the decision with ``"local"`` or ``"remote"``
+        (useful for measurements); otherwise the Section II-A rule applies.
+        """
+        if force not in (None, "local", "remote"):
+            raise ValueError(f"force must be None, 'local' or 'remote', got {force!r}")
+        state = ApplicationState(
+            method_name=method_name,
+            args=args,
+            kwargs=kwargs,
+            app_metadata=app_metadata or {},
+        )
+        local_ms = self.estimate_local_ms(method_name)
+        remote_ms = self.estimate_remote_ms(method_name)
+
+        if force == "local":
+            offload, reason = False, "forced local"
+        elif force == "remote":
+            offload, reason = True, "forced remote"
+        elif remote_ms >= local_ms:
+            offload, reason = False, (
+                f"local execution expected faster ({local_ms:.0f} ms <= {remote_ms:.0f} ms)"
+            )
+        elif not self._energy_allows_offloading(method_name, remote_ms):
+            offload, reason = False, "offloading would cost more energy than it saves"
+        else:
+            offload, reason = True, (
+                f"remote execution expected faster ({remote_ms:.0f} ms < {local_ms:.0f} ms)"
+            )
+
+        if offload:
+            payload = serialize_state(state)
+            execution = self.surrogate.execute_payload(payload)
+            self.offloaded_count += 1
+            payload_bytes = len(payload)
+        else:
+            execution = self.local_runtime.execute(state)
+            self.local_count += 1
+            payload_bytes = payload_size_bytes(state)
+
+        return OffloadingReport(
+            state=state,
+            offloaded=offload,
+            reason=reason,
+            estimated_local_ms=local_ms,
+            estimated_remote_ms=remote_ms,
+            payload_bytes=payload_bytes,
+            execution=execution,
+        )

@@ -1,0 +1,182 @@
+"""Method registry and runtimes for homogeneous offloading.
+
+The paper offloads code at *method level* (assumption (b) of Section IV): a
+method annotated as offloadable exists identically on the mobile device and on
+the cloud surrogate.  Here that is modelled by a :class:`MethodRegistry` of
+named Python callables shared (by construction) between the
+:class:`LocalRuntime` (the device) and the :class:`SurrogateRuntime` (the
+Dalvik-x86 stand-in): both execute *the same registered functions*, the only
+difference being where the invocation's application state lives and how long
+the execution is modelled to take.
+
+The surrogate mimics the paper's per-request ``dalvikvm`` process model: each
+handled invocation gets a fresh execution context identified by a process id,
+so problematic requests can be inspected individually (Section V).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.offloading.state import ApplicationState, deserialize_state, serialize_state
+
+
+@dataclass(frozen=True)
+class OffloadableMethod:
+    """One method that may be executed locally or on the surrogate."""
+
+    name: str
+    function: Callable[..., Any]
+    work_units: float
+    payload_hint_bytes: int = 1024
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("method name must be non-empty")
+        if not callable(self.function):
+            raise TypeError("function must be callable")
+        if self.work_units <= 0:
+            raise ValueError(f"work_units must be positive, got {self.work_units}")
+        if self.payload_hint_bytes < 0:
+            raise ValueError(f"payload_hint_bytes must be >= 0, got {self.payload_hint_bytes}")
+
+
+class MethodRegistry:
+    """The set of offloadable methods shared by device and surrogate."""
+
+    def __init__(self) -> None:
+        self._methods: Dict[str, OffloadableMethod] = {}
+
+    def __len__(self) -> int:
+        return len(self._methods)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._methods
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(self._methods)
+
+    def register(
+        self,
+        name: str,
+        function: Callable[..., Any],
+        *,
+        work_units: float,
+        payload_hint_bytes: int = 1024,
+    ) -> OffloadableMethod:
+        """Register a method; re-registering an existing name is an error."""
+        if name in self._methods:
+            raise ValueError(f"method {name!r} is already registered")
+        method = OffloadableMethod(
+            name=name,
+            function=function,
+            work_units=work_units,
+            payload_hint_bytes=payload_hint_bytes,
+        )
+        self._methods[name] = method
+        return method
+
+    def offloadable(self, name: str, *, work_units: float, payload_hint_bytes: int = 1024):
+        """Decorator form of :meth:`register`.
+
+        >>> registry = MethodRegistry()
+        >>> @registry.offloadable("double", work_units=10)
+        ... def double(x):
+        ...     return 2 * x
+        >>> registry.get("double").function(21)
+        42
+        """
+
+        def decorator(function: Callable[..., Any]) -> Callable[..., Any]:
+            self.register(
+                name, function, work_units=work_units, payload_hint_bytes=payload_hint_bytes
+            )
+            return function
+
+        return decorator
+
+    def get(self, name: str) -> OffloadableMethod:
+        try:
+            return self._methods[name]
+        except KeyError:
+            raise KeyError(
+                f"method {name!r} is not registered; known methods: {self.names}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of executing one invocation on either runtime."""
+
+    method_name: str
+    value: Any
+    where: str
+    wall_time_ms: float
+    process_id: Optional[int] = None
+    payload_bytes: int = 0
+
+
+class LocalRuntime:
+    """Executes registered methods on the device itself."""
+
+    def __init__(self, registry: MethodRegistry) -> None:
+        self.registry = registry
+        self.executions = 0
+
+    def execute(self, state: ApplicationState) -> ExecutionResult:
+        """Run the invocation locally (no serialization round trip needed)."""
+        method = self.registry.get(state.method_name)
+        started = time.perf_counter()
+        value = method.function(*state.args, **state.kwargs)
+        elapsed_ms = 1000.0 * (time.perf_counter() - started)
+        self.executions += 1
+        return ExecutionResult(
+            method_name=state.method_name,
+            value=value,
+            where="local",
+            wall_time_ms=elapsed_ms,
+        )
+
+
+class SurrogateRuntime:
+    """The cloud-side runtime: reconstructs transferred state and executes it.
+
+    This is the reproduction's stand-in for the paper's Dalvik-x86 surrogate:
+    the same registered methods as the device (homogeneous model), one fresh
+    "process" per handled request, and a log of handled process ids for
+    troubleshooting.
+    """
+
+    def __init__(self, registry: MethodRegistry, *, instance_type_name: str = "t2.nano") -> None:
+        self.registry = registry
+        self.instance_type_name = instance_type_name
+        self._process_ids = itertools.count(1)
+        self.handled_processes: List[int] = []
+
+    def execute_payload(self, payload: bytes) -> ExecutionResult:
+        """Reconstruct the application state from ``payload`` and execute it."""
+        state = deserialize_state(payload)
+        return self.execute(state, payload_bytes=len(payload))
+
+    def execute(self, state: ApplicationState, *, payload_bytes: Optional[int] = None) -> ExecutionResult:
+        """Execute an (already reconstructed) invocation in a fresh process."""
+        method = self.registry.get(state.method_name)
+        process_id = next(self._process_ids)
+        if payload_bytes is None:
+            payload_bytes = len(serialize_state(state))
+        started = time.perf_counter()
+        value = method.function(*state.args, **state.kwargs)
+        elapsed_ms = 1000.0 * (time.perf_counter() - started)
+        self.handled_processes.append(process_id)
+        return ExecutionResult(
+            method_name=state.method_name,
+            value=value,
+            where=f"surrogate:{self.instance_type_name}",
+            wall_time_ms=elapsed_ms,
+            process_id=process_id,
+            payload_bytes=payload_bytes,
+        )

@@ -1,0 +1,85 @@
+"""Application state capture and serialization.
+
+In the homogeneous model "the same RE in the mobile and server ... is
+necessary to encapsulate the application state (AS) in the mobile, such that
+AS can be transferred in the network and reconstructed in the cloud to execute
+the task" (Section II-A).  Here the application state of one method invocation
+is the method's registered name, its positional/keyword arguments and a small
+application-metadata dict; it is serialized to JSON so the payload size the
+network model charges for is a real number of bytes.
+
+Only JSON-representable arguments are supported — which is also a realistic
+constraint: state that cannot be marshalled cannot be offloaded.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+
+class StateSerializationError(ValueError):
+    """Raised when an invocation's state cannot be marshalled for transfer."""
+
+
+@dataclass(frozen=True)
+class ApplicationState:
+    """The transferable state of one offloadable method invocation."""
+
+    method_name: str
+    args: Tuple[Any, ...] = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    app_metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.method_name:
+            raise ValueError("method_name must be non-empty")
+        object.__setattr__(self, "args", tuple(self.args))
+        object.__setattr__(self, "kwargs", dict(self.kwargs))
+        object.__setattr__(self, "app_metadata", dict(self.app_metadata))
+
+
+def serialize_state(state: ApplicationState) -> bytes:
+    """Serialize the application state to a compact JSON payload.
+
+    Raises
+    ------
+    StateSerializationError
+        If any argument is not JSON-representable (the state cannot be
+        reconstructed by the remote runtime).
+    """
+    document = {
+        "method": state.method_name,
+        "args": list(state.args),
+        "kwargs": dict(state.kwargs),
+        "app": dict(state.app_metadata),
+    }
+    try:
+        return json.dumps(document, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise StateSerializationError(
+            f"application state of {state.method_name!r} is not serializable: {error}"
+        ) from error
+
+
+def deserialize_state(payload: bytes) -> ApplicationState:
+    """Reconstruct the application state from a serialized payload."""
+    try:
+        document = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise StateSerializationError(f"malformed application-state payload: {error}") from error
+    for key in ("method", "args", "kwargs", "app"):
+        if key not in document:
+            raise StateSerializationError(f"application-state payload is missing {key!r}")
+    return ApplicationState(
+        method_name=document["method"],
+        args=tuple(document["args"]),
+        kwargs=dict(document["kwargs"]),
+        app_metadata=dict(document["app"]),
+    )
+
+
+def payload_size_bytes(state: ApplicationState) -> int:
+    """Size of the serialized state — what the network model charges for."""
+    return len(serialize_state(state))

@@ -1,0 +1,43 @@
+"""SDN-accelerator front-end.
+
+The SDN-accelerator is the gateway of Fig. 2: it receives the offloading
+workload, determines the level of acceleration each request needs and routes
+it to the corresponding group of back-end instances, logging every processed
+request.
+
+* :mod:`repro.sdn.accelerator` — the front-end itself: the Request Handler
+  entry point, the Code Offloader routing step (with its ≈150 ms overhead,
+  Fig. 8a), trace logging and per-request response-time accounting.
+* :mod:`repro.sdn.autoscaler` — the control loop that, at the end of every
+  provisioning period, feeds the trace log to the
+  :class:`~repro.core.model.AdaptiveModel` and re-provisions the back-end to
+  the returned allocation plan.
+* :mod:`repro.sdn.flowtable` — the software-defined match-action layer: flow
+  rules mapping users (or whole device classes) to acceleration groups, and
+  the controller that installs rules on promotions and administrator
+  overrides.
+"""
+
+from repro.sdn.accelerator import RequestRecord, RoutingPolicy, SDNAccelerator
+from repro.sdn.autoscaler import Autoscaler, ReactiveAutoscaler, ScalingAction
+from repro.sdn.flowtable import (
+    FlowController,
+    FlowMatch,
+    FlowRule,
+    FlowTable,
+    FlowTableRouting,
+)
+
+__all__ = [
+    "Autoscaler",
+    "FlowController",
+    "FlowMatch",
+    "FlowRule",
+    "FlowTable",
+    "FlowTableRouting",
+    "ReactiveAutoscaler",
+    "RequestRecord",
+    "RoutingPolicy",
+    "SDNAccelerator",
+    "ScalingAction",
+]

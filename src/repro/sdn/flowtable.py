@@ -1,0 +1,204 @@
+"""Software-defined flow table: match-action rules for code acceleration.
+
+The paper frames the accelerator as a *software-defined* component: "by using
+SDN, no extra instrumentation nor modification in software is required to tune
+the response time of an application" (Section VIII).  This module makes that
+explicit with the classic SDN abstractions:
+
+* a :class:`FlowRule` matches offloading traffic (by user, by device class, or
+  any traffic) and carries the action "route to acceleration group g";
+* a :class:`FlowTable` holds prioritised rules and resolves the group for an
+  incoming request;
+* a :class:`FlowController` is the control-plane: it installs per-user rules
+  when the client-side moderator reports a promotion, and can install
+  administrator overrides ("everyone on this app gets at least level 2" — the
+  minimum-acceleration-as-a-service knob of Section IV-C1).
+
+:class:`FlowTableRouting` adapts a flow table to the
+:class:`~repro.sdn.accelerator.RoutingPolicy` interface so the SDN-accelerator
+can be driven entirely by flow rules instead of by the per-request
+``acceleration_group`` field.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cloud.backend import BackendPool
+
+
+@dataclass(frozen=True)
+class FlowMatch:
+    """Match fields of a flow rule.
+
+    ``None`` fields are wildcards.  A rule with both fields ``None`` matches
+    every request (a table-miss / default rule).
+    """
+
+    user_id: Optional[int] = None
+    device_class: Optional[str] = None
+
+    def matches(self, user_id: int, device_class: Optional[str] = None) -> bool:
+        """Whether this match covers the given request attributes."""
+        if self.user_id is not None and self.user_id != user_id:
+            return False
+        if self.device_class is not None and self.device_class != device_class:
+            return False
+        return True
+
+    @property
+    def specificity(self) -> int:
+        """Number of non-wildcard fields (used to break priority ties)."""
+        return int(self.user_id is not None) + int(self.device_class is not None)
+
+
+@dataclass(frozen=True)
+class FlowRule:
+    """One match-action entry: route matching traffic to an acceleration group."""
+
+    rule_id: int
+    match: FlowMatch
+    acceleration_group: int
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.acceleration_group < 0:
+            raise ValueError(
+                f"acceleration_group must be >= 0, got {self.acceleration_group}"
+            )
+
+
+class FlowTable:
+    """A prioritised table of flow rules with a default action."""
+
+    def __init__(self, default_group: int = 0) -> None:
+        if default_group < 0:
+            raise ValueError(f"default_group must be >= 0, got {default_group}")
+        self.default_group = default_group
+        self._rules: Dict[int, FlowRule] = {}
+        self._rule_ids = itertools.count()
+        self.lookups = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    @property
+    def rules(self) -> List[FlowRule]:
+        """All installed rules, highest priority (then most specific) first."""
+        return sorted(
+            self._rules.values(),
+            key=lambda rule: (-rule.priority, -rule.match.specificity, rule.rule_id),
+        )
+
+    def install(self, match: FlowMatch, acceleration_group: int, priority: int = 0) -> FlowRule:
+        """Install a rule and return it."""
+        rule = FlowRule(
+            rule_id=next(self._rule_ids),
+            match=match,
+            acceleration_group=acceleration_group,
+            priority=priority,
+        )
+        self._rules[rule.rule_id] = rule
+        return rule
+
+    def remove(self, rule_id: int) -> None:
+        """Remove a rule by id."""
+        if rule_id not in self._rules:
+            raise KeyError(f"no flow rule with id {rule_id}")
+        del self._rules[rule_id]
+
+    def remove_user_rules(self, user_id: int) -> int:
+        """Remove every rule that matches exactly this user; returns the count."""
+        to_remove = [
+            rule.rule_id for rule in self._rules.values() if rule.match.user_id == user_id
+        ]
+        for rule_id in to_remove:
+            del self._rules[rule_id]
+        return len(to_remove)
+
+    def lookup(self, user_id: int, device_class: Optional[str] = None) -> int:
+        """Resolve the acceleration group for a request (table-miss -> default)."""
+        self.lookups += 1
+        for rule in self.rules:
+            if rule.match.matches(user_id, device_class):
+                return rule.acceleration_group
+        self.misses += 1
+        return self.default_group
+
+    def rule_for_user(self, user_id: int) -> Optional[FlowRule]:
+        """The highest-priority exact-user rule for ``user_id``, if any."""
+        user_rules = [rule for rule in self.rules if rule.match.user_id == user_id]
+        return user_rules[0] if user_rules else None
+
+
+class FlowController:
+    """The control-plane that keeps the flow table in sync with promotions."""
+
+    def __init__(self, table: FlowTable, *, max_group: int) -> None:
+        if max_group < 0:
+            raise ValueError(f"max_group must be >= 0, got {max_group}")
+        self.table = table
+        self.max_group = max_group
+        self.promotions_installed = 0
+
+    def set_minimum_level(self, level: int, priority: int = -1) -> FlowRule:
+        """Install/replace the administrator's minimum acceleration level.
+
+        The rule matches all traffic at a low priority, so per-user promotion
+        rules still override it — this is the "minimum level of code
+        acceleration provisioned in an as-a-service fashion" of Section IV-C1.
+        """
+        if not 0 <= level <= self.max_group:
+            raise ValueError(f"level must be in [0, {self.max_group}], got {level}")
+        # Replace any previous wildcard rule at the same priority.
+        for rule in list(self.table.rules):
+            if rule.match.user_id is None and rule.match.device_class is None and rule.priority == priority:
+                self.table.remove(rule.rule_id)
+        return self.table.install(FlowMatch(), level, priority=priority)
+
+    def on_promotion(self, user_id: int, new_group: int) -> FlowRule:
+        """Install the per-user rule reflecting a client-side promotion."""
+        if not 0 <= new_group <= self.max_group:
+            raise ValueError(f"new_group must be in [0, {self.max_group}], got {new_group}")
+        existing = self.table.rule_for_user(user_id)
+        if existing is not None and existing.acceleration_group >= new_group:
+            return existing
+        self.table.remove_user_rules(user_id)
+        self.promotions_installed += 1
+        return self.table.install(FlowMatch(user_id=user_id), new_group, priority=10)
+
+    def group_for(self, user_id: int, device_class: Optional[str] = None) -> int:
+        """Resolve a request through the table (data-plane lookup)."""
+        return self.table.lookup(user_id, device_class)
+
+
+class FlowTableRouting:
+    """A :class:`~repro.sdn.accelerator.RoutingPolicy` backed by a flow table.
+
+    The requested group carried by the device is treated as a *hint*: the flow
+    table's decision wins, but the result is still clamped to the groups that
+    actually have capacity in the back-end pool.
+    """
+
+    def __init__(self, controller: FlowController) -> None:
+        self.controller = controller
+        self._last_user: Optional[int] = None
+
+    def route(self, requested_group: int, pool: BackendPool, rng: np.random.Generator) -> int:
+        user_id = self._last_user if self._last_user is not None else -1
+        table_group = self.controller.group_for(user_id)
+        return pool.clamp_level(max(table_group, requested_group))
+
+    def observe_user(self, user_id: int) -> None:
+        """Record the user of the request about to be routed.
+
+        The :class:`~repro.sdn.accelerator.RoutingPolicy` interface only passes
+        the requested group, so callers that want per-user flow-table routing
+        set the user here immediately before submitting.
+        """
+        self._last_user = user_id

@@ -1,0 +1,133 @@
+"""Discrete-event simulation engine.
+
+The engine owns a priority queue of :class:`Event` objects and the simulation
+clock.  Components schedule callbacks at absolute or relative simulated times;
+the engine pops events in time order, advances the clock, and invokes the
+callbacks.  Callbacks may schedule further events.
+
+The engine is intentionally minimal: there is no co-routine/process machinery,
+only callbacks, which keeps the control flow explicit and easy to test.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.simulation.clock import SimulationClock
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(time_ms, sequence)`` so that events scheduled for the
+    same instant fire in the order they were scheduled (FIFO tie-break), which
+    keeps runs deterministic.
+    """
+
+    time_ms: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class SimulationEngine:
+    """A deterministic discrete-event loop with a millisecond clock."""
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        self.clock = SimulationClock(start_ms)
+        self._queue: list[Event] = []
+        self._sequence = itertools.count()
+        self._processed_events = 0
+        self._running = False
+
+    @property
+    def now_ms(self) -> float:
+        """Current simulation time in milliseconds."""
+        return self.clock.now_ms
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed_events
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule_at(self, time_ms: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute simulated time ``time_ms``."""
+        if time_ms < self.clock.now_ms:
+            raise ValueError(
+                f"cannot schedule event in the past: now={self.clock.now_ms} "
+                f"requested={time_ms} label={label!r}"
+            )
+        event = Event(
+            time_ms=float(time_ms),
+            sequence=next(self._sequence),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(self, delay_ms: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` after ``delay_ms`` simulated milliseconds."""
+        if delay_ms < 0:
+            raise ValueError(f"delay must be non-negative, got {delay_ms}")
+        return self.schedule_at(self.clock.now_ms + delay_ms, callback, label)
+
+    def run(self, until_ms: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until_ms:
+            Stop once the next event would fire strictly after this time.  The
+            clock is advanced to ``until_ms`` when the horizon is reached so
+            that time-based reporting covers the full interval.  ``None`` runs
+            until the queue drains.
+        max_events:
+            Optional safety limit on the number of events to execute.
+
+        Returns
+        -------
+        int
+            The number of events executed by this call.
+        """
+        executed = 0
+        self._running = True
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                event = self._queue[0]
+                if until_ms is not None and event.time_ms > until_ms:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self.clock.advance_to(event.time_ms)
+                event.callback()
+                executed += 1
+                self._processed_events += 1
+        finally:
+            self._running = False
+        if until_ms is not None and until_ms > self.clock.now_ms:
+            self.clock.advance_to(until_ms)
+        return executed
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationEngine(now_ms={self.clock.now_ms:.1f}, "
+            f"pending={len(self._queue)}, processed={self._processed_events})"
+        )

@@ -1,0 +1,207 @@
+"""Queueing primitives used by the cloud-instance server model.
+
+Two primitives are provided:
+
+* :class:`FifoQueue` — a bounded FIFO admission queue.  Requests that arrive
+  when the queue is full are dropped; the drop counter is what produces the
+  success/fail split of Fig. 8c.
+* :class:`ProcessorSharingServer` — an egalitarian processor-sharing service
+  model.  All admitted jobs share the server's total service rate equally,
+  which reproduces the characteristic response-time growth with concurrency of
+  Fig. 4: doubling the number of concurrent users roughly doubles the response
+  time once the server's parallelism is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+
+class ServerBusyError(RuntimeError):
+    """Raised when a job is submitted to a server that cannot admit it."""
+
+
+@dataclass
+class _Job:
+    job_id: int
+    remaining_work: float
+    submitted_at_ms: float
+    on_complete: Callable[[float], None]
+
+
+class FifoQueue:
+    """A bounded FIFO queue with drop accounting."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 0:
+            raise ValueError(f"queue capacity must be non-negative, got {capacity}")
+        self._capacity = capacity
+        self._items: List[object] = []
+        self.dropped = 0
+        self.accepted = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def capacity(self) -> Optional[int]:
+        return self._capacity
+
+    def offer(self, item: object) -> bool:
+        """Add ``item`` if there is room; return whether it was accepted."""
+        if self._capacity is not None and len(self._items) >= self._capacity:
+            self.dropped += 1
+            return False
+        self._items.append(item)
+        self.accepted += 1
+        return True
+
+    def poll(self) -> Optional[object]:
+        """Remove and return the oldest item, or ``None`` when empty."""
+        if not self._items:
+            return None
+        return self._items.pop(0)
+
+    def peek(self) -> Optional[object]:
+        """Return the oldest item without removing it."""
+        if not self._items:
+            return None
+        return self._items[0]
+
+
+class ProcessorSharingServer:
+    """An egalitarian processor-sharing server driven by a simulation engine.
+
+    The server has a total service rate expressed in *work units per
+    millisecond* and a parallelism width.  While the number of in-service jobs
+    is at most the parallelism width each job receives the full per-core rate;
+    beyond that, the total rate is shared equally among all in-service jobs.
+
+    Completion times are recomputed whenever the job population changes, by
+    cancelling and re-scheduling the next-completion event.  This yields an
+    exact processor-sharing trajectory under piecewise-constant sharing.
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        service_rate_per_core: float,
+        cores: int,
+        max_concurrency: Optional[int] = None,
+        name: str = "server",
+    ) -> None:
+        if service_rate_per_core <= 0:
+            raise ValueError(f"service rate must be positive, got {service_rate_per_core}")
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
+        self._engine = engine
+        self._rate_per_core = float(service_rate_per_core)
+        self._cores = int(cores)
+        self._max_concurrency = max_concurrency
+        self.name = name
+        self._jobs: Dict[int, _Job] = {}
+        self._next_job_id = 0
+        self._last_update_ms = engine.now_ms
+        self._completion_event = None
+        self.completed_jobs = 0
+        self.rejected_jobs = 0
+        self.busy_time_ms = 0.0
+
+    @property
+    def in_service(self) -> int:
+        """Number of jobs currently being served."""
+        return len(self._jobs)
+
+    @property
+    def cores(self) -> int:
+        return self._cores
+
+    @property
+    def max_concurrency(self) -> Optional[int]:
+        return self._max_concurrency
+
+    def per_job_rate(self, population: Optional[int] = None) -> float:
+        """Service rate each job receives for a given population size."""
+        population = self.in_service if population is None else population
+        if population <= 0:
+            return self._rate_per_core
+        if population <= self._cores:
+            return self._rate_per_core
+        return self._rate_per_core * self._cores / population
+
+    def submit(self, work_units: float, on_complete: Callable[[float], None]) -> int:
+        """Submit a job of ``work_units`` of work.
+
+        ``on_complete`` is invoked with the job's sojourn time (milliseconds)
+        when the job finishes.
+
+        Raises
+        ------
+        ServerBusyError
+            If the server's admission limit is reached.
+        """
+        if work_units <= 0:
+            raise ValueError(f"work_units must be positive, got {work_units}")
+        if self._max_concurrency is not None and len(self._jobs) >= self._max_concurrency:
+            self.rejected_jobs += 1
+            raise ServerBusyError(
+                f"server {self.name!r} at max concurrency {self._max_concurrency}"
+            )
+        self._drain_progress()
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        self._jobs[job_id] = _Job(
+            job_id=job_id,
+            remaining_work=float(work_units),
+            submitted_at_ms=self._engine.now_ms,
+            on_complete=on_complete,
+        )
+        self._reschedule_completion()
+        return job_id
+
+    def _drain_progress(self) -> None:
+        """Apply service progress accumulated since the last population change."""
+        now = self._engine.now_ms
+        elapsed = now - self._last_update_ms
+        self._last_update_ms = now
+        if elapsed <= 0 or not self._jobs:
+            return
+        rate = self.per_job_rate()
+        self.busy_time_ms += elapsed
+        for job in self._jobs.values():
+            job.remaining_work -= rate * elapsed
+
+    def _reschedule_completion(self) -> None:
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        if not self._jobs:
+            return
+        rate = self.per_job_rate()
+        next_job = min(self._jobs.values(), key=lambda job: job.remaining_work)
+        delay = max(next_job.remaining_work / rate, 0.0)
+        self._completion_event = self._engine.schedule_after(
+            delay, self._complete_next, label=f"{self.name}:complete"
+        )
+
+    def _complete_next(self) -> None:
+        self._drain_progress()
+        finished = [job for job in self._jobs.values() if job.remaining_work <= 1e-9]
+        if not finished:
+            # Numerical drift can leave the smallest job epsilon short; force
+            # completion of the minimum-work job to preserve progress.
+            finished = [min(self._jobs.values(), key=lambda job: job.remaining_work)]
+        for job in finished:
+            del self._jobs[job.job_id]
+            self.completed_jobs += 1
+            sojourn = self._engine.now_ms - job.submitted_at_ms
+            job.on_complete(sojourn)
+        self._reschedule_completion()
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessorSharingServer(name={self.name!r}, cores={self._cores}, "
+            f"in_service={self.in_service}, completed={self.completed_jobs})"
+        )

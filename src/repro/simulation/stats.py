@@ -1,0 +1,176 @@
+"""Online statistics and time-series collection helpers.
+
+Evaluation figures in the paper report means, standard deviations, medians and
+interpercentile ranges of response times.  These helpers collect such summary
+statistics from simulated observations without storing more than necessary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+class OnlineStatistics:
+    """Welford-style online mean/variance with min/max tracking."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._minimum = math.inf
+        self._maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Incorporate a single observation."""
+        value = float(value)
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._minimum = min(self._minimum, value)
+        self._maximum = max(self._maximum, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Incorporate many observations."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValueError("no observations recorded")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observations."""
+        if self._count == 0:
+            raise ValueError("no observations recorded")
+        return self._m2 / self._count
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of the observations."""
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        if self._count == 0:
+            raise ValueError("no observations recorded")
+        return self._minimum
+
+    @property
+    def maximum(self) -> float:
+        if self._count == 0:
+            raise ValueError("no observations recorded")
+        return self._maximum
+
+    def merge(self, other: "OnlineStatistics") -> "OnlineStatistics":
+        """Return a new accumulator combining both sets of observations."""
+        merged = OnlineStatistics()
+        if self._count == 0:
+            merged._count = other._count
+            merged._mean = other._mean
+            merged._m2 = other._m2
+            merged._minimum = other._minimum
+            merged._maximum = other._maximum
+            return merged
+        if other._count == 0:
+            merged._count = self._count
+            merged._mean = self._mean
+            merged._m2 = self._m2
+            merged._minimum = self._minimum
+            merged._maximum = self._maximum
+            return merged
+        count = self._count + other._count
+        delta = other._mean - self._mean
+        merged._count = count
+        merged._mean = self._mean + delta * other._count / count
+        merged._m2 = self._m2 + other._m2 + delta * delta * self._count * other._count / count
+        merged._minimum = min(self._minimum, other._minimum)
+        merged._maximum = max(self._maximum, other._maximum)
+        return merged
+
+    def __repr__(self) -> str:
+        if self._count == 0:
+            return "OnlineStatistics(empty)"
+        return (
+            f"OnlineStatistics(count={self._count}, mean={self._mean:.3f}, "
+            f"std={self.std:.3f}, min={self._minimum:.3f}, max={self._maximum:.3f})"
+        )
+
+
+@dataclass
+class TimeSeries:
+    """A simple (time, value) series with convenience reductions."""
+
+    name: str = ""
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def add(self, time: float, value: float) -> None:
+        """Append an observation; times must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"time series {self.name!r} requires non-decreasing times: "
+                f"{time} after {self.times[-1]}"
+            )
+        self.times.append(float(time))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """Return the sub-series with ``start <= time < end``."""
+        selected = TimeSeries(name=self.name)
+        for time, value in zip(self.times, self.values):
+            if start <= time < end:
+                selected.add(time, value)
+        return selected
+
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return float(np.mean(self.values))
+
+    def std(self) -> float:
+        if not self.values:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return float(np.std(self.values))
+
+    def as_arrays(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Return ``(times, values)`` as numpy arrays."""
+        return np.asarray(self.times, dtype=float), np.asarray(self.values, dtype=float)
+
+
+def percentile_summary(
+    values: Sequence[float],
+    percentiles: Sequence[float] = (5.0, 25.0, 50.0, 75.0, 95.0),
+) -> Dict[str, float]:
+    """Summarise ``values`` into mean, std and the requested percentiles.
+
+    This is the summary used to describe the interpercentile ranges shown in
+    Fig. 4 of the paper.
+    """
+    if len(values) == 0:
+        raise ValueError("cannot summarise an empty collection")
+    array = np.asarray(values, dtype=float)
+    summary: Dict[str, float] = {
+        "count": float(array.size),
+        "mean": float(array.mean()),
+        "std": float(array.std()),
+        "min": float(array.min()),
+        "max": float(array.max()),
+    }
+    for percentile in percentiles:
+        summary[f"p{percentile:g}"] = float(np.percentile(array, percentile))
+    return summary

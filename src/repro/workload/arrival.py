@@ -1,0 +1,145 @@
+"""Arrival processes.
+
+The paper's simulator drives its inter-arrival mode with either a fixed
+inter-arrival time, a doubling arrival rate (Fig. 8b: 1 Hz to 1024 Hz), or a
+realistic time-varying inter-arrival distribution extracted from the
+smartphone usage study (100–5000 ms between requests).  These classes provide
+the corresponding arrival-time generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+
+class ArrivalProcess:
+    """Base class: an iterator of inter-arrival gaps in milliseconds."""
+
+    def next_gap_ms(self, rng: np.random.Generator) -> float:
+        """Return the next inter-arrival gap in milliseconds."""
+        raise NotImplementedError
+
+    def arrival_times_ms(
+        self,
+        rng: np.random.Generator,
+        *,
+        start_ms: float,
+        end_ms: float,
+        max_arrivals: Optional[int] = None,
+    ) -> List[float]:
+        """Generate absolute arrival times in ``[start_ms, end_ms)``."""
+        if end_ms < start_ms:
+            raise ValueError(f"end_ms {end_ms} before start_ms {start_ms}")
+        times: List[float] = []
+        now = start_ms
+        while True:
+            gap = self.next_gap_ms(rng)
+            if gap < 0:
+                raise ValueError(f"arrival process produced a negative gap: {gap}")
+            now += gap
+            if now >= end_ms:
+                break
+            times.append(now)
+            if max_arrivals is not None and len(times) >= max_arrivals:
+                break
+        return times
+
+
+@dataclass
+class FixedRateArrivalProcess(ArrivalProcess):
+    """Deterministic arrivals at a constant rate (used for the Fig. 8 sweeps)."""
+
+    rate_hz: float
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ValueError(f"rate_hz must be positive, got {self.rate_hz}")
+
+    def next_gap_ms(self, rng: np.random.Generator) -> float:
+        return 1000.0 / self.rate_hz
+
+
+@dataclass
+class PoissonArrivalProcess(ArrivalProcess):
+    """Memoryless arrivals with exponential inter-arrival gaps."""
+
+    rate_hz: float
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ValueError(f"rate_hz must be positive, got {self.rate_hz}")
+
+    def next_gap_ms(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(1000.0 / self.rate_hz))
+
+
+@dataclass
+class EmpiricalArrivalProcess(ArrivalProcess):
+    """Arrivals drawn from an empirical set of inter-arrival gaps.
+
+    This is how the smartphone usage study feeds the simulator: the observed
+    gaps (100–5000 ms, night gaps removed) are resampled with replacement.
+    """
+
+    gaps_ms: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.gaps_ms) == 0:
+            raise ValueError("gaps_ms must be non-empty")
+        if any(gap < 0 for gap in self.gaps_ms):
+            raise ValueError("gaps_ms must all be non-negative")
+
+    def next_gap_ms(self, rng: np.random.Generator) -> float:
+        index = int(rng.integers(0, len(self.gaps_ms)))
+        return float(self.gaps_ms[index])
+
+
+@dataclass
+class UniformArrivalProcess(ArrivalProcess):
+    """Arrivals with gaps uniform in ``[low_ms, high_ms]``.
+
+    Matches the paper's summary of the usage study: "an inter-arrival rate
+    between (100-5000) milliseconds".
+    """
+
+    low_ms: float = 100.0
+    high_ms: float = 5000.0
+
+    def __post_init__(self) -> None:
+        if self.low_ms < 0:
+            raise ValueError(f"low_ms must be >= 0, got {self.low_ms}")
+        if self.high_ms < self.low_ms:
+            raise ValueError(f"high_ms {self.high_ms} < low_ms {self.low_ms}")
+
+    def next_gap_ms(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low_ms, self.high_ms))
+
+
+def doubling_rate_schedule(
+    *,
+    initial_rate_hz: float = 1.0,
+    final_rate_hz: float = 1024.0,
+    step_duration_ms: float = 5 * 60 * 1000.0,
+) -> List[tuple]:
+    """The Fig. 8b arrival-rate schedule: the rate doubles every step.
+
+    Returns a list of ``(start_ms, end_ms, rate_hz)`` segments starting at
+    time zero.
+    """
+    if initial_rate_hz <= 0 or final_rate_hz < initial_rate_hz:
+        raise ValueError(
+            f"need 0 < initial_rate_hz <= final_rate_hz, got {initial_rate_hz}, {final_rate_hz}"
+        )
+    if step_duration_ms <= 0:
+        raise ValueError(f"step_duration_ms must be positive, got {step_duration_ms}")
+    segments: List[tuple] = []
+    rate = initial_rate_hz
+    start = 0.0
+    while rate <= final_rate_hz:
+        segments.append((start, start + step_duration_ms, rate))
+        start += step_duration_ms
+        rate *= 2.0
+    return segments

@@ -1,0 +1,205 @@
+"""Workload generators: the two operational modes of the paper's simulator.
+
+Section V of the paper describes a simulator with two modes:
+
+* **concurrent mode** — "the simulator creates n concurrent threads that
+  offload a random computational task loaded from a pool of common
+  algorithms"; each thread represents one mobile device.  This mode is used
+  to benchmark the cloud instances (Fig. 4–7).
+* **inter-arrival rate mode** — "the simulator takes as parameters the number
+  of devices (workload), the inter-arrival time between offloading requests
+  and the time that the workload is active", producing a realistic
+  time-varying workload (Fig. 8–10).
+
+Both modes here produce plain :class:`WorkloadRequest` records (arrival time,
+user, task, work), which the experiments feed either into the analytic
+performance model or into the discrete-event simulation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.mobile.tasks import OffloadableTask, TaskPool
+from repro.workload.arrival import ArrivalProcess
+from repro.simulation.clock import MILLISECONDS_PER_MINUTE
+
+
+@dataclass(frozen=True)
+class WorkloadRequest:
+    """One offloading request to be injected into the system."""
+
+    request_id: int
+    user_id: int
+    task_name: str
+    work_units: float
+    arrival_ms: float
+
+    def __post_init__(self) -> None:
+        if self.work_units <= 0:
+            raise ValueError(f"work_units must be positive, got {self.work_units}")
+        if self.arrival_ms < 0:
+            raise ValueError(f"arrival_ms must be >= 0, got {self.arrival_ms}")
+
+
+class ConcurrentWorkloadGenerator:
+    """Concurrent-mode workload: bursts of simultaneous offloads.
+
+    Each *round* injects one request per simulated device at (almost) the same
+    instant; rounds are separated by ``round_gap_ms`` (the paper uses a
+    1-minute inter-arrival between stress rounds to let the server cool
+    down).
+    """
+
+    def __init__(
+        self,
+        task_pool: TaskPool,
+        *,
+        rng: np.random.Generator,
+        round_gap_ms: float = MILLISECONDS_PER_MINUTE,
+        intra_round_jitter_ms: float = 5.0,
+        fixed_task: Optional[str] = None,
+    ) -> None:
+        if round_gap_ms <= 0:
+            raise ValueError(f"round_gap_ms must be positive, got {round_gap_ms}")
+        if intra_round_jitter_ms < 0:
+            raise ValueError(
+                f"intra_round_jitter_ms must be >= 0, got {intra_round_jitter_ms}"
+            )
+        self.task_pool = task_pool
+        self.round_gap_ms = round_gap_ms
+        self.intra_round_jitter_ms = intra_round_jitter_ms
+        self.fixed_task = fixed_task
+        self._rng = rng
+        self._request_ids = itertools.count()
+
+    def _pick_task(self) -> OffloadableTask:
+        if self.fixed_task is not None:
+            return self.task_pool.get(self.fixed_task)
+        return self.task_pool.sample(self._rng)
+
+    def generate_round(self, concurrent_users: int, start_ms: float = 0.0) -> List[WorkloadRequest]:
+        """One burst of ``concurrent_users`` near-simultaneous requests."""
+        if concurrent_users < 1:
+            raise ValueError(f"concurrent_users must be >= 1, got {concurrent_users}")
+        requests: List[WorkloadRequest] = []
+        for user_id in range(concurrent_users):
+            task = self._pick_task()
+            jitter = float(self._rng.uniform(0.0, self.intra_round_jitter_ms))
+            requests.append(
+                WorkloadRequest(
+                    request_id=next(self._request_ids),
+                    user_id=user_id,
+                    task_name=task.name,
+                    work_units=task.sample_work_units(self._rng),
+                    arrival_ms=start_ms + jitter,
+                )
+            )
+        return requests
+
+    def generate(
+        self,
+        concurrent_users: int,
+        *,
+        rounds: int,
+        start_ms: float = 0.0,
+    ) -> List[WorkloadRequest]:
+        """``rounds`` bursts of ``concurrent_users`` requests each."""
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        requests: List[WorkloadRequest] = []
+        for round_index in range(rounds):
+            round_start = start_ms + round_index * self.round_gap_ms
+            requests.extend(self.generate_round(concurrent_users, round_start))
+        return requests
+
+
+class InterArrivalWorkloadGenerator:
+    """Inter-arrival-mode workload: a stream of requests from a device population.
+
+    Requests arrive according to an :class:`~repro.workload.arrival.ArrivalProcess`
+    over ``[start_ms, end_ms)``; each request is attributed to a device drawn
+    uniformly from the population (the paper's simulator interleaves devices
+    the same way), and carries a random task from the pool unless
+    ``fixed_task`` pins it (the model evaluation uses the static minimax task
+    for every request).
+    """
+
+    def __init__(
+        self,
+        task_pool: TaskPool,
+        *,
+        rng: np.random.Generator,
+        fixed_task: Optional[str] = None,
+    ) -> None:
+        self.task_pool = task_pool
+        self.fixed_task = fixed_task
+        self._rng = rng
+        self._request_ids = itertools.count()
+
+    def _pick_task(self) -> OffloadableTask:
+        if self.fixed_task is not None:
+            return self.task_pool.get(self.fixed_task)
+        return self.task_pool.sample(self._rng)
+
+    def generate(
+        self,
+        *,
+        devices: int,
+        arrival_process: ArrivalProcess,
+        start_ms: float,
+        end_ms: float,
+        max_requests: Optional[int] = None,
+    ) -> List[WorkloadRequest]:
+        """Generate the request stream for one active period."""
+        if devices < 1:
+            raise ValueError(f"devices must be >= 1, got {devices}")
+        arrival_times = arrival_process.arrival_times_ms(
+            self._rng, start_ms=start_ms, end_ms=end_ms, max_arrivals=max_requests
+        )
+        requests: List[WorkloadRequest] = []
+        for arrival in arrival_times:
+            task = self._pick_task()
+            requests.append(
+                WorkloadRequest(
+                    request_id=next(self._request_ids),
+                    user_id=int(self._rng.integers(0, devices)),
+                    task_name=task.name,
+                    work_units=task.sample_work_units(self._rng),
+                    arrival_ms=arrival,
+                )
+            )
+        return requests
+
+    def generate_piecewise(
+        self,
+        *,
+        devices: int,
+        segments: Sequence[tuple],
+        process_factory,
+        max_requests: Optional[int] = None,
+    ) -> List[WorkloadRequest]:
+        """Generate a stream whose arrival rate changes per segment.
+
+        ``segments`` is a sequence of ``(start_ms, end_ms, rate_hz)`` tuples
+        (see :func:`repro.workload.arrival.doubling_rate_schedule`) and
+        ``process_factory`` maps a rate in Hz to an
+        :class:`~repro.workload.arrival.ArrivalProcess`.
+        """
+        requests: List[WorkloadRequest] = []
+        for start_ms, end_ms, rate_hz in segments:
+            process = process_factory(rate_hz)
+            requests.extend(
+                self.generate(
+                    devices=devices,
+                    arrival_process=process,
+                    start_ms=start_ms,
+                    end_ms=end_ms,
+                    max_requests=max_requests,
+                )
+            )
+        return requests

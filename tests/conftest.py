@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.catalog import DEFAULT_CATALOG
+from repro.mobile.tasks import build_default_task_pool
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.randomness import RandomStreams
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    """A deterministic random-stream factory."""
+    return RandomStreams(seed=1234)
+
+
+@pytest.fixture
+def rng(streams: RandomStreams) -> np.random.Generator:
+    """A deterministic generator for tests that need raw randomness."""
+    return streams.stream("tests")
+
+
+@pytest.fixture
+def engine() -> SimulationEngine:
+    """A fresh simulation engine starting at time zero."""
+    return SimulationEngine()
+
+
+@pytest.fixture
+def catalog():
+    """The default calibrated instance catalog."""
+    return DEFAULT_CATALOG
+
+
+@pytest.fixture
+def task_pool():
+    """A fresh copy of the default 10-task pool."""
+    return build_default_task_pool()

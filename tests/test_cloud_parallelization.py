@@ -1,0 +1,96 @@
+"""Tests for the code parallelization model (Section VII-1 extension)."""
+
+import pytest
+
+from repro.cloud.catalog import get_instance_type
+from repro.cloud.parallelization import (
+    ParallelizableTask,
+    optimal_worker_count,
+    parallel_execution_time_ms,
+    speedup_curve,
+)
+from repro.mobile.tasks import DEFAULT_TASK_POOL
+
+
+@pytest.fixture
+def minimax_parallel():
+    return ParallelizableTask(
+        task=DEFAULT_TASK_POOL.get("minimax"),
+        parallel_fraction=0.9,
+        split_overhead_ms=20.0,
+        merge_overhead_ms=15.0,
+    )
+
+
+@pytest.fixture
+def profile():
+    return get_instance_type("t2.large").profile
+
+
+class TestParallelizableTask:
+    def test_validation(self):
+        task = DEFAULT_TASK_POOL.get("minimax")
+        with pytest.raises(ValueError):
+            ParallelizableTask(task=task, parallel_fraction=1.5)
+        with pytest.raises(ValueError):
+            ParallelizableTask(task=task, split_overhead_ms=-1.0)
+
+    def test_coordination_overhead_grows_linearly(self, minimax_parallel):
+        assert minimax_parallel.coordination_overhead_ms(1) == 0.0
+        assert minimax_parallel.coordination_overhead_ms(3) == 2 * 35.0
+        with pytest.raises(ValueError):
+            minimax_parallel.coordination_overhead_ms(0)
+
+    def test_exposes_task_attributes(self, minimax_parallel):
+        assert minimax_parallel.name == "minimax"
+        assert minimax_parallel.work_units == 2000.0
+
+
+class TestParallelExecutionTime:
+    def test_single_worker_matches_profile(self, minimax_parallel, profile):
+        expected = profile.service_time_ms(minimax_parallel.work_units, 1)
+        assert parallel_execution_time_ms(minimax_parallel, profile, 1) == pytest.approx(expected)
+
+    def test_two_workers_beat_one_for_parallel_tasks(self, minimax_parallel, profile):
+        one = parallel_execution_time_ms(minimax_parallel, profile, 1)
+        two = parallel_execution_time_ms(minimax_parallel, profile, 2)
+        assert two < one
+
+    def test_many_workers_hit_amdahl_and_overhead_limits(self, minimax_parallel, profile):
+        """Past the optimum, extra workers make things worse, not better."""
+        best = optimal_worker_count(minimax_parallel, profile, max_workers=32)
+        at_best = parallel_execution_time_ms(minimax_parallel, profile, best)
+        far_beyond = parallel_execution_time_ms(minimax_parallel, profile, 32)
+        assert far_beyond > at_best
+
+    def test_serial_task_never_benefits(self, profile):
+        serial = ParallelizableTask(task=DEFAULT_TASK_POOL.get("minimax"), parallel_fraction=0.0)
+        assert optimal_worker_count(serial, profile) == 1
+
+    def test_invalid_worker_count(self, minimax_parallel, profile):
+        with pytest.raises(ValueError):
+            parallel_execution_time_ms(minimax_parallel, profile, 0)
+
+
+class TestSpeedupCurve:
+    def test_speedup_relative_to_one_worker(self, minimax_parallel, profile):
+        curve = speedup_curve(minimax_parallel, profile, [1, 2, 4, 8])
+        assert curve[1] == pytest.approx(1.0)
+        assert curve[2] > 1.0
+        # Amdahl bound: with a 0.9 parallel fraction speed-up can never reach 10x.
+        assert all(value < 10.0 for value in curve.values())
+
+    def test_surpasses_single_server_acceleration_limit(self, minimax_parallel, profile):
+        """The Section VII-1 claim: parallelization can beat the per-server limit."""
+        curve = speedup_curve(minimax_parallel, profile, [4])
+        # A single level-4 server is at most ~2.2/1.25 = 1.76x faster than a
+        # level-2 server; 4-way parallelization on level-2 servers beats that.
+        assert curve[4] > 1.76
+
+    def test_empty_worker_counts_rejected(self, minimax_parallel, profile):
+        with pytest.raises(ValueError):
+            speedup_curve(minimax_parallel, profile, [])
+
+    def test_optimal_worker_count_validation(self, minimax_parallel, profile):
+        with pytest.raises(ValueError):
+            optimal_worker_count(minimax_parallel, profile, max_workers=0)

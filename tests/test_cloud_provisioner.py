@@ -1,0 +1,93 @@
+"""Tests for provisioning and per-hour billing."""
+
+import pytest
+
+from repro.cloud.provisioner import Provisioner, ProvisioningError
+from repro.simulation.clock import MILLISECONDS_PER_HOUR
+
+
+@pytest.fixture
+def provisioner(engine, catalog):
+    return Provisioner(engine, catalog, instance_cap=5)
+
+
+class TestLaunchTerminate:
+    def test_launch_adds_running_instance(self, provisioner):
+        instance = provisioner.launch("t2.nano")
+        assert provisioner.running_count == 1
+        assert instance.is_running
+
+    def test_launch_unknown_type_raises(self, provisioner):
+        with pytest.raises(KeyError):
+            provisioner.launch("nonexistent")
+
+    def test_cap_enforced(self, provisioner):
+        for _ in range(5):
+            provisioner.launch("t2.nano")
+        with pytest.raises(ProvisioningError):
+            provisioner.launch("t2.nano")
+
+    def test_launch_many_all_or_nothing(self, provisioner):
+        with pytest.raises(ProvisioningError):
+            provisioner.launch_many({"t2.nano": 4, "t2.large": 2})
+        assert provisioner.running_count == 0
+        launched = provisioner.launch_many({"t2.nano": 2, "t2.large": 1})
+        assert len(launched) == 3
+
+    def test_launch_many_rejects_negative(self, provisioner):
+        with pytest.raises(ValueError):
+            provisioner.launch_many({"t2.nano": -1})
+
+    def test_terminate_removes_and_bills(self, provisioner, engine):
+        instance = provisioner.launch("t2.large")
+        engine.clock.advance_to(30 * 60 * 1000.0)  # 30 minutes
+        record = provisioner.terminate(instance)
+        assert provisioner.running_count == 0
+        assert record.billed_hours == 1
+        assert record.cost == pytest.approx(0.101)
+
+    def test_terminate_unknown_instance_raises(self, provisioner, engine, catalog):
+        other = Provisioner(engine, catalog).launch("t2.nano")
+        with pytest.raises(KeyError):
+            provisioner.terminate(other)
+
+    def test_terminate_all(self, provisioner):
+        provisioner.launch_many({"t2.nano": 3})
+        records = provisioner.terminate_all()
+        assert len(records) == 3
+        assert provisioner.running_count == 0
+
+
+class TestBilling:
+    def test_partial_hours_round_up(self, provisioner, engine):
+        instance = provisioner.launch("t2.nano")
+        engine.clock.advance_to(1.5 * MILLISECONDS_PER_HOUR)
+        record = provisioner.terminate(instance)
+        assert record.billed_hours == 2
+
+    def test_instant_terminate_still_bills_one_hour(self, provisioner):
+        instance = provisioner.launch("t2.nano")
+        record = provisioner.terminate(instance)
+        assert record.billed_hours == 1
+
+    def test_total_cost_includes_running_instances(self, provisioner, engine):
+        provisioner.launch("t2.large")
+        engine.clock.advance_to(0.5 * MILLISECONDS_PER_HOUR)
+        assert provisioner.total_cost(include_running=True) == pytest.approx(0.101)
+        assert provisioner.total_cost(include_running=False) == 0.0
+
+    def test_total_cost_sums_terminated_and_running(self, provisioner, engine):
+        first = provisioner.launch("t2.nano")
+        engine.clock.advance_to(MILLISECONDS_PER_HOUR)
+        provisioner.terminate(first)
+        provisioner.launch("t2.nano")
+        expected = 0.0063 + 0.0063  # one billed hour each
+        assert provisioner.total_cost() == pytest.approx(expected)
+
+    def test_running_by_type(self, provisioner):
+        provisioner.launch_many({"t2.nano": 2, "t2.large": 1})
+        assert provisioner.running_by_type() == {"t2.nano": 2, "t2.large": 1}
+
+    def test_invalid_cap_rejected(self, engine, catalog):
+        with pytest.raises(ValueError):
+            Provisioner(engine, catalog, instance_cap=0)

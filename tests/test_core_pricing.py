@@ -1,0 +1,107 @@
+"""Tests for the CaaS pricing model (Section VII-4 extension)."""
+
+import pytest
+
+from repro.core.allocation import InstanceOption
+from repro.core.pricing import (
+    HOURS_PER_MONTH,
+    AccelerationPlan,
+    CaaSPricingModel,
+    CaaSReport,
+)
+
+OPTIONS = [
+    InstanceOption("t2.nano", acceleration_group=1, cost_per_hour=0.0063, capacity=10.0),
+    InstanceOption("t2.large", acceleration_group=2, cost_per_hour=0.101, capacity=40.0),
+    InstanceOption("m4.4xlarge", acceleration_group=3, cost_per_hour=0.888, capacity=150.0),
+]
+
+PLANS = [
+    AccelerationPlan("basic", acceleration_group=1, monthly_price_per_user=0.99),
+    AccelerationPlan("fast", acceleration_group=2, monthly_price_per_user=2.99),
+    AccelerationPlan("turbo", acceleration_group=3, monthly_price_per_user=6.99),
+]
+
+
+@pytest.fixture
+def model():
+    return CaaSPricingModel(PLANS, OPTIONS, instance_cap=20)
+
+
+class TestAccelerationPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AccelerationPlan("", 1, 1.0)
+        with pytest.raises(ValueError):
+            AccelerationPlan("x", -1, 1.0)
+        with pytest.raises(ValueError):
+            AccelerationPlan("x", 1, -1.0)
+
+
+class TestCaaSPricingModel:
+    def test_requires_plans_and_unique_groups(self):
+        with pytest.raises(ValueError):
+            CaaSPricingModel([], OPTIONS)
+        with pytest.raises(ValueError):
+            CaaSPricingModel([PLANS[0], PLANS[0]], OPTIONS)
+
+    def test_plan_lookup(self, model):
+        assert model.plan_for_group(2).name == "fast"
+        with pytest.raises(KeyError):
+            model.plan_for_group(9)
+
+    def test_monthly_revenue(self, model):
+        revenue = model.monthly_revenue({1: 100, 2: 50, 3: 10})
+        assert revenue == pytest.approx(100 * 0.99 + 50 * 2.99 + 10 * 6.99)
+
+    def test_revenue_rejects_negative_subscribers(self, model):
+        with pytest.raises(ValueError):
+            model.monthly_revenue({1: -5})
+
+    def test_provisioning_plan_covers_concurrency(self, model):
+        plan = model.provisioning_plan({1: 25, 2: 30})
+        assert plan.feasible
+        assert plan.group_capacities[1] > 25
+        assert plan.group_capacities[2] > 30
+
+    def test_monthly_report_combines_revenue_and_cost(self, model):
+        report = model.monthly_report({1: 200, 2: 100, 3: 40}, peak_concurrency_fraction=0.2)
+        assert isinstance(report, CaaSReport)
+        assert report.monthly_revenue == model.monthly_revenue({1: 200, 2: 100, 3: 40})
+        assert report.monthly_provisioning_cost == pytest.approx(
+            report.plan.total_cost * HOURS_PER_MONTH
+        )
+        assert report.monthly_margin == pytest.approx(
+            report.monthly_revenue - report.monthly_provisioning_cost
+        )
+
+    def test_peak_concurrency_fraction_validation(self, model):
+        with pytest.raises(ValueError):
+            model.monthly_report({1: 10}, peak_concurrency_fraction=0.0)
+
+    def test_more_subscribers_on_cheap_tier_eventually_profitable(self, model):
+        small = model.monthly_report({1: 10})
+        large = model.monthly_report({1: 500})
+        assert large.monthly_margin > small.monthly_margin
+        assert large.is_profitable
+
+    def test_break_even_subscribers_is_consistent(self, model):
+        break_even = model.break_even_subscribers(1)
+        assert break_even is not None
+        assert model.monthly_report({1: break_even}).is_profitable
+        if break_even > 1:
+            assert not model.monthly_report({1: break_even - 1}).is_profitable
+
+    def test_premium_tier_breaks_even_with_fewer_subscribers_than_its_cost_suggests(self, model):
+        """The turbo tier needs more subscribers than basic because its
+        instances are much more expensive per hour."""
+        basic = model.break_even_subscribers(1)
+        turbo = model.break_even_subscribers(3)
+        assert basic is not None and turbo is not None
+        assert turbo > basic
+
+    def test_break_even_returns_none_when_not_reachable(self):
+        # A give-away price can never cover even one instance.
+        plans = [AccelerationPlan("free", acceleration_group=3, monthly_price_per_user=0.0)]
+        model = CaaSPricingModel(plans, OPTIONS, instance_cap=20)
+        assert model.break_even_subscribers(3, max_subscribers=200) is None

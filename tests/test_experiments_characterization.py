@@ -1,0 +1,91 @@
+"""Tests for the Fig. 4 / 5 / 6 / 7c experiment runners."""
+
+import pytest
+
+from repro.experiments.figures_characterization import (
+    run_fig4_characterization,
+    run_fig5_acceleration_ratios,
+    run_fig6_nano_micro_anomaly,
+    run_fig7c_level_stability,
+)
+
+SAMPLES = 80  # keep the experiment runners fast in unit tests
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return run_fig4_characterization(seed=0, samples_per_level=SAMPLES)
+
+
+class TestFig4:
+    def test_curves_cover_paper_sweep(self, fig4):
+        for result in fig4.benchmarks.values():
+            assert result.concurrencies[0] == 1
+            assert result.concurrencies[-1] == 100
+
+    def test_response_time_degrades_with_load_for_every_type(self, fig4):
+        for name, result in fig4.benchmarks.items():
+            means = result.mean_response_ms()
+            assert means[100] > means[1], name
+
+    def test_slope_decreases_with_instance_power(self, fig4):
+        slopes = fig4.degradation_slopes()
+        assert slopes["t2.nano"] > slopes["t2.medium"] > slopes["m4.10xlarge"]
+
+    def test_levels_match_paper_grouping(self, fig4):
+        levels = fig4.level_map()
+        assert levels["t2.micro"] == 0
+        assert levels["t2.nano"] == levels["t2.small"] == 1
+        assert levels["t2.medium"] == levels["t2.large"] == 2
+        assert levels["m4.10xlarge"] == 3
+
+    def test_rows_are_printable(self, fig4):
+        rows = fig4.rows()
+        assert len(rows) == 6 * 11
+        assert {"instance_type", "concurrent_users", "mean_response_ms"} <= set(rows[0])
+
+    def test_deterministic_given_seed(self):
+        a = run_fig4_characterization(seed=3, samples_per_level=30, type_names=("t2.nano",))
+        b = run_fig4_characterization(seed=3, samples_per_level=30, type_names=("t2.nano",))
+        assert a.mean_curve("t2.nano") == b.mean_curve("t2.nano")
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def fig5(self):
+        return run_fig5_acceleration_ratios(seed=0, samples_per_level=SAMPLES)
+
+    def test_ratios_match_paper_within_tolerance(self, fig5):
+        """Paper: L2/L1 ≈ 1.25x, L3/L1 ≈ 1.73x, L3/L2 ≈ 1.36x."""
+        assert fig5.ratios["level2_vs_level1"] == pytest.approx(1.25, rel=0.08)
+        assert fig5.ratios["level3_vs_level1"] == pytest.approx(1.73, rel=0.08)
+        assert fig5.ratios["level3_vs_level2"] == pytest.approx(1.36, rel=0.08)
+
+    def test_higher_levels_are_faster(self, fig5):
+        means = fig5.mean_response_by_level
+        assert means[1] > means[2] > means[3]
+
+    def test_rows_include_ratios(self, fig5):
+        rows = fig5.rows()
+        assert any("speedup" in row for row in rows)
+
+
+class TestFig6:
+    def test_nano_outperforms_micro(self):
+        result = run_fig6_nano_micro_anomaly(seed=0, samples_per_level=SAMPLES)
+        nano = result.mean_curve("t2.nano")
+        micro = result.mean_curve("t2.micro")
+        # Under load the anomaly is clear: micro degrades faster than nano.
+        assert micro[100] > nano[100]
+        assert result.level_map()["t2.micro"] == 0
+        assert result.level_map()["t2.nano"] == 1
+
+
+class TestFig7c:
+    def test_levels_1_to_4_present(self):
+        stds = run_fig7c_level_stability(seed=0, samples_per_level=SAMPLES)
+        assert set(stds) == {1, 2, 3, 4}
+
+    def test_higher_levels_are_more_stable_under_load(self):
+        stds = run_fig7c_level_stability(seed=0, samples_per_level=SAMPLES)
+        assert stds[4][100] < stds[1][100]

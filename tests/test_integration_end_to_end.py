@@ -1,0 +1,147 @@
+"""End-to-end integration tests across the whole stack.
+
+These tests wire together the substrates the same way a user of the library
+would — characterize a catalog, build the adaptive model from the resulting
+groups, run workloads through the SDN front-end and let the autoscaler follow
+the load — and check the cross-module invariants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.characterization import benchmark_catalog, measured_capacities
+from repro.cloud.backend import BackendPool
+from repro.cloud.catalog import DEFAULT_CATALOG
+from repro.cloud.provisioner import Provisioner
+from repro.cloud.server import CloudInstance
+from repro.core.acceleration import characterize_instances
+from repro.core.allocation import AllocationProblem, IlpAllocator, build_options_from_catalog
+from repro.core.model import AdaptiveModel
+from repro.core.timeslots import TimeSlotHistory
+from repro.mobile.tasks import DEFAULT_TASK_POOL
+from repro.sdn.accelerator import SDNAccelerator
+from repro.sdn.autoscaler import Autoscaler
+from repro.simulation.clock import MILLISECONDS_PER_HOUR
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.randomness import RandomStreams
+from repro.workload.traces import TraceLog
+
+
+class TestBenchmarkToAllocationPipeline:
+    def test_characterization_feeds_a_feasible_allocation(self):
+        """Benchmark -> acceleration groups -> capacities -> ILP plan."""
+        streams = RandomStreams(0)
+        types = ["t2.nano", "t2.large", "m4.4xlarge"]
+        benchmarks = benchmark_catalog(
+            DEFAULT_CATALOG, rng=streams.stream("bench"), samples_per_level=60, type_names=types
+        )
+        capacities = measured_capacities(benchmarks, response_threshold_ms=2000.0)
+        characterization = characterize_instances(
+            DEFAULT_CATALOG.subset(types), measured_capacities=capacities
+        )
+        level_map = characterization.as_level_map()
+        options = build_options_from_catalog(
+            DEFAULT_CATALOG.subset(types),
+            work_units=DEFAULT_TASK_POOL.mean_work_units(),
+            response_threshold_ms=2000.0,
+            capacity_override=capacities,
+        )
+        # Re-express the options in the characterised groups and allocate for a
+        # workload spread over them.
+        relabelled = [
+            type(option)(
+                type_name=option.type_name,
+                acceleration_group=level_map[option.type_name],
+                cost_per_hour=option.cost_per_hour,
+                capacity=option.capacity,
+            )
+            for option in options
+        ]
+        workloads = {level: 10 * (level + 1) for level in sorted(set(level_map.values()))}
+        plan = IlpAllocator().allocate(
+            AllocationProblem(options=tuple(relabelled), group_workloads=workloads)
+        )
+        assert plan.feasible
+        assert plan.total_instances <= 20
+
+
+class TestFullSystemSmallRun:
+    def test_workload_flows_through_sdn_and_autoscaler(self):
+        streams = RandomStreams(7)
+        engine = SimulationEngine()
+        catalog = DEFAULT_CATALOG
+        task = DEFAULT_TASK_POOL.get("minimax")
+
+        backend = BackendPool()
+        provisioner = Provisioner(engine, catalog, instance_cap=10)
+        backend.add_instance(provisioner.launch("t2.nano"), 1)
+        backend.add_instance(provisioner.launch("t2.large"), 2)
+
+        options = build_options_from_catalog(
+            catalog.subset(["t2.nano", "t2.large"]),
+            work_units=task.work_units,
+            response_threshold_ms=5000.0,
+        )
+        model = AdaptiveModel(options, instance_cap=10)
+        trace_log = TraceLog()
+        accelerator = SDNAccelerator(engine, backend, trace_log=trace_log, rng=streams.stream("sdn"))
+        autoscaler = Autoscaler(model, provisioner, backend, minimum_per_group=1)
+
+        rng = streams.stream("workload")
+        half_hour = MILLISECONDS_PER_HOUR / 2.0
+        for index in range(200):
+            arrival = float(rng.uniform(0, 2 * MILLISECONDS_PER_HOUR))
+            group = 1 if index % 3 else 2
+
+            def _submit(arrival=arrival, group=group, index=index):
+                accelerator.submit(
+                    user_id=index % 40,
+                    acceleration_group=group,
+                    work_units=task.sample_work_units(rng),
+                    task_name=task.name,
+                )
+
+            engine.schedule_at(arrival, _submit)
+        for hour in (1, 2):
+            engine.schedule_at(
+                hour * MILLISECONDS_PER_HOUR,
+                lambda hour=hour: autoscaler.run_period_end(
+                    trace_log, (hour - 1) * MILLISECONDS_PER_HOUR, hour * MILLISECONDS_PER_HOUR
+                ),
+            )
+        engine.run(until_ms=2 * MILLISECONDS_PER_HOUR + 60_000.0)
+
+        # Every submitted request was processed and logged.
+        assert accelerator.processed_requests == 200
+        assert len(trace_log) == 200
+        assert accelerator.success_rate() > 0.95
+        # The autoscaler ran twice and the account cap was respected throughout.
+        assert len(autoscaler.actions) == 2
+        assert provisioner.running_count <= 10
+        # The trace log slots into exactly the history the model consumed.
+        assert len(model.history) == 2
+        # Requests routed to group 2 ran faster on average than group 1.
+        by_group = accelerator.response_times_by_group()
+        assert np.mean(by_group[2]) < np.mean(by_group[1])
+
+    def test_trace_log_round_trips_into_model_history(self, tmp_path):
+        """Traces written by the front-end can be reloaded and re-slotted."""
+        streams = RandomStreams(3)
+        engine = SimulationEngine()
+        backend = BackendPool()
+        backend.add_instance(CloudInstance(engine, DEFAULT_CATALOG.get("t2.nano")), 1)
+        trace_log = TraceLog()
+        accelerator = SDNAccelerator(engine, backend, trace_log=trace_log, rng=streams.stream("sdn"))
+        for index in range(50):
+            engine.schedule_at(
+                index * 30_000.0,
+                lambda index=index: accelerator.submit(
+                    user_id=index % 7, acceleration_group=1, work_units=200.0
+                ),
+            )
+        engine.run()
+        path = trace_log.to_csv(tmp_path / "log.csv")
+        reloaded = TraceLog.from_csv(path)
+        history = TimeSlotHistory.from_trace_log(reloaded, groups=[1])
+        assert len(history) >= 1
+        assert history[0].workload(1) == 7

@@ -1,0 +1,63 @@
+"""Tests for the device energy model."""
+
+import pytest
+
+from repro.mobile.device import DEVICE_PROFILES
+from repro.mobile.energy import EnergyModel, lte_energy_model, three_g_energy_model
+from repro.mobile.tasks import DEFAULT_TASK_POOL
+
+
+class TestValidation:
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(compute_power_watts=-1.0)
+        with pytest.raises(ValueError):
+            EnergyModel(radio_power_watts=-1.0)
+        with pytest.raises(ValueError):
+            EnergyModel(idle_power_watts=-1.0)
+
+
+class TestEnergyAccounting:
+    def test_local_energy_scales_with_task_and_device(self):
+        model = EnergyModel()
+        minimax = DEFAULT_TASK_POOL.get("minimax")
+        fibonacci = DEFAULT_TASK_POOL.get("fibonacci")
+        wearable = DEVICE_PROFILES["wearable"]
+        flagship = DEVICE_PROFILES["flagship-phone"]
+        assert model.local_energy_joules(wearable, minimax) > model.local_energy_joules(flagship, minimax)
+        assert model.local_energy_joules(flagship, minimax) > model.local_energy_joules(flagship, fibonacci)
+
+    def test_offload_energy_scales_with_response_time(self):
+        model = EnergyModel()
+        assert model.offload_energy_joules(4000.0) > model.offload_energy_joules(1000.0)
+        assert model.offload_energy_joules(0.0) == 0.0
+
+    def test_offload_energy_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EnergyModel().offload_energy_joules(-1.0)
+
+    def test_offloading_saves_energy_for_heavy_tasks_on_slow_devices(self):
+        """The paper's premise: offloading extends battery life for heavy tasks."""
+        model = lte_energy_model()
+        wearable = DEVICE_PROFILES["wearable"]
+        minimax = DEFAULT_TASK_POOL.get("minimax")
+        assert model.offloading_saves_energy(wearable, minimax, expected_response_time_ms=2500.0)
+        assert model.energy_saving_joules(wearable, minimax, 2500.0) > 0
+
+    def test_offloading_wastes_energy_for_tiny_tasks_on_fast_devices(self):
+        model = lte_energy_model()
+        flagship = DEVICE_PROFILES["flagship-phone"]
+        fibonacci = DEFAULT_TASK_POOL.get("fibonacci")
+        assert not model.offloading_saves_energy(flagship, fibonacci, expected_response_time_ms=500.0)
+        assert model.energy_saving_joules(flagship, fibonacci, 500.0) < 0
+
+    def test_3g_costs_more_energy_than_lte(self):
+        """Longer radio-active time at higher power: 3G offloading is costlier."""
+        lte, umts = lte_energy_model(), three_g_energy_model()
+        assert umts.offload_energy_joules(2000.0) > lte.offload_energy_joules(2000.0)
+
+    def test_higher_acceleration_reduces_offload_energy(self):
+        """Faster responses keep the radio open for less time (Section VII-3)."""
+        model = lte_energy_model()
+        level1_response, level3_response = 2500.0, 1400.0
+        assert model.offload_energy_joules(level3_response) < model.offload_energy_joules(level1_response)

@@ -1,0 +1,113 @@
+"""Tests for the client-side moderator and its promotion policies."""
+
+import numpy as np
+import pytest
+
+from repro.mobile.device import DEVICE_PROFILES, MobileDevice
+from repro.mobile.moderator import (
+    BatteryAwarePolicy,
+    Moderator,
+    ResponseTimeThresholdPolicy,
+    StaticProbabilityPolicy,
+)
+
+
+def make_device(group=1):
+    return MobileDevice(user_id=0, profile=DEVICE_PROFILES["budget-phone"], acceleration_group=group)
+
+
+class TestStaticProbabilityPolicy:
+    def test_default_probability_is_one_in_fifty(self):
+        assert StaticProbabilityPolicy().probability == pytest.approx(1.0 / 50.0)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            StaticProbabilityPolicy(probability=1.5)
+
+    def test_promotion_rate_matches_probability(self, rng):
+        policy = StaticProbabilityPolicy(probability=0.2)
+        device = make_device()
+        decisions = [policy.decide(device, 1000.0, rng).promote for _ in range(5000)]
+        assert np.mean(decisions) == pytest.approx(0.2, abs=0.03)
+
+    def test_zero_probability_never_promotes(self, rng):
+        policy = StaticProbabilityPolicy(probability=0.0)
+        assert not any(policy.decide(make_device(), 1000.0, rng).promote for _ in range(100))
+
+
+class TestResponseTimeThresholdPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResponseTimeThresholdPolicy(threshold_ms=0.0)
+        with pytest.raises(ValueError):
+            ResponseTimeThresholdPolicy(window=0)
+
+    def test_promotes_when_recent_mean_exceeds_threshold(self, rng):
+        policy = ResponseTimeThresholdPolicy(threshold_ms=1000.0, window=3)
+        device = make_device()
+        for value in (1500.0, 1600.0, 1700.0):
+            device.record_response(value)
+        assert policy.decide(device, 1700.0, rng).promote
+
+    def test_does_not_promote_below_threshold(self, rng):
+        policy = ResponseTimeThresholdPolicy(threshold_ms=2000.0, window=3)
+        device = make_device()
+        for value in (500.0, 600.0, 700.0):
+            device.record_response(value)
+        assert not policy.decide(device, 700.0, rng).promote
+
+    def test_no_history_means_no_promotion(self, rng):
+        policy = ResponseTimeThresholdPolicy(threshold_ms=100.0)
+        assert not policy.decide(make_device(), 5000.0, rng).promote
+
+
+class TestBatteryAwarePolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatteryAwarePolicy(battery_threshold=2.0)
+        with pytest.raises(ValueError):
+            BatteryAwarePolicy(low_battery_probability=-0.1)
+
+    def test_low_battery_promotes_more_often(self, rng):
+        policy = BatteryAwarePolicy(battery_threshold=0.5, low_battery_probability=0.5, base_probability=0.01)
+        low = make_device()
+        low.battery.level = 0.1
+        high = make_device()
+        high.battery.level = 0.9
+        low_rate = np.mean([policy.decide(low, 1000.0, rng).promote for _ in range(2000)])
+        high_rate = np.mean([policy.decide(high, 1000.0, rng).promote for _ in range(2000)])
+        assert low_rate > high_rate * 5
+
+
+class TestModerator:
+    def test_records_response_and_promotes_sequentially(self, rng):
+        moderator = Moderator(StaticProbabilityPolicy(probability=1.0), max_group=3, rng=rng)
+        device = make_device(group=1)
+        moderator.observe(device, 1000.0, now_ms=10.0)
+        assert device.acceleration_group == 2
+        moderator.observe(device, 1000.0, now_ms=20.0)
+        assert device.acceleration_group == 3
+        assert device.promotions == [10.0, 20.0]
+        assert moderator.promotions_made == 2
+
+    def test_never_promotes_beyond_max_group(self, rng):
+        moderator = Moderator(StaticProbabilityPolicy(probability=1.0), max_group=2, rng=rng)
+        device = make_device(group=2)
+        decision = moderator.observe(device, 1000.0, now_ms=0.0)
+        assert not decision.promote
+        assert device.acceleration_group == 2
+
+    def test_default_policy_is_the_paper_static_rule(self, rng):
+        moderator = Moderator(max_group=3, rng=rng)
+        assert isinstance(moderator.policy, StaticProbabilityPolicy)
+        assert moderator.policy.probability == pytest.approx(1.0 / 50.0)
+
+    def test_observe_always_records_response(self, rng):
+        moderator = Moderator(StaticProbabilityPolicy(probability=0.0), max_group=3, rng=rng)
+        device = make_device()
+        moderator.observe(device, 1234.0, now_ms=0.0)
+        assert device.response_times_ms == [1234.0]
+
+    def test_invalid_max_group_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Moderator(max_group=-1, rng=rng)

@@ -1,0 +1,201 @@
+"""Tests for the offloadable task pool and its real algorithm implementations."""
+
+import numpy as np
+import pytest
+
+from repro.mobile.tasks import (
+    DEFAULT_TASK_POOL,
+    OffloadableTask,
+    TaskPool,
+    bubblesort,
+    build_default_task_pool,
+    edit_distance,
+    fibonacci,
+    knapsack,
+    matrix_multiply,
+    mergesort,
+    minimax_best_move,
+    nqueens_count,
+    prime_sieve,
+    quicksort,
+)
+
+
+class TestSortingAlgorithms:
+    @pytest.mark.parametrize("sort", [quicksort, bubblesort, mergesort])
+    def test_sorts_random_input(self, sort, rng):
+        values = rng.standard_normal(200).tolist()
+        assert sort(values) == sorted(values)
+
+    @pytest.mark.parametrize("sort", [quicksort, bubblesort, mergesort])
+    def test_handles_empty_and_single(self, sort):
+        assert sort([]) == []
+        assert sort([3.0]) == [3.0]
+
+    @pytest.mark.parametrize("sort", [quicksort, bubblesort, mergesort])
+    def test_handles_duplicates(self, sort):
+        values = [5, 1, 5, 3, 1, 5]
+        assert sort(values) == sorted(values)
+
+    @pytest.mark.parametrize("sort", [quicksort, bubblesort, mergesort])
+    def test_does_not_mutate_input(self, sort):
+        values = [3, 1, 2]
+        sort(values)
+        assert values == [3, 1, 2]
+
+
+class TestNumericAlgorithms:
+    def test_fibonacci_known_values(self):
+        assert [fibonacci(n) for n in range(10)] == [0, 1, 1, 2, 3, 5, 8, 13, 21, 34]
+
+    def test_fibonacci_rejects_negative(self):
+        with pytest.raises(ValueError):
+            fibonacci(-1)
+
+    def test_nqueens_known_counts(self):
+        assert nqueens_count(4) == 2
+        assert nqueens_count(6) == 4
+        assert nqueens_count(8) == 92
+
+    def test_nqueens_rejects_zero(self):
+        with pytest.raises(ValueError):
+            nqueens_count(0)
+
+    def test_prime_sieve_known_counts(self):
+        assert prime_sieve(10) == 4
+        assert prime_sieve(100) == 25
+        assert prime_sieve(1) == 0
+
+    def test_matrix_multiply_deterministic_per_seed(self):
+        assert matrix_multiply(16, seed=3) == matrix_multiply(16, seed=3)
+        assert matrix_multiply(16, seed=3) != matrix_multiply(16, seed=4)
+
+    def test_matrix_multiply_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            matrix_multiply(0)
+
+    def test_knapsack_optimal_value(self):
+        weights, values = [1, 3, 4, 5], [1, 4, 5, 7]
+        assert knapsack(weights, values, 7) == 9
+
+    def test_knapsack_zero_capacity(self):
+        assert knapsack([1, 2], [10, 20], 0) == 0
+
+    def test_knapsack_validates_inputs(self):
+        with pytest.raises(ValueError):
+            knapsack([1], [1, 2], 5)
+        with pytest.raises(ValueError):
+            knapsack([1], [1], -1)
+
+    def test_edit_distance_known_values(self):
+        assert edit_distance("kitten", "sitting") == 3
+        assert edit_distance("abc", "abc") == 0
+        assert edit_distance("", "abc") == 3
+
+
+class TestMinimax:
+    def test_empty_board_is_a_draw_with_best_play(self):
+        score, move = minimax_best_move([0] * 9, player=1)
+        assert score == 0
+        assert move in range(9)
+
+    def test_takes_immediate_win(self):
+        # X (1) can win by completing the top row.
+        board = [1, 1, 0,
+                 -1, -1, 0,
+                 0, 0, 0]
+        score, move = minimax_best_move(board, player=1)
+        assert score == 1
+        assert move == 2
+
+    def test_blocks_opponent_win(self):
+        # O (-1) threatens the top row; X must block at index 2.
+        board = [-1, -1, 0,
+                 1, 0, 0,
+                 0, 0, 1]
+        _score, move = minimax_best_move(board, player=1)
+        assert move == 2
+
+    def test_terminal_board_returns_no_move(self):
+        board = [1, 1, 1,
+                 -1, -1, 0,
+                 0, 0, 0]
+        score, move = minimax_best_move(board, player=-1)
+        assert score == 1
+        assert move == -1
+
+    def test_rejects_malformed_board(self):
+        with pytest.raises(ValueError):
+            minimax_best_move([0] * 8)
+        with pytest.raises(ValueError):
+            minimax_best_move([2] + [0] * 8)
+        with pytest.raises(ValueError):
+            minimax_best_move([0] * 9, player=0)
+
+
+class TestOffloadableTask:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OffloadableTask(name="", work_units=10.0)
+        with pytest.raises(ValueError):
+            OffloadableTask(name="x", work_units=0.0)
+        with pytest.raises(ValueError):
+            OffloadableTask(name="x", work_units=1.0, work_variability=-0.1)
+
+    def test_sample_work_units_positive_and_near_mean(self, rng):
+        task = OffloadableTask(name="x", work_units=100.0, work_variability=0.3)
+        samples = [task.sample_work_units(rng) for _ in range(2000)]
+        assert min(samples) > 0
+        assert np.mean(samples) == pytest.approx(100.0, rel=0.05)
+
+    def test_zero_variability_is_deterministic(self, rng):
+        task = OffloadableTask(name="x", work_units=100.0, work_variability=0.0)
+        assert task.sample_work_units(rng) == 100.0
+
+    def test_execute_without_runner_raises(self, rng):
+        task = OffloadableTask(name="x", work_units=1.0)
+        with pytest.raises(NotImplementedError):
+            task.execute(rng)
+
+
+class TestTaskPool:
+    def test_default_pool_has_ten_tasks(self):
+        assert len(DEFAULT_TASK_POOL) == 10
+
+    def test_default_pool_contains_paper_algorithms(self):
+        names = set(DEFAULT_TASK_POOL.names)
+        assert {"minimax", "nqueens", "quicksort", "bubblesort"} <= names
+
+    def test_every_default_task_really_executes(self, rng):
+        for task in build_default_task_pool():
+            result = task.execute(rng)
+            assert result is not None
+
+    def test_minimax_is_the_heaviest_static_task(self):
+        minimax = DEFAULT_TASK_POOL.get("minimax")
+        assert minimax.work_units == max(task.work_units for task in DEFAULT_TASK_POOL)
+
+    def test_get_unknown_task_raises(self):
+        with pytest.raises(KeyError):
+            DEFAULT_TASK_POOL.get("does-not-exist")
+
+    def test_sample_uses_rng_and_covers_pool(self, rng):
+        pool = build_default_task_pool()
+        sampled = {pool.sample(rng).name for _ in range(500)}
+        assert len(sampled) == len(pool)
+
+    def test_mean_work_units(self):
+        pool = TaskPool([
+            OffloadableTask(name="a", work_units=100.0),
+            OffloadableTask(name="b", work_units=300.0),
+        ])
+        assert pool.mean_work_units() == 200.0
+
+    def test_duplicate_names_rejected(self):
+        task = OffloadableTask(name="a", work_units=1.0)
+        with pytest.raises(ValueError):
+            TaskPool([task, task])
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            TaskPool([])

@@ -1,0 +1,63 @@
+"""Tests for the communication channel and response-time decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.network.channel import CommunicationChannel, ResponseTimeBreakdown
+from repro.network.latency import ConstantLatencyModel
+
+
+class TestResponseTimeBreakdown:
+    def test_total_is_sum_of_components(self):
+        breakdown = ResponseTimeBreakdown(t1_ms=40.0, t2_ms=10.0, routing_ms=150.0, cloud_ms=2000.0)
+        assert breakdown.total_ms == pytest.approx(2200.0)
+
+    def test_as_dict_matches_fig7_labels(self):
+        breakdown = ResponseTimeBreakdown(t1_ms=1.0, t2_ms=2.0, routing_ms=3.0, cloud_ms=4.0)
+        as_dict = breakdown.as_dict()
+        assert as_dict["T1"] == 1.0
+        assert as_dict["T2"] == 2.0
+        assert as_dict["Tcloud"] == 4.0
+        assert as_dict["Tresponse"] == 10.0
+
+
+class TestCommunicationChannel:
+    def test_t1_is_full_round_trip_of_access_model(self, rng):
+        channel = CommunicationChannel(
+            access_model=ConstantLatencyModel(40.0),
+            intra_cloud_model=ConstantLatencyModel(10.0),
+            rng=rng,
+        )
+        assert channel.sample_t1_ms() == pytest.approx(40.0)
+        assert channel.sample_t2_ms() == pytest.approx(10.0)
+
+    def test_breakdown_assembles_all_parts(self, rng):
+        channel = CommunicationChannel(
+            access_model=ConstantLatencyModel(40.0),
+            intra_cloud_model=ConstantLatencyModel(10.0),
+            rng=rng,
+        )
+        breakdown = channel.breakdown(cloud_ms=1000.0, routing_ms=150.0)
+        assert breakdown.t1_ms == 40.0
+        assert breakdown.t2_ms == 10.0
+        assert breakdown.total_ms == pytest.approx(1200.0)
+
+    def test_breakdown_rejects_negative_components(self, rng):
+        channel = CommunicationChannel(rng=rng)
+        with pytest.raises(ValueError):
+            channel.breakdown(cloud_ms=-1.0)
+        with pytest.raises(ValueError):
+            channel.breakdown(cloud_ms=1.0, routing_ms=-1.0)
+
+    def test_default_channel_keeps_communication_under_a_second(self, rng):
+        """The paper observes T1 + T2 well under one second over LTE."""
+        channel = CommunicationChannel(rng=rng)
+        totals = [channel.sample_t1_ms() + channel.sample_t2_ms() for _ in range(500)]
+        assert np.mean(totals) < 1000.0
+
+    def test_intra_cloud_latency_is_small_and_stable(self, rng):
+        """T2 comes from the cloud's private network: small mean, small spread."""
+        channel = CommunicationChannel(rng=rng)
+        samples = [channel.sample_t2_ms() for _ in range(500)]
+        assert np.mean(samples) < 30.0
+        assert np.std(samples) < np.mean(samples)

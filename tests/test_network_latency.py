@@ -1,0 +1,82 @@
+"""Tests for the parametric cellular latency models."""
+
+import numpy as np
+import pytest
+
+from repro.network.latency import (
+    ConstantLatencyModel,
+    LogNormalLatencyModel,
+    lte_latency_model,
+    three_g_latency_model,
+)
+
+
+class TestLogNormalLatencyModel:
+    def test_rejects_mean_below_median(self):
+        with pytest.raises(ValueError):
+            LogNormalLatencyModel(median_ms=50.0, mean_ms=40.0)
+
+    def test_rejects_non_positive_median(self):
+        with pytest.raises(ValueError):
+            LogNormalLatencyModel(median_ms=0.0, mean_ms=10.0)
+
+    def test_rejects_bad_diurnal_amplitude(self):
+        with pytest.raises(ValueError):
+            LogNormalLatencyModel(median_ms=10.0, mean_ms=20.0, diurnal_amplitude=1.5)
+
+    def test_fitted_parameters_reproduce_median_and_mean(self, rng):
+        model = LogNormalLatencyModel(median_ms=50.0, mean_ms=130.0, diurnal_amplitude=0.0, floor_ms=0.1)
+        samples = model.sample_many(rng, 200_000)
+        assert np.median(samples) == pytest.approx(50.0, rel=0.05)
+        assert np.mean(samples) == pytest.approx(130.0, rel=0.05)
+
+    def test_samples_respect_floor(self, rng):
+        model = LogNormalLatencyModel(median_ms=10.0, mean_ms=12.0, floor_ms=8.0)
+        samples = model.sample_many(rng, 1000)
+        assert samples.min() >= 8.0
+
+    def test_diurnal_factor_peaks_at_peak_hour(self):
+        model = LogNormalLatencyModel(median_ms=30.0, mean_ms=40.0, diurnal_amplitude=0.2, peak_hour=20.0)
+        assert model.diurnal_factor(20.0) == pytest.approx(1.2)
+        assert model.diurnal_factor(8.0) == pytest.approx(0.8)
+        # Wraps around midnight.
+        assert model.diurnal_factor(44.0) == model.diurnal_factor(20.0)
+
+    def test_sample_many_rejects_negative_count(self, rng):
+        model = lte_latency_model()
+        with pytest.raises(ValueError):
+            model.sample_many(rng, -1)
+
+    def test_mean_and_median_accessors(self):
+        model = LogNormalLatencyModel(median_ms=25.0, mean_ms=36.0)
+        assert model.mean_rtt_ms() == 36.0
+        assert model.median_rtt_ms() == 25.0
+
+
+class TestFactories:
+    def test_lte_is_faster_than_3g(self, rng):
+        lte = lte_latency_model()
+        umts = three_g_latency_model()
+        assert lte.mean_rtt_ms() < umts.mean_rtt_ms()
+        lte_samples = lte.sample_many(rng, 5000)
+        umts_samples = umts.sample_many(rng, 5000)
+        assert np.mean(lte_samples) < np.mean(umts_samples)
+
+    def test_lte_mean_in_paper_range(self):
+        """The paper reports LTE means of 36-42 ms across operators."""
+        assert 30.0 <= lte_latency_model().mean_rtt_ms() <= 45.0
+
+    def test_3g_mean_in_paper_range(self):
+        """The paper reports 3G means of 128-141 ms across operators."""
+        assert 120.0 <= three_g_latency_model().mean_rtt_ms() <= 145.0
+
+
+class TestConstantLatencyModel:
+    def test_always_returns_value(self):
+        model = ConstantLatencyModel(25.0)
+        assert model.sample_rtt_ms() == 25.0
+        assert model.mean_rtt_ms() == 25.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantLatencyModel(-1.0)

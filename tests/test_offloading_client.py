@@ -1,0 +1,98 @@
+"""Tests for the client-side offloading decision and execution."""
+
+import pytest
+
+from repro.cloud.catalog import get_instance_type
+from repro.mobile.device import DEVICE_PROFILES
+from repro.mobile.energy import lte_energy_model
+from repro.mobile.tasks import fibonacci, minimax_best_move
+from repro.offloading.client import OffloadingClient
+from repro.offloading.runtime import MethodRegistry, SurrogateRuntime
+
+
+@pytest.fixture
+def registry():
+    registry = MethodRegistry()
+    registry.register("minimax", minimax_best_move, work_units=2000.0)
+    registry.register("fibonacci", fibonacci, work_units=40.0)
+    return registry
+
+
+def make_client(registry, device_name="budget-phone", instance_name="m4.10xlarge", **kwargs):
+    return OffloadingClient(
+        registry,
+        DEVICE_PROFILES[device_name],
+        SurrogateRuntime(registry, instance_type_name=instance_name),
+        get_instance_type(instance_name),
+        **kwargs,
+    )
+
+
+class TestEstimates:
+    def test_local_estimate_uses_device_profile(self, registry):
+        client = make_client(registry, device_name="wearable")
+        assert client.estimate_local_ms("minimax") == pytest.approx(2000.0 / 0.08)
+
+    def test_remote_estimate_adds_network_and_routing(self, registry):
+        client = make_client(registry, expected_rtt_ms=40.0, routing_overhead_ms=150.0)
+        remote = client.estimate_remote_ms("minimax")
+        cloud = get_instance_type("m4.10xlarge").profile.service_time_ms(2000.0, 1)
+        assert remote == pytest.approx(cloud + 190.0)
+
+    def test_invalid_construction(self, registry):
+        with pytest.raises(ValueError):
+            make_client(registry, expected_rtt_ms=-1.0)
+        with pytest.raises(ValueError):
+            make_client(registry, expected_concurrency=0)
+
+
+class TestDecisionAndExecution:
+    def test_heavy_method_on_slow_device_is_offloaded(self, registry):
+        client = make_client(registry, device_name="wearable")
+        report = client.invoke("minimax", [0] * 9, 1)
+        assert report.offloaded
+        assert report.execution.where.startswith("surrogate:")
+        assert report.value[0] == 0  # best play on an empty board is a draw
+        assert client.offloaded_count == 1
+
+    def test_tiny_method_on_fast_device_runs_locally(self, registry):
+        client = make_client(registry, device_name="flagship-phone")
+        report = client.invoke("fibonacci", 20)
+        assert not report.offloaded
+        assert report.execution.where == "local"
+        assert report.value == 6765
+        assert client.local_count == 1
+
+    def test_result_identical_whichever_side_runs(self, registry):
+        client = make_client(registry)
+        local = client.invoke("minimax", [0] * 9, 1, force="local")
+        remote = client.invoke("minimax", [0] * 9, 1, force="remote")
+        assert tuple(local.value) == tuple(remote.value)
+
+    def test_force_validation(self, registry):
+        client = make_client(registry)
+        with pytest.raises(ValueError):
+            client.invoke("fibonacci", 5, force="cloudlet")
+
+    def test_report_contains_estimates_and_payload(self, registry):
+        client = make_client(registry, device_name="wearable")
+        report = client.invoke("minimax", [0] * 9, 1, app_metadata={"app": "game"})
+        assert report.estimated_local_ms > report.estimated_remote_ms
+        assert report.payload_bytes > 0
+        assert "faster" in report.reason
+        assert report.state.app_metadata == {"app": "game"}
+
+    def test_energy_gate_can_veto_offloading(self, registry):
+        # A marginal case: remote is slightly faster but the energy gate
+        # (with an artificially hungry radio) vetoes offloading.
+        client = make_client(
+            registry,
+            device_name="flagship-phone",
+            energy_model=lte_energy_model().__class__(
+                compute_power_watts=0.5, radio_power_watts=50.0, idle_power_watts=0.1
+            ),
+            require_energy_saving=True,
+        )
+        report = client.invoke("minimax", [0] * 9, 1)
+        assert not report.offloaded
+        assert "energy" in report.reason

@@ -1,0 +1,88 @@
+"""Tests for the method registry and the local/surrogate runtimes."""
+
+import pytest
+
+from repro.mobile.tasks import minimax_best_move, quicksort
+from repro.offloading.runtime import LocalRuntime, MethodRegistry, SurrogateRuntime
+from repro.offloading.state import ApplicationState, serialize_state
+
+
+@pytest.fixture
+def registry():
+    registry = MethodRegistry()
+    registry.register("quicksort", quicksort, work_units=120.0)
+    registry.register("minimax", minimax_best_move, work_units=2000.0, payload_hint_bytes=256)
+    return registry
+
+
+class TestMethodRegistry:
+    def test_register_and_lookup(self, registry):
+        assert len(registry) == 2
+        assert "minimax" in registry
+        assert registry.get("quicksort").work_units == 120.0
+        assert registry.names == ["minimax", "quicksort"]
+
+    def test_duplicate_registration_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.register("minimax", minimax_best_move, work_units=1.0)
+
+    def test_unknown_method_raises_with_known_names(self, registry):
+        with pytest.raises(KeyError, match="minimax"):
+            registry.get("nope")
+
+    def test_decorator_registration(self):
+        registry = MethodRegistry()
+
+        @registry.offloadable("double", work_units=5.0)
+        def double(x):
+            return 2 * x
+
+        assert double(4) == 8  # the decorator returns the original function
+        assert registry.get("double").function(4) == 8
+
+    def test_invalid_method_parameters(self):
+        registry = MethodRegistry()
+        with pytest.raises(ValueError):
+            registry.register("", quicksort, work_units=1.0)
+        with pytest.raises(ValueError):
+            registry.register("x", quicksort, work_units=0.0)
+        with pytest.raises(TypeError):
+            registry.register("x", "not-callable", work_units=1.0)  # type: ignore[arg-type]
+
+
+class TestRuntimes:
+    def test_local_runtime_really_executes(self, registry):
+        runtime = LocalRuntime(registry)
+        result = runtime.execute(ApplicationState("quicksort", args=([3, 1, 2],)))
+        assert result.value == [1, 2, 3]
+        assert result.where == "local"
+        assert runtime.executions == 1
+
+    def test_surrogate_executes_serialized_payload(self, registry):
+        surrogate = SurrogateRuntime(registry, instance_type_name="t2.large")
+        payload = serialize_state(ApplicationState("quicksort", args=([5, 4, 6],)))
+        result = surrogate.execute_payload(payload)
+        assert result.value == [4, 5, 6]
+        assert result.where == "surrogate:t2.large"
+        assert result.payload_bytes == len(payload)
+
+    def test_local_and_surrogate_produce_identical_results(self, registry):
+        """The homogeneous model's defining property: same code, same result."""
+        state = ApplicationState("minimax", args=([1, 1, 0, -1, -1, 0, 0, 0, 0], 1))
+        local = LocalRuntime(registry).execute(state)
+        remote = SurrogateRuntime(registry).execute_payload(serialize_state(state))
+        assert tuple(local.value) == tuple(remote.value) == (1, 2)
+
+    def test_surrogate_assigns_one_process_per_request(self, registry):
+        surrogate = SurrogateRuntime(registry)
+        results = [
+            surrogate.execute(ApplicationState("quicksort", args=([i, 0],)))
+            for i in range(3)
+        ]
+        assert [result.process_id for result in results] == [1, 2, 3]
+        assert surrogate.handled_processes == [1, 2, 3]
+
+    def test_surrogate_rejects_unregistered_method(self, registry):
+        surrogate = SurrogateRuntime(registry)
+        with pytest.raises(KeyError):
+            surrogate.execute(ApplicationState("unknown"))

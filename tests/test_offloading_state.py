@@ -1,0 +1,60 @@
+"""Tests for application-state capture and serialization."""
+
+import pytest
+
+from repro.offloading.state import (
+    ApplicationState,
+    StateSerializationError,
+    deserialize_state,
+    payload_size_bytes,
+    serialize_state,
+)
+
+
+class TestApplicationState:
+    def test_requires_method_name(self):
+        with pytest.raises(ValueError):
+            ApplicationState(method_name="")
+
+    def test_normalises_containers(self):
+        state = ApplicationState(method_name="sort", args=[1, 2], kwargs={"reverse": True})
+        assert state.args == (1, 2)
+        assert state.kwargs == {"reverse": True}
+
+
+class TestSerialization:
+    def test_round_trip_preserves_invocation(self):
+        state = ApplicationState(
+            method_name="minimax",
+            args=([0] * 9, 1),
+            kwargs={"depth": 9},
+            app_metadata={"app": "tictactoe", "version": "1.2"},
+        )
+        restored = deserialize_state(serialize_state(state))
+        assert restored.method_name == "minimax"
+        assert restored.kwargs == {"depth": 9}
+        assert restored.app_metadata["app"] == "tictactoe"
+        # JSON turns tuples into lists; the payload carries the same values.
+        assert list(restored.args[0]) == [0] * 9
+
+    def test_payload_is_compact_json_bytes(self):
+        state = ApplicationState(method_name="fib", args=(30,))
+        payload = serialize_state(state)
+        assert isinstance(payload, bytes)
+        assert b'"method":"fib"' in payload
+
+    def test_payload_size_grows_with_state(self):
+        small = ApplicationState(method_name="sort", args=([1, 2, 3],))
+        large = ApplicationState(method_name="sort", args=(list(range(500)),))
+        assert payload_size_bytes(large) > payload_size_bytes(small)
+
+    def test_unserializable_arguments_raise(self):
+        state = ApplicationState(method_name="bad", args=(object(),))
+        with pytest.raises(StateSerializationError):
+            serialize_state(state)
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(StateSerializationError):
+            deserialize_state(b"not json")
+        with pytest.raises(StateSerializationError):
+            deserialize_state(b'{"method": "x"}')

@@ -1,0 +1,188 @@
+"""Tests for the SDN-accelerator front-end."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.backend import BackendPool
+from repro.cloud.catalog import get_instance_type
+from repro.cloud.server import CloudInstance
+from repro.network.channel import CommunicationChannel
+from repro.network.latency import ConstantLatencyModel
+from repro.sdn.accelerator import (
+    AccelerationGroupRouting,
+    RoundRobinRouting,
+    SDNAccelerator,
+    SDNAccelerator as _SDN,
+)
+from repro.workload.traces import TraceLog
+
+
+def make_backend(engine, types_by_level):
+    backend = BackendPool()
+    for level, type_name in types_by_level.items():
+        backend.add_instance(CloudInstance(engine, get_instance_type(type_name)), level)
+    return backend
+
+
+def make_accelerator(engine, backend, rng, **kwargs):
+    channel = CommunicationChannel(
+        access_model=ConstantLatencyModel(40.0),
+        intra_cloud_model=ConstantLatencyModel(10.0),
+        rng=rng,
+    )
+    return SDNAccelerator(engine, backend, channel=channel, rng=rng, **kwargs)
+
+
+class TestRequestFlow:
+    def test_successful_request_produces_full_record(self, engine, rng):
+        backend = make_backend(engine, {1: "t2.nano"})
+        accelerator = make_accelerator(engine, backend, rng, routing_overhead_std_ms=0.0)
+        completed = []
+        accelerator.submit(
+            user_id=7, acceleration_group=1, work_units=300.0, task_name="quicksort",
+            on_complete=completed.append,
+        )
+        engine.run()
+        assert len(completed) == 1
+        record = completed[0]
+        assert record.success
+        assert record.user_id == 7
+        assert record.acceleration_group == 1
+        assert record.task_name == "quicksort"
+        breakdown = record.breakdown
+        assert breakdown.t1_ms == pytest.approx(40.0)
+        assert breakdown.t2_ms == pytest.approx(10.0)
+        assert breakdown.routing_ms == pytest.approx(150.0)
+        assert breakdown.cloud_ms > 290.0
+        assert record.response_time_ms == pytest.approx(breakdown.total_ms)
+
+    def test_completion_time_accounts_for_communication(self, engine, rng):
+        backend = make_backend(engine, {1: "t2.nano"})
+        accelerator = make_accelerator(engine, backend, rng, routing_overhead_std_ms=0.0)
+        completed = []
+        accelerator.submit(user_id=0, acceleration_group=1, work_units=300.0, on_complete=completed.append)
+        engine.run()
+        record = completed[0]
+        assert record.completed_ms == pytest.approx(record.arrival_ms + record.response_time_ms, rel=0.05)
+
+    def test_request_is_logged_with_trace_schema(self, engine, rng):
+        trace_log = TraceLog()
+        backend = make_backend(engine, {1: "t2.nano"})
+        accelerator = make_accelerator(engine, backend, rng, trace_log=trace_log)
+        accelerator.submit(user_id=3, acceleration_group=1, work_units=100.0, battery_level=0.5)
+        engine.run()
+        assert len(trace_log) == 1
+        record = trace_log.records[0]
+        assert record.user_id == 3
+        assert record.acceleration_group == 1
+        assert record.battery_level == 0.5
+        assert record.round_trip_time_ms > 0
+
+    def test_dropped_request_recorded_as_failure(self, engine, rng):
+        backend = BackendPool()
+        backend.add_instance(
+            CloudInstance(engine, get_instance_type("t2.nano"), admission_limit=1), 1
+        )
+        accelerator = make_accelerator(engine, backend, rng)
+        results = []
+        for _ in range(3):
+            accelerator.submit(user_id=0, acceleration_group=1, work_units=5000.0, on_complete=results.append)
+        engine.run()
+        assert len(results) == 3
+        assert sum(1 for record in results if not record.success) == 2
+        assert accelerator.success_rate() == pytest.approx(1 / 3)
+
+    def test_invalid_work_rejected(self, engine, rng):
+        backend = make_backend(engine, {1: "t2.nano"})
+        accelerator = make_accelerator(engine, backend, rng)
+        with pytest.raises(ValueError):
+            accelerator.submit(user_id=0, acceleration_group=1, work_units=0.0)
+
+    def test_request_ids_increment(self, engine, rng):
+        backend = make_backend(engine, {1: "t2.nano"})
+        accelerator = make_accelerator(engine, backend, rng)
+        ids = [accelerator.submit(user_id=0, acceleration_group=1, work_units=10.0) for _ in range(3)]
+        assert ids == [0, 1, 2]
+
+
+class TestRoutingOverhead:
+    def test_mean_overhead_is_about_150ms(self, engine, rng):
+        """Fig. 8a: the front-end adds ≈150 ms regardless of group."""
+        backend = make_backend(engine, {1: "t2.nano", 2: "t2.large"})
+        accelerator = make_accelerator(engine, backend, rng)
+        for index in range(300):
+            accelerator.submit(user_id=index, acceleration_group=1 + index % 2, work_units=50.0)
+        engine.run()
+        assert accelerator.mean_routing_overhead_ms() == pytest.approx(150.0, rel=0.05)
+        per_group = accelerator.per_group_routing
+        assert set(per_group) == {1, 2}
+        for samples in per_group.values():
+            assert np.mean(samples) == pytest.approx(150.0, rel=0.1)
+
+    def test_zero_std_gives_constant_overhead(self, engine, rng):
+        backend = make_backend(engine, {1: "t2.nano"})
+        accelerator = make_accelerator(engine, backend, rng, routing_overhead_std_ms=0.0)
+        accelerator.submit(user_id=0, acceleration_group=1, work_units=10.0)
+        engine.run()
+        assert accelerator.records[0].breakdown.routing_ms == 150.0
+
+    def test_invalid_overhead_parameters(self, engine, rng):
+        backend = make_backend(engine, {1: "t2.nano"})
+        with pytest.raises(ValueError):
+            SDNAccelerator(engine, backend, rng=rng, routing_overhead_mean_ms=-1.0)
+        with pytest.raises(ValueError):
+            SDNAccelerator(engine, backend, rng=rng, routing_overhead_std_ms=-1.0)
+
+
+class TestRoutingPolicies:
+    def test_acceleration_group_routing_honours_request(self, engine, rng):
+        backend = make_backend(engine, {1: "t2.nano", 2: "t2.large"})
+        policy = AccelerationGroupRouting()
+        assert policy.route(2, backend, rng) == 2
+
+    def test_acceleration_group_routing_clamps_unknown_levels(self, engine, rng):
+        backend = make_backend(engine, {2: "t2.large"})
+        policy = AccelerationGroupRouting()
+        assert policy.route(1, backend, rng) == 2
+
+    def test_round_robin_ignores_requested_group(self, engine, rng):
+        backend = make_backend(engine, {1: "t2.nano", 2: "t2.large", 3: "m4.10xlarge"})
+        policy = RoundRobinRouting()
+        routed = [policy.route(1, backend, rng) for _ in range(6)]
+        assert routed == [1, 2, 3, 1, 2, 3]
+
+    def test_accelerator_uses_injected_policy(self, engine, rng):
+        backend = make_backend(engine, {1: "t2.nano", 2: "t2.large"})
+        accelerator = make_accelerator(engine, backend, rng, routing_policy=RoundRobinRouting())
+        for _ in range(4):
+            accelerator.submit(user_id=0, acceleration_group=1, work_units=50.0)
+        engine.run()
+        groups = sorted({record.acceleration_group for record in accelerator.records})
+        assert groups == [1, 2]
+
+
+class TestReporting:
+    def test_response_times_by_group(self, engine, rng):
+        backend = make_backend(engine, {1: "t2.nano", 3: "m4.10xlarge"})
+        accelerator = make_accelerator(engine, backend, rng)
+        for group in (1, 3, 1, 3):
+            accelerator.submit(user_id=0, acceleration_group=group, work_units=1000.0)
+        engine.run()
+        by_group = accelerator.response_times_by_group()
+        assert set(by_group) == {1, 3}
+        assert np.mean(by_group[3]) < np.mean(by_group[1])
+
+    def test_records_for_user(self, engine, rng):
+        backend = make_backend(engine, {1: "t2.nano"})
+        accelerator = make_accelerator(engine, backend, rng)
+        accelerator.submit(user_id=1, acceleration_group=1, work_units=10.0)
+        accelerator.submit(user_id=2, acceleration_group=1, work_units=10.0)
+        engine.run()
+        assert len(accelerator.records_for_user(1)) == 1
+        assert accelerator.records_for_user(3) == []
+
+    def test_success_rate_requires_processed_requests(self, engine, rng):
+        backend = make_backend(engine, {1: "t2.nano"})
+        accelerator = make_accelerator(engine, backend, rng)
+        with pytest.raises(ValueError):
+            accelerator.success_rate()

@@ -1,0 +1,191 @@
+"""Tests for the software-defined flow table and controller."""
+
+import pytest
+
+from repro.cloud.backend import BackendPool
+from repro.cloud.catalog import get_instance_type
+from repro.cloud.server import CloudInstance
+from repro.sdn.flowtable import (
+    FlowController,
+    FlowMatch,
+    FlowRule,
+    FlowTable,
+    FlowTableRouting,
+)
+
+
+class TestFlowMatch:
+    def test_wildcard_matches_everything(self):
+        assert FlowMatch().matches(7, "wearable")
+
+    def test_user_match(self):
+        match = FlowMatch(user_id=3)
+        assert match.matches(3)
+        assert not match.matches(4)
+
+    def test_device_class_match(self):
+        match = FlowMatch(device_class="wearable")
+        assert match.matches(1, "wearable")
+        assert not match.matches(1, "flagship-phone")
+
+    def test_specificity(self):
+        assert FlowMatch().specificity == 0
+        assert FlowMatch(user_id=1).specificity == 1
+        assert FlowMatch(user_id=1, device_class="tablet").specificity == 2
+
+
+class TestFlowRule:
+    def test_negative_group_rejected(self):
+        with pytest.raises(ValueError):
+            FlowRule(rule_id=0, match=FlowMatch(), acceleration_group=-1)
+
+
+class TestFlowTable:
+    def test_default_group_on_miss(self):
+        table = FlowTable(default_group=1)
+        assert table.lookup(5) == 1
+        assert table.misses == 1
+        assert table.lookups == 1
+
+    def test_invalid_default_group(self):
+        with pytest.raises(ValueError):
+            FlowTable(default_group=-1)
+
+    def test_install_and_lookup(self):
+        table = FlowTable(default_group=1)
+        table.install(FlowMatch(user_id=5), acceleration_group=3)
+        assert table.lookup(5) == 3
+        assert table.lookup(6) == 1
+
+    def test_priority_wins_over_insertion_order(self):
+        table = FlowTable(default_group=0)
+        table.install(FlowMatch(user_id=5), acceleration_group=1, priority=0)
+        table.install(FlowMatch(user_id=5), acceleration_group=3, priority=5)
+        assert table.lookup(5) == 3
+
+    def test_specific_rule_wins_over_wildcard_at_same_priority(self):
+        table = FlowTable(default_group=0)
+        table.install(FlowMatch(), acceleration_group=1, priority=0)
+        table.install(FlowMatch(user_id=2), acceleration_group=3, priority=0)
+        assert table.lookup(2) == 3
+        assert table.lookup(9) == 1
+
+    def test_remove_rule(self):
+        table = FlowTable()
+        rule = table.install(FlowMatch(user_id=1), acceleration_group=2)
+        table.remove(rule.rule_id)
+        assert len(table) == 0
+        with pytest.raises(KeyError):
+            table.remove(rule.rule_id)
+
+    def test_remove_user_rules(self):
+        table = FlowTable()
+        table.install(FlowMatch(user_id=1), 2)
+        table.install(FlowMatch(user_id=1), 3)
+        table.install(FlowMatch(user_id=2), 2)
+        assert table.remove_user_rules(1) == 2
+        assert len(table) == 1
+
+    def test_rule_for_user(self):
+        table = FlowTable()
+        assert table.rule_for_user(1) is None
+        table.install(FlowMatch(user_id=1), 2)
+        rule = table.rule_for_user(1)
+        assert rule is not None and rule.acceleration_group == 2
+
+
+class TestFlowController:
+    def test_promotion_installs_user_rule(self):
+        controller = FlowController(FlowTable(default_group=1), max_group=3)
+        controller.on_promotion(user_id=8, new_group=2)
+        assert controller.group_for(8) == 2
+        assert controller.group_for(9) == 1
+        assert controller.promotions_installed == 1
+
+    def test_promotion_never_downgrades(self):
+        controller = FlowController(FlowTable(default_group=1), max_group=3)
+        controller.on_promotion(8, 3)
+        controller.on_promotion(8, 2)  # stale/out-of-order report
+        assert controller.group_for(8) == 3
+
+    def test_promotion_validates_group(self):
+        controller = FlowController(FlowTable(), max_group=3)
+        with pytest.raises(ValueError):
+            controller.on_promotion(1, 4)
+
+    def test_minimum_level_applies_to_everyone_but_yields_to_promotions(self):
+        controller = FlowController(FlowTable(default_group=0), max_group=3)
+        controller.set_minimum_level(2)
+        assert controller.group_for(1) == 2
+        controller.on_promotion(1, 3)
+        assert controller.group_for(1) == 3
+        assert controller.group_for(2) == 2
+
+    def test_minimum_level_is_replaced_not_stacked(self):
+        controller = FlowController(FlowTable(default_group=0), max_group=3)
+        controller.set_minimum_level(1)
+        controller.set_minimum_level(2)
+        assert controller.group_for(99) == 2
+        # Only one wildcard rule remains.
+        wildcard_rules = [r for r in controller.table.rules if r.match.user_id is None]
+        assert len(wildcard_rules) == 1
+
+    def test_minimum_level_validation(self):
+        controller = FlowController(FlowTable(), max_group=2)
+        with pytest.raises(ValueError):
+            controller.set_minimum_level(5)
+
+
+class TestFlowTableRouting:
+    def test_routes_by_flow_table_decision(self, engine, rng):
+        pool = BackendPool()
+        pool.add_instance(CloudInstance(engine, get_instance_type("t2.nano")), 1)
+        pool.add_instance(CloudInstance(engine, get_instance_type("m4.10xlarge")), 3)
+        controller = FlowController(FlowTable(default_group=1), max_group=3)
+        controller.on_promotion(42, 3)
+        routing = FlowTableRouting(controller)
+        routing.observe_user(42)
+        assert routing.route(1, pool, rng) == 3
+        routing.observe_user(7)
+        assert routing.route(1, pool, rng) == 1
+
+    def test_clamps_to_provisioned_groups(self, engine, rng):
+        pool = BackendPool()
+        pool.add_instance(CloudInstance(engine, get_instance_type("t2.large")), 2)
+        controller = FlowController(FlowTable(default_group=1), max_group=3)
+        routing = FlowTableRouting(controller)
+        routing.observe_user(1)
+        assert routing.route(1, pool, rng) == 2
+
+    def test_sdn_accelerator_routes_through_the_flow_table(self, engine, rng):
+        """End to end: promotions installed in the flow table change where the
+        front-end sends a user's traffic, with no change on the device side."""
+        from repro.sdn.accelerator import SDNAccelerator
+
+        pool = BackendPool()
+        pool.add_instance(CloudInstance(engine, get_instance_type("t2.nano")), 1)
+        pool.add_instance(CloudInstance(engine, get_instance_type("m4.10xlarge")), 3)
+        controller = FlowController(FlowTable(default_group=1), max_group=3)
+        accelerator = SDNAccelerator(
+            engine, pool, rng=rng, routing_policy=FlowTableRouting(controller)
+        )
+        # Before any promotion both users are served by group 1.
+        accelerator.submit(user_id=1, acceleration_group=1, work_units=500.0)
+        accelerator.submit(user_id=2, acceleration_group=1, work_units=500.0)
+        # The controller learns that user 2 was promoted to level 3.
+        controller.on_promotion(user_id=2, new_group=3)
+        accelerator.submit(user_id=1, acceleration_group=1, work_units=500.0)
+        accelerator.submit(user_id=2, acceleration_group=1, work_units=500.0)
+        engine.run()
+        # Order the records by submission (request id); completion order
+        # differs because the level-3 request finishes sooner.
+        groups_user1 = [
+            r.acceleration_group
+            for r in sorted(accelerator.records_for_user(1), key=lambda r: r.request_id)
+        ]
+        groups_user2 = [
+            r.acceleration_group
+            for r in sorted(accelerator.records_for_user(2), key=lambda r: r.request_id)
+        ]
+        assert groups_user1 == [1, 1]
+        assert groups_user2 == [1, 3]

@@ -1,0 +1,69 @@
+"""Tests for the simulation clock and time-unit helpers."""
+
+import pytest
+
+from repro.simulation.clock import (
+    MILLISECONDS_PER_HOUR,
+    MILLISECONDS_PER_MINUTE,
+    MILLISECONDS_PER_SECOND,
+    SimulationClock,
+    hours_to_ms,
+    minutes_to_ms,
+    ms_to_hours,
+    seconds_to_ms,
+)
+
+
+class TestSimulationClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimulationClock().now_ms == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimulationClock(500.0).now_ms == 500.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimulationClock(-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = SimulationClock()
+        clock.advance_to(250.0)
+        assert clock.now_ms == 250.0
+
+    def test_advance_to_same_time_is_allowed(self):
+        clock = SimulationClock(100.0)
+        clock.advance_to(100.0)
+        assert clock.now_ms == 100.0
+
+    def test_advance_backwards_raises(self):
+        clock = SimulationClock(100.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(99.0)
+
+    def test_unit_views_are_consistent(self):
+        clock = SimulationClock()
+        clock.advance_to(MILLISECONDS_PER_HOUR)
+        assert clock.now_hours == pytest.approx(1.0)
+        assert clock.now_minutes == pytest.approx(60.0)
+        assert clock.now_seconds == pytest.approx(3600.0)
+
+    def test_repr_contains_time(self):
+        assert "123" in repr(SimulationClock(123.0))
+
+
+class TestUnitConversions:
+    def test_hours_to_ms(self):
+        assert hours_to_ms(2.0) == 2 * MILLISECONDS_PER_HOUR
+
+    def test_minutes_to_ms(self):
+        assert minutes_to_ms(3.0) == 3 * MILLISECONDS_PER_MINUTE
+
+    def test_seconds_to_ms(self):
+        assert seconds_to_ms(1.5) == 1.5 * MILLISECONDS_PER_SECOND
+
+    def test_ms_to_hours_roundtrip(self):
+        assert ms_to_hours(hours_to_ms(7.25)) == pytest.approx(7.25)
+
+    def test_constants_are_consistent(self):
+        assert MILLISECONDS_PER_MINUTE == 60 * MILLISECONDS_PER_SECOND
+        assert MILLISECONDS_PER_HOUR == 60 * MILLISECONDS_PER_MINUTE

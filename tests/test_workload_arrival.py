@@ -1,0 +1,103 @@
+"""Tests for the arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.workload.arrival import (
+    EmpiricalArrivalProcess,
+    FixedRateArrivalProcess,
+    PoissonArrivalProcess,
+    UniformArrivalProcess,
+    doubling_rate_schedule,
+)
+
+
+class TestFixedRate:
+    def test_gap_is_inverse_rate(self, rng):
+        process = FixedRateArrivalProcess(rate_hz=4.0)
+        assert process.next_gap_ms(rng) == 250.0
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError):
+            FixedRateArrivalProcess(rate_hz=0.0)
+
+    def test_arrival_times_fill_interval(self, rng):
+        process = FixedRateArrivalProcess(rate_hz=1.0)
+        times = process.arrival_times_ms(rng, start_ms=0.0, end_ms=10_000.0)
+        assert len(times) == 9  # arrivals strictly inside (0, 10000)
+        assert all(earlier < later for earlier, later in zip(times, times[1:]))
+
+    def test_max_arrivals_cap(self, rng):
+        process = FixedRateArrivalProcess(rate_hz=100.0)
+        times = process.arrival_times_ms(rng, start_ms=0.0, end_ms=10_000.0, max_arrivals=5)
+        assert len(times) == 5
+
+    def test_invalid_interval(self, rng):
+        with pytest.raises(ValueError):
+            FixedRateArrivalProcess(rate_hz=1.0).arrival_times_ms(rng, start_ms=10.0, end_ms=0.0)
+
+
+class TestPoisson:
+    def test_mean_rate_matches(self, rng):
+        process = PoissonArrivalProcess(rate_hz=10.0)
+        times = process.arrival_times_ms(rng, start_ms=0.0, end_ms=100_000.0)
+        # Expect about 1000 arrivals over 100 seconds at 10 Hz.
+        assert len(times) == pytest.approx(1000, rel=0.15)
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivalProcess(rate_hz=-1.0)
+
+    def test_gaps_are_random(self, rng):
+        process = PoissonArrivalProcess(rate_hz=1.0)
+        gaps = {process.next_gap_ms(rng) for _ in range(10)}
+        assert len(gaps) > 1
+
+
+class TestEmpirical:
+    def test_samples_come_from_observed_gaps(self, rng):
+        process = EmpiricalArrivalProcess(gaps_ms=[100.0, 200.0, 300.0])
+        samples = {process.next_gap_ms(rng) for _ in range(200)}
+        assert samples <= {100.0, 200.0, 300.0}
+        assert len(samples) == 3
+
+    def test_rejects_empty_or_negative(self):
+        with pytest.raises(ValueError):
+            EmpiricalArrivalProcess(gaps_ms=[])
+        with pytest.raises(ValueError):
+            EmpiricalArrivalProcess(gaps_ms=[10.0, -1.0])
+
+
+class TestUniform:
+    def test_defaults_match_usage_study_range(self, rng):
+        """The paper reports inter-arrival gaps between 100 and 5000 ms."""
+        process = UniformArrivalProcess()
+        gaps = [process.next_gap_ms(rng) for _ in range(1000)]
+        assert min(gaps) >= 100.0
+        assert max(gaps) <= 5000.0
+        assert np.mean(gaps) == pytest.approx(2550.0, rel=0.1)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            UniformArrivalProcess(low_ms=500.0, high_ms=100.0)
+
+
+class TestDoublingSchedule:
+    def test_paper_schedule_1_to_1024_hz(self):
+        segments = doubling_rate_schedule()
+        rates = [rate for _, _, rate in segments]
+        assert rates == [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+        # Contiguous 5-minute segments.
+        assert segments[0][0] == 0.0
+        assert all(b[0] == a[1] for a, b in zip(segments, segments[1:]))
+        assert segments[0][1] - segments[0][0] == 5 * 60 * 1000.0
+
+    def test_custom_bounds(self):
+        segments = doubling_rate_schedule(initial_rate_hz=2.0, final_rate_hz=8.0, step_duration_ms=1000.0)
+        assert [rate for _, _, rate in segments] == [2.0, 4.0, 8.0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            doubling_rate_schedule(initial_rate_hz=0.0)
+        with pytest.raises(ValueError):
+            doubling_rate_schedule(step_duration_ms=0.0)

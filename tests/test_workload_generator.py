@@ -1,0 +1,135 @@
+"""Tests for the concurrent and inter-arrival workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workload.arrival import FixedRateArrivalProcess, PoissonArrivalProcess
+from repro.workload.generator import (
+    ConcurrentWorkloadGenerator,
+    InterArrivalWorkloadGenerator,
+    WorkloadRequest,
+)
+
+
+class TestWorkloadRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadRequest(request_id=0, user_id=0, task_name="x", work_units=0.0, arrival_ms=0.0)
+        with pytest.raises(ValueError):
+            WorkloadRequest(request_id=0, user_id=0, task_name="x", work_units=1.0, arrival_ms=-1.0)
+
+
+class TestConcurrentMode:
+    def test_round_has_one_request_per_user(self, task_pool, rng):
+        generator = ConcurrentWorkloadGenerator(task_pool, rng=rng)
+        requests = generator.generate_round(30)
+        assert len(requests) == 30
+        assert {request.user_id for request in requests} == set(range(30))
+
+    def test_round_requests_are_nearly_simultaneous(self, task_pool, rng):
+        generator = ConcurrentWorkloadGenerator(task_pool, rng=rng, intra_round_jitter_ms=5.0)
+        requests = generator.generate_round(20, start_ms=1000.0)
+        assert all(1000.0 <= request.arrival_ms <= 1005.0 for request in requests)
+
+    def test_rounds_are_separated_by_gap(self, task_pool, rng):
+        generator = ConcurrentWorkloadGenerator(task_pool, rng=rng, round_gap_ms=60_000.0)
+        requests = generator.generate(10, rounds=3)
+        assert len(requests) == 30
+        starts = sorted({request.arrival_ms // 60_000.0 for request in requests})
+        assert starts == [0.0, 1.0, 2.0]
+
+    def test_random_tasks_cover_the_pool(self, task_pool, rng):
+        generator = ConcurrentWorkloadGenerator(task_pool, rng=rng)
+        requests = generator.generate(100, rounds=2)
+        assert len({request.task_name for request in requests}) > 3
+
+    def test_fixed_task_mode(self, task_pool, rng):
+        generator = ConcurrentWorkloadGenerator(task_pool, rng=rng, fixed_task="minimax")
+        requests = generator.generate_round(10)
+        assert {request.task_name for request in requests} == {"minimax"}
+
+    def test_request_ids_are_unique(self, task_pool, rng):
+        generator = ConcurrentWorkloadGenerator(task_pool, rng=rng)
+        requests = generator.generate(20, rounds=3)
+        assert len({request.request_id for request in requests}) == len(requests)
+
+    def test_invalid_arguments(self, task_pool, rng):
+        generator = ConcurrentWorkloadGenerator(task_pool, rng=rng)
+        with pytest.raises(ValueError):
+            generator.generate_round(0)
+        with pytest.raises(ValueError):
+            generator.generate(10, rounds=0)
+        with pytest.raises(ValueError):
+            ConcurrentWorkloadGenerator(task_pool, rng=rng, round_gap_ms=0.0)
+
+
+class TestInterArrivalMode:
+    def test_generates_requests_over_interval(self, task_pool, rng):
+        generator = InterArrivalWorkloadGenerator(task_pool, rng=rng)
+        requests = generator.generate(
+            devices=50,
+            arrival_process=FixedRateArrivalProcess(rate_hz=2.0),
+            start_ms=0.0,
+            end_ms=60_000.0,
+        )
+        assert len(requests) == pytest.approx(120, abs=2)
+        assert all(0.0 <= request.arrival_ms < 60_000.0 for request in requests)
+        assert all(0 <= request.user_id < 50 for request in requests)
+
+    def test_devices_are_spread(self, task_pool, rng):
+        generator = InterArrivalWorkloadGenerator(task_pool, rng=rng)
+        requests = generator.generate(
+            devices=10,
+            arrival_process=PoissonArrivalProcess(rate_hz=5.0),
+            start_ms=0.0,
+            end_ms=120_000.0,
+        )
+        assert len({request.user_id for request in requests}) == 10
+
+    def test_fixed_task_pins_every_request(self, task_pool, rng):
+        generator = InterArrivalWorkloadGenerator(task_pool, rng=rng, fixed_task="minimax")
+        requests = generator.generate(
+            devices=5,
+            arrival_process=FixedRateArrivalProcess(rate_hz=1.0),
+            start_ms=0.0,
+            end_ms=30_000.0,
+        )
+        assert {request.task_name for request in requests} == {"minimax"}
+
+    def test_invalid_devices(self, task_pool, rng):
+        generator = InterArrivalWorkloadGenerator(task_pool, rng=rng)
+        with pytest.raises(ValueError):
+            generator.generate(
+                devices=0,
+                arrival_process=FixedRateArrivalProcess(rate_hz=1.0),
+                start_ms=0.0,
+                end_ms=1000.0,
+            )
+
+    def test_piecewise_generation_follows_segment_rates(self, task_pool, rng):
+        generator = InterArrivalWorkloadGenerator(task_pool, rng=rng)
+        segments = [(0.0, 10_000.0, 1.0), (10_000.0, 20_000.0, 10.0)]
+        requests = generator.generate_piecewise(
+            devices=10,
+            segments=segments,
+            process_factory=lambda rate: FixedRateArrivalProcess(rate_hz=rate),
+        )
+        first = [r for r in requests if r.arrival_ms < 10_000.0]
+        second = [r for r in requests if r.arrival_ms >= 10_000.0]
+        assert len(second) > 5 * len(first)
+
+    def test_deterministic_given_same_stream(self, task_pool, streams):
+        def run(stream_name):
+            generator = InterArrivalWorkloadGenerator(task_pool, rng=streams.spawn(stream_name).stream("gen"))
+            return [
+                (r.user_id, r.task_name, round(r.arrival_ms, 3))
+                for r in generator.generate(
+                    devices=20,
+                    arrival_process=PoissonArrivalProcess(rate_hz=2.0),
+                    start_ms=0.0,
+                    end_ms=30_000.0,
+                )
+            ]
+
+        assert run("a") == run("a")
+        assert run("a") != run("b")

@@ -1,0 +1,88 @@
+"""Tests for trace replay."""
+
+import pytest
+
+from repro.cloud.backend import BackendPool
+from repro.cloud.catalog import get_instance_type
+from repro.cloud.server import CloudInstance
+from repro.sdn.accelerator import SDNAccelerator
+from repro.simulation.engine import SimulationEngine
+from repro.workload.replay import TraceReplayer
+from repro.workload.traces import TraceLog
+
+
+def make_accelerator(engine, rng, levels=("t2.nano", "t2.large", "m4.4xlarge")):
+    backend = BackendPool()
+    for index, type_name in enumerate(levels, start=1):
+        backend.add_instance(CloudInstance(engine, get_instance_type(type_name), rng=rng), index)
+    return SDNAccelerator(engine, backend, rng=rng)
+
+
+def make_log(requests=30):
+    log = TraceLog()
+    for index in range(requests):
+        log.log(
+            timestamp_ms=1000.0 * index,
+            user_id=index % 5,
+            acceleration_group=1 + index % 3,
+            battery_level=1.0,
+            round_trip_time_ms=2000.0,
+        )
+    return log
+
+
+class TestTraceReplayer:
+    def test_replays_every_record(self, engine, rng):
+        accelerator = make_accelerator(engine, rng)
+        replayer = TraceReplayer(accelerator, rng=rng)
+        result = replayer.replay(make_log(30))
+        assert result.original_count == 30
+        assert result.replayed_count == 30
+        assert result.success_rate() == 1.0
+        assert result.mean_response_ms() > 0
+
+    def test_preserves_users_and_groups(self, engine, rng):
+        accelerator = make_accelerator(engine, rng)
+        replayer = TraceReplayer(accelerator, rng=rng)
+        result = replayer.replay(make_log(12))
+        assert {record.user_id for record in result.records} == set(range(5))
+        assert {record.acceleration_group for record in result.records} == {1, 2, 3}
+
+    def test_time_scale_compresses_the_timeline(self, rng):
+        slow_engine, fast_engine = SimulationEngine(), SimulationEngine()
+        slow = TraceReplayer(make_accelerator(slow_engine, rng), rng=rng)
+        fast = TraceReplayer(make_accelerator(fast_engine, rng), rng=rng)
+        log = make_log(20)
+        slow.replay(log, time_scale=1.0, drain_ms=0.0)
+        fast.replay(log, time_scale=0.1, drain_ms=0.0)
+        assert fast_engine.now_ms < slow_engine.now_ms
+
+    def test_invalid_time_scale(self, engine, rng):
+        replayer = TraceReplayer(make_accelerator(engine, rng), rng=rng)
+        with pytest.raises(ValueError):
+            replayer.schedule(make_log(3), time_scale=0.0)
+
+    def test_empty_log_is_a_noop(self, engine, rng):
+        replayer = TraceReplayer(make_accelerator(engine, rng), rng=rng)
+        assert replayer.schedule(TraceLog()) == 0
+
+    def test_what_if_replay_against_bigger_backend_is_faster(self, rng):
+        """Replaying the same workload against a faster back-end shows the benefit."""
+        log = make_log(40)
+        small_engine, big_engine = SimulationEngine(), SimulationEngine()
+        small = TraceReplayer(
+            make_accelerator(small_engine, rng, levels=("t2.nano", "t2.nano", "t2.nano")), rng=rng
+        )
+        big = TraceReplayer(
+            make_accelerator(big_engine, rng, levels=("m4.10xlarge", "m4.10xlarge", "m4.10xlarge")),
+            rng=rng,
+        )
+        slow_result = small.replay(log)
+        fast_result = big.replay(log)
+        assert fast_result.mean_response_ms() < slow_result.mean_response_ms()
+
+    def test_random_task_mode(self, engine, rng):
+        accelerator = make_accelerator(engine, rng)
+        replayer = TraceReplayer(accelerator, task_name=None, rng=rng)
+        result = replayer.replay(make_log(25))
+        assert len({record.task_name for record in result.records}) > 1

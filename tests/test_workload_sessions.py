@@ -1,0 +1,95 @@
+"""Tests for the synthetic smartphone usage study."""
+
+import numpy as np
+import pytest
+
+from repro.workload.sessions import (
+    SmartphoneUsageStudy,
+    UsageSession,
+    UsageTrace,
+    synthesize_usage_study,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    rng = np.random.default_rng(42)
+    # A shortened study (2 participants, 7 days) keeps the test fast while
+    # exercising the full generation pipeline.
+    return synthesize_usage_study(rng, participants=2, study_days=7)
+
+
+class TestUsageSession:
+    def test_end_and_count(self):
+        session = UsageSession(participant_id=0, start_ms=1000.0, duration_ms=500.0, request_times_ms=(1100.0, 1200.0))
+        assert session.end_ms == 1500.0
+        assert session.request_count == 2
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            UsageSession(participant_id=0, start_ms=0.0, duration_ms=-1.0, request_times_ms=())
+
+
+class TestUsageTrace:
+    def test_request_times_sorted(self):
+        trace = UsageTrace(participant_id=0, sessions=[
+            UsageSession(0, 5000.0, 100.0, (5050.0,)),
+            UsageSession(0, 0.0, 100.0, (10.0, 90.0)),
+        ])
+        assert trace.request_times_ms() == [10.0, 90.0, 5050.0]
+
+    def test_inter_arrival_gaps_filter_long_gaps(self):
+        trace = UsageTrace(participant_id=0, sessions=[
+            UsageSession(0, 0.0, 20_000.0, (0.0, 1000.0, 15_000.0)),
+        ])
+        gaps = trace.inter_arrival_gaps_ms(max_gap_ms=5000.0)
+        assert gaps == [1000.0]
+
+    def test_gap_filter_validates_threshold(self):
+        with pytest.raises(ValueError):
+            UsageTrace(participant_id=0).inter_arrival_gaps_ms(max_gap_ms=0.0)
+
+
+class TestSynthesizedStudy:
+    def test_participant_count(self, study):
+        assert study.participant_count == 2
+
+    def test_gaps_fall_in_paper_range(self, study):
+        """Within-session gaps are in the paper's 100-5000 ms range."""
+        gaps = study.combined_gaps_ms()
+        assert len(gaps) > 100
+        assert min(gaps) >= 100.0
+        assert max(gaps) <= 5000.0
+
+    def test_arrival_process_resamples_gaps(self, study, rng):
+        process = study.arrival_process()
+        gaps = [process.next_gap_ms(rng) for _ in range(100)]
+        assert all(100.0 <= gap <= 5000.0 for gap in gaps)
+
+    def test_night_hours_are_quiet(self, study):
+        profile = study.hourly_activity_profile()
+        night = sum(profile[hour] for hour in (0, 1, 2, 3, 4, 5))
+        evening = sum(profile[hour] for hour in (18, 19, 20, 21, 22))
+        assert night < 0.05
+        assert evening > 0.2
+
+    def test_activity_profile_sums_to_one(self, study):
+        assert sum(study.hourly_activity_profile().values()) == pytest.approx(1.0)
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            synthesize_usage_study(rng, participants=0)
+        with pytest.raises(ValueError):
+            synthesize_usage_study(rng, study_days=0)
+        with pytest.raises(ValueError):
+            synthesize_usage_study(rng, mean_sessions_per_day=0.0)
+
+    def test_deterministic_for_same_seed(self):
+        first = synthesize_usage_study(np.random.default_rng(7), participants=1, study_days=3)
+        second = synthesize_usage_study(np.random.default_rng(7), participants=1, study_days=3)
+        assert first.combined_gaps_ms() == second.combined_gaps_ms()
+
+    def test_empty_study_arrival_process_raises(self):
+        empty = SmartphoneUsageStudy(traces=[UsageTrace(participant_id=0)], study_days=1)
+        with pytest.raises(ValueError):
+            empty.arrival_process()

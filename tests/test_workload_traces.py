@@ -1,0 +1,95 @@
+"""Tests for the request trace log."""
+
+import pytest
+
+from repro.simulation.clock import MILLISECONDS_PER_HOUR
+from repro.workload.traces import TraceLog, TraceRecord
+
+
+class TestTraceRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecord(timestamp_ms=-1, user_id=0, acceleration_group=1, battery_level=1.0, round_trip_time_ms=1.0)
+        with pytest.raises(ValueError):
+            TraceRecord(timestamp_ms=0, user_id=-1, acceleration_group=1, battery_level=1.0, round_trip_time_ms=1.0)
+        with pytest.raises(ValueError):
+            TraceRecord(timestamp_ms=0, user_id=0, acceleration_group=-1, battery_level=1.0, round_trip_time_ms=1.0)
+        with pytest.raises(ValueError):
+            TraceRecord(timestamp_ms=0, user_id=0, acceleration_group=1, battery_level=1.5, round_trip_time_ms=1.0)
+        with pytest.raises(ValueError):
+            TraceRecord(timestamp_ms=0, user_id=0, acceleration_group=1, battery_level=1.0, round_trip_time_ms=-1.0)
+
+
+class TestTraceLog:
+    def make_log(self):
+        log = TraceLog()
+        # Two hours of traces: hour 0 has users 1 and 2 in group 1;
+        # hour 1 has user 2 in group 2 and user 3 in group 1.
+        log.log(10.0, 1, 1, 0.9, 2000.0)
+        log.log(20.0, 2, 1, 0.8, 2100.0)
+        log.log(MILLISECONDS_PER_HOUR + 10.0, 2, 2, 0.7, 1500.0)
+        log.log(MILLISECONDS_PER_HOUR + 20.0, 3, 1, 0.6, 2500.0)
+        return log
+
+    def test_append_and_len(self):
+        log = self.make_log()
+        assert len(log) == 4
+        assert len(list(log)) == 4
+
+    def test_users_and_groups(self):
+        log = self.make_log()
+        assert log.users() == {1, 2, 3}
+        assert log.groups() == {1, 2}
+
+    def test_sorted_records(self):
+        log = TraceLog()
+        log.log(50.0, 1, 1, 1.0, 1.0)
+        log.log(10.0, 2, 1, 1.0, 1.0)
+        assert [r.timestamp_ms for r in log.sorted_records()] == [10.0, 50.0]
+
+    def test_time_span(self):
+        assert self.make_log().time_span_ms() == pytest.approx(MILLISECONDS_PER_HOUR + 10.0)
+        assert TraceLog().time_span_ms() == 0.0
+
+    def test_window_is_half_open(self):
+        log = self.make_log()
+        window = log.window(0.0, MILLISECONDS_PER_HOUR)
+        assert len(window) == 2
+        with pytest.raises(ValueError):
+            log.window(10.0, 0.0)
+
+    def test_users_per_group(self):
+        assert self.make_log().users_per_group() == {1: {1, 2, 3}, 2: {2}}
+
+    def test_hourly_slot_workloads(self):
+        slots = self.make_log().hourly_slot_workloads()
+        assert len(slots) == 2
+        assert slots[0][1] == {1, 2}
+        assert slots[0][2] == set()
+        assert slots[1][1] == {3}
+        assert slots[1][2] == {2}
+
+    def test_slot_workloads_with_explicit_groups(self):
+        slots = self.make_log().slot_workloads(MILLISECONDS_PER_HOUR, groups=[1, 2, 3])
+        assert set(slots[0].keys()) == {1, 2, 3}
+        assert slots[0][3] == set()
+
+    def test_slot_workloads_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            self.make_log().slot_workloads(0.0)
+
+    def test_slot_workloads_empty_log(self):
+        assert TraceLog().slot_workloads(1000.0) == []
+
+    def test_csv_roundtrip(self, tmp_path):
+        log = self.make_log()
+        path = log.to_csv(tmp_path / "traces.csv")
+        loaded = TraceLog.from_csv(path)
+        assert len(loaded) == len(log)
+        assert loaded.records[0] == log.records[0]
+
+    def test_csv_missing_columns_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("timestamp_ms,user_id\n1,2\n")
+        with pytest.raises(ValueError):
+            TraceLog.from_csv(path)
