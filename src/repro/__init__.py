@@ -37,6 +37,12 @@ Package layout
     Instance benchmarking, predictor cross-validation and shared metrics.
 ``repro.experiments``
     One runner per evaluation figure of the paper (Fig. 4–11).
+``repro.scenarios``
+    Declarative scenario engine: :class:`~repro.scenarios.spec.ScenarioSpec`
+    composes the layers above into runnable simulations (flash crowds,
+    diurnal cycles, price spikes, ...), and the parallel
+    :class:`~repro.scenarios.campaign.CampaignRunner` compares many scenarios
+    in one table.
 ``repro.baselines``
     Round-robin routing, static/over-provisioning, greedy allocation, reactive
     autoscaling and naive predictors.
@@ -69,6 +75,14 @@ from repro.core.model import AdaptiveModel, ModelDecision
 from repro.core.prediction import WorkloadPredictor, prediction_accuracy
 from repro.core.timeslots import TimeSlot, TimeSlotHistory
 from repro.mobile.tasks import DEFAULT_TASK_POOL, OffloadableTask, TaskPool
+from repro.scenarios import (
+    CampaignRunner,
+    ScenarioResult,
+    ScenarioSpec,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
 from repro.sdn.accelerator import SDNAccelerator
 from repro.workload.traces import TraceLog, TraceRecord
 
@@ -79,6 +93,7 @@ __all__ = [
     "AdaptiveModel",
     "AllocationPlan",
     "AllocationProblem",
+    "CampaignRunner",
     "DEFAULT_CATALOG",
     "DEFAULT_TASK_POOL",
     "IlpAllocator",
@@ -88,6 +103,8 @@ __all__ = [
     "ModelDecision",
     "OffloadableTask",
     "SDNAccelerator",
+    "ScenarioResult",
+    "ScenarioSpec",
     "TaskPool",
     "TimeSlot",
     "TimeSlotHistory",
@@ -97,6 +114,9 @@ __all__ = [
     "build_options_from_catalog",
     "characterize_instances",
     "get_instance_type",
+    "get_scenario",
     "prediction_accuracy",
+    "run_scenario",
+    "scenario_names",
     "__version__",
 ]

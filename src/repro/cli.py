@@ -8,7 +8,14 @@ command line and prints the resulting rows as a plain table, e.g.::
     repro-accel dynamic --hours 2    # the Fig. 9/10 system experiment
     repro-accel export --output-dir results/   # CSVs for every fast figure
 
-Every experiment accepts ``--seed`` so runs are reproducible.
+Beyond the paper's figures, the scenario engine runs declarative workloads::
+
+    repro-accel scenario list                  # the built-in scenario registry
+    repro-accel scenario run flash-crowd       # one scenario end to end
+    repro-accel scenario campaign --workers 4  # all scenarios, in parallel
+
+Every experiment accepts ``--seed`` so runs are reproducible.  Unknown
+commands exit with a nonzero status.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Sequence
 
+from repro import __version__
 from repro.analysis.reporting import format_table, write_csv
 from repro.experiments import (
     build_reproduction_summary,
@@ -30,6 +38,12 @@ from repro.experiments import (
     run_fig8a_sdn_overhead,
     run_fig10a_prediction_accuracy,
     run_fig11_network_latency,
+)
+from repro.scenarios import (
+    CampaignRunner,
+    builtin_specs,
+    get_scenario,
+    run_scenario,
 )
 
 
@@ -135,12 +149,75 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario_list(args: argparse.Namespace) -> int:
+    """Print the scenario registry as a table."""
+    rows = [
+        {
+            "scenario": spec.name,
+            "users": spec.users,
+            "hours": spec.duration_hours,
+            "slot_min": spec.slot_minutes,
+            "pattern": spec.workload.pattern,
+            "network": spec.network.profile,
+            "description": spec.description,
+        }
+        for spec in builtin_specs()
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    """Run one named scenario and print its metric row."""
+    try:
+        spec = get_scenario(args.name)
+    except KeyError as error:
+        print(str(error.args[0]), file=sys.stderr)
+        return 2
+    try:
+        spec = spec.with_overrides(
+            users=args.users, duration_hours=args.hours, target_requests=args.requests
+        )
+        result = run_scenario(spec, seed=args.seed)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_table(result.rows()))
+    return 0
+
+
+def _cmd_scenario_campaign(args: argparse.Namespace) -> int:
+    """Run many scenarios across workers and print the comparison table."""
+    if args.only:
+        try:
+            specs = [get_scenario(name.strip()) for name in args.only.split(",")]
+        except KeyError as error:
+            print(str(error.args[0]), file=sys.stderr)
+            return 2
+    else:
+        specs = builtin_specs()
+    try:
+        runner = CampaignRunner(workers=args.workers, seed=args.seed)
+        campaign = runner.run(specs)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(campaign.format_table())
+    if args.csv:
+        path = campaign.to_csv(args.csv)
+        print(f"wrote {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the ``repro-accel`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro-accel",
         description="Regenerate the evaluation figures of 'Modeling Mobile Code "
         "Acceleration in the Cloud' (ICDCS 2017).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -174,13 +251,61 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--requests", type=int, default=1000, help="approximate total requests")
         if name == "export":
             sub.add_argument("--output-dir", default="results", help="directory for the CSV files")
+
+    scenario = subparsers.add_parser(
+        "scenario", help="declarative scenario engine (list | run | campaign)"
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    scenario_list = scenario_sub.add_parser("list", help="show the scenario registry")
+    scenario_list.set_defaults(handler=_cmd_scenario_list)
+
+    scenario_run = scenario_sub.add_parser("run", help="run one scenario end to end")
+    scenario_run.add_argument("name", help="registered scenario name")
+    scenario_run.add_argument(
+        "--seed", type=int, default=None,
+        help="root random seed (default: the spec's pinned seed, else 0)",
+    )
+    scenario_run.add_argument("--users", type=int, default=None, help="override user count")
+    scenario_run.add_argument("--hours", type=float, default=None, help="override duration")
+    scenario_run.add_argument(
+        "--requests", type=int, default=None, help="override target request count"
+    )
+    scenario_run.set_defaults(handler=_cmd_scenario_run)
+
+    scenario_campaign = scenario_sub.add_parser(
+        "campaign", help="run many scenarios in parallel and compare them"
+    )
+    scenario_campaign.add_argument("--seed", type=int, default=0, help="campaign root seed")
+    scenario_campaign.add_argument(
+        "--workers", type=int, default=None, help="worker processes (default: one per scenario, capped at CPU count)"
+    )
+    scenario_campaign.add_argument(
+        "--only", default="", help="comma-separated subset of scenario names"
+    )
+    scenario_campaign.add_argument(
+        "--csv", default="", help="also write the comparison table to this CSV path"
+    )
+    scenario_campaign.set_defaults(handler=_cmd_scenario_campaign)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point of the ``repro-accel`` console script."""
+    """Entry point of the ``repro-accel`` console script.
+
+    Returns a process exit code rather than letting ``argparse`` terminate
+    the interpreter: unknown commands yield 2, ``--version`` yields 0, so
+    embedding callers (and tests) observe a plain integer either way.
+    """
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        code = exc.code
+        if code is None:
+            return 0
+        return code if isinstance(code, int) else 2
     return args.handler(args)
 
 

@@ -22,7 +22,9 @@ users involved, giving a value in ``[0, 1]`` used for the accuracy metric.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional, Sequence, Set
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.core.timeslots import TimeSlot
 
@@ -82,3 +84,100 @@ def normalized_slot_distance(
     if normaliser == 0:
         return 0.0
     return min(distance / normaliser, 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Batched knowledge-base computation
+# ---------------------------------------------------------------------------
+
+
+class SlotDistanceIndex:
+    """Vectorised edit distances from one query slot to many indexed slots.
+
+    The knowledge base ``P`` recomputed every provisioning period is a loop of
+    :func:`slot_edit_distance` calls over the whole history — the hot path of
+    the adaptive model.  This index encodes each slot once as the set of its
+    ``(group, user)`` assignment pairs (mapped to stable integer columns) and
+    answers a query with one vectorised membership test over the concatenated
+    history instead of a Python loop:
+
+        Δ(q, t_i) = |q| + |t_i| - 2 · |q ∩ t_i|
+
+    where ``|·|`` counts assignment pairs.  Summing per-group symmetric
+    differences is identical to the symmetric difference of the pair sets, so
+    the result matches :func:`slot_edit_distance` exactly.
+
+    Slots are appended with :meth:`add` (the history only ever grows); the
+    concatenated column arrays are rebuilt lazily on the next query.
+    """
+
+    def __init__(self, slots: Optional[Sequence[TimeSlot]] = None) -> None:
+        self._columns: Dict[Tuple[int, int], int] = {}
+        self._encoded: List[np.ndarray] = []
+        self._sizes: List[int] = []
+        self._flat_cols: np.ndarray = np.empty(0, dtype=np.int64)
+        self._flat_index: np.ndarray = np.empty(0, dtype=np.int64)
+        self._flat_count = 0
+        if slots is not None:
+            for slot in slots:
+                self.add(slot)
+
+    def __len__(self) -> int:
+        return len(self._encoded)
+
+    def _encode(self, slot: TimeSlot) -> np.ndarray:
+        columns = self._columns
+        codes: List[int] = []
+        for group, users in slot.groups.items():
+            for user in users:
+                key = (group, user)
+                code = columns.get(key)
+                if code is None:
+                    code = len(columns)
+                    columns[key] = code
+                codes.append(code)
+        return np.asarray(codes, dtype=np.int64)
+
+    def add(self, slot: TimeSlot) -> None:
+        """Append one slot to the index."""
+        encoded = self._encode(slot)
+        self._encoded.append(encoded)
+        self._sizes.append(encoded.size)
+
+    def _flatten(self) -> None:
+        if self._flat_count == len(self._encoded):
+            return
+        if self._encoded:
+            self._flat_cols = np.concatenate(self._encoded)
+            self._flat_index = np.repeat(
+                np.arange(len(self._encoded), dtype=np.int64),
+                np.asarray(self._sizes, dtype=np.int64),
+            )
+        else:
+            self._flat_cols = np.empty(0, dtype=np.int64)
+            self._flat_index = np.empty(0, dtype=np.int64)
+        self._flat_count = len(self._encoded)
+
+    def distances_from(self, current: TimeSlot) -> np.ndarray:
+        """Δ(current, t_i) for every indexed slot, as an int64 array."""
+        count = len(self._encoded)
+        query = self._encode(current)
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        self._flatten()
+        if query.size and self._flat_cols.size:
+            member = np.isin(self._flat_cols, query)
+            overlaps = np.bincount(self._flat_index[member], minlength=count)
+        else:
+            overlaps = np.zeros(count, dtype=np.int64)
+        sizes = np.asarray(self._sizes, dtype=np.int64)
+        return sizes + np.int64(query.size) - 2 * overlaps
+
+
+def batch_slot_distances(current: TimeSlot, slots: Sequence[TimeSlot]) -> np.ndarray:
+    """Vectorised ``[Δ(current, slot) for slot in slots]``.
+
+    One-shot convenience wrapper over :class:`SlotDistanceIndex`; callers that
+    query a growing history repeatedly should keep an index instead.
+    """
+    return SlotDistanceIndex(slots).distances_from(current)

@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.distance import normalized_slot_distance, slot_edit_distance
+from repro.core.distance import SlotDistanceIndex, normalized_slot_distance
 from repro.core.timeslots import TimeSlot, TimeSlotHistory
 
 
@@ -80,10 +80,26 @@ class WorkloadPredictor:
         # prediction.  ``exclude_current`` removes that entry from the
         # knowledge base for the duration of the query.
         self.exclude_current = exclude_current
+        self._index = SlotDistanceIndex()
+        self._indexed_history = self.history
 
     def observe(self, slot: TimeSlot) -> None:
         """Append a newly completed slot to the history."""
         self.history.append(slot)
+
+    def _synced_index(self) -> SlotDistanceIndex:
+        """The distance index, caught up with the current history.
+
+        The history normally only grows, so new slots are appended to the
+        index incrementally; if the history object was swapped out or shrank,
+        the index is rebuilt from scratch.
+        """
+        if self._indexed_history is not self.history or len(self._index) > len(self.history):
+            self._index = SlotDistanceIndex()
+            self._indexed_history = self.history
+        for position in range(len(self._index), len(self.history)):
+            self._index.add(self.history[position])
+        return self._index
 
     def required_history(self, current_in_history: bool = True) -> int:
         """Slots the history must hold before :meth:`predict` can run.
@@ -98,13 +114,18 @@ class WorkloadPredictor:
     def knowledge_base(
         self, current: TimeSlot, *, exclude_index: Optional[int] = None
     ) -> Dict[int, int]:
-        """``P``: edit distance from ``current`` to every historical slot."""
-        distances: Dict[int, int] = {}
-        for index, slot in enumerate(self.history):
-            if exclude_index is not None and index == exclude_index:
-                continue
-            distances[index] = slot_edit_distance(current, slot)
-        return distances
+        """``P``: edit distance from ``current`` to every historical slot.
+
+        The per-slot edit distances are computed in one vectorised batch over
+        the whole history (see :class:`~repro.core.distance.SlotDistanceIndex`)
+        rather than a Python loop — this runs every provisioning period.
+        """
+        batch = self._synced_index().distances_from(current)
+        return {
+            index: int(distance)
+            for index, distance in enumerate(batch)
+            if exclude_index is None or index != exclude_index
+        }
 
     def predict(
         self, current: TimeSlot, *, exclude_index: Optional[int] = None

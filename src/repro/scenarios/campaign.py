@@ -1,0 +1,116 @@
+"""Parallel campaign execution over a list of scenarios.
+
+A *campaign* runs many scenarios and compares them in one table: the
+always-available answer to "does the adaptive model still hold up?" after any
+change to the predictor, allocator or simulation substrate.
+
+Scenarios are independent simulations, so the runner fans them out over a
+``multiprocessing`` pool.  Determinism is preserved under any worker count:
+each scenario's seed is derived from the campaign root seed and the scenario
+*name* (not submission order or worker id), every random draw inside a run
+comes from that scenario's own named streams, and results are returned in
+submission order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import format_table, write_csv
+from repro.scenarios.registry import builtin_specs
+from repro.scenarios.runner import ScenarioResult, run_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+
+def derive_scenario_seed(root_seed: int, name: str) -> int:
+    """A stable per-scenario seed from the campaign seed and scenario name.
+
+    Same construction as ``RandomStreams._child_seed`` so collisions between
+    scenario names are as unlikely as between stream names.
+    """
+    digest = hashlib.sha256(f"{int(root_seed)}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def _run_job(job: "Tuple[ScenarioSpec, int]") -> ScenarioResult:
+    """Worker entry point: run one (spec, seed) pair."""
+    spec, seed = job
+    return run_scenario(spec, seed=seed)
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """The ordered per-scenario results of one campaign."""
+
+    seed: int
+    results: Tuple[ScenarioResult, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "results", tuple(self.results))
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def get(self, name: str) -> ScenarioResult:
+        """The result of one scenario by name."""
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise KeyError(
+            f"no result for scenario {name!r}; have {[r.name for r in self.results]}"
+        )
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Cross-scenario comparison rows, in submission order."""
+        return [result.as_row() for result in self.results]
+
+    def format_table(self) -> str:
+        """The comparison table as aligned plain text."""
+        return format_table(self.rows())
+
+    def to_csv(self, path: "str | Path") -> Path:
+        """Write the comparison table as CSV; returns the path."""
+        return write_csv(self.rows(), path)
+
+
+class CampaignRunner:
+    """Executes a list of scenario specs, optionally across processes."""
+
+    def __init__(self, *, workers: Optional[int] = None, seed: int = 0) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if seed < 0:
+            raise ValueError(f"seed must be >= 0, got {seed}")
+        self.workers = workers
+        self.seed = seed
+
+    def _job_seed(self, spec: ScenarioSpec) -> int:
+        """Spec-pinned seeds win; otherwise derive from campaign seed + name."""
+        if spec.seed is not None:
+            return spec.seed
+        return derive_scenario_seed(self.seed, spec.name)
+
+    def run(self, specs: Optional[Sequence[ScenarioSpec]] = None) -> CampaignResult:
+        """Run ``specs`` (default: every built-in scenario) and collect results."""
+        specs = list(specs) if specs is not None else builtin_specs()
+        if not specs:
+            raise ValueError("campaign needs at least one scenario")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate scenario names in campaign: {names}")
+        jobs = [(spec, self._job_seed(spec)) for spec in specs]
+        workers = self.workers
+        if workers is None:
+            workers = min(len(jobs), os.cpu_count() or 1)
+        if workers <= 1 or len(jobs) == 1:
+            results = [_run_job(job) for job in jobs]
+        else:
+            context = multiprocessing.get_context()
+            with context.Pool(processes=min(workers, len(jobs))) as pool:
+                results = pool.map(_run_job, jobs, chunksize=1)
+        return CampaignResult(seed=self.seed, results=tuple(results))

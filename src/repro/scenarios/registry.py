@@ -1,0 +1,215 @@
+"""Built-in scenario registry.
+
+Eight scenarios ship with the engine, each designed to exercise a different
+failure mode of the edit-distance predictor / ILP allocator pipeline:
+
+``paper-baseline``
+    The Section VI-C deployment (uniform arrivals, three groups, 1/50 static
+    promotion) scaled to a 2-hour run — the reference point every other
+    scenario is compared against.
+``flash-crowd``
+    A single 6× arrival spike mid-run.  Nearest-slot prediction has never
+    seen the spike, so the allocator under-provisions exactly when load peaks.
+``diurnal``
+    A 24-hour sinusoidal day/night cycle.  The history fills with similar
+    slots from the same phase, which is the regime the predictor is built for.
+``bursty-poisson``
+    Regular on/off bursts shorter than the provisioning period, invisible in
+    per-slot aggregates — stresses admission control rather than prediction.
+``heterogeneous-fleet``
+    A fleet dominated by wearables and budget phones with degradation-driven
+    (response-time threshold) promotion: promotion pressure comes from slow
+    devices, not coin flips.
+``price-spike``
+    High-end instance prices multiplied mid-catalog (8× m4.4xlarge, 4×
+    t2.large): the ILP must re-optimise the mix toward many cheap instances.
+``degraded-3g``
+    A congested 3G access network (2.5× RTT): response times degrade for
+    network reasons the cloud allocator cannot fix, and threshold promotion
+    keeps firing anyway.
+``cold-history``
+    A short run with a long ``min_history`` bootstrap: the model never (or
+    barely) reaches prediction and the autoscaler falls back to reactive
+    provisioning — the paper's "bootstrap time" caveat, isolated.
+
+Scenarios registered here (or via :func:`register_scenario`) are addressable
+by name from the CLI (``repro-accel scenario run <name>``) and the campaign
+runner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.scenarios.spec import (
+    CloudSpec,
+    DeviceMixSpec,
+    NetworkSpec,
+    PolicySpec,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, *, overwrite: bool = False) -> ScenarioSpec:
+    """Add a scenario to the registry; name collisions require ``overwrite``."""
+    if spec.name in _REGISTRY and not overwrite:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known scenarios: {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names, in registration order."""
+    return list(_REGISTRY)
+
+
+def builtin_specs() -> List[ScenarioSpec]:
+    """All registered scenarios, in registration order."""
+    return list(_REGISTRY.values())
+
+
+# ---------------------------------------------------------------------------
+# Built-in scenarios
+# ---------------------------------------------------------------------------
+
+register_scenario(
+    ScenarioSpec(
+        name="paper-baseline",
+        description="Section VI-C deployment scaled to 2 h: uniform arrivals, "
+        "three groups, 1/50 static promotion",
+        users=60,
+        duration_hours=2.0,
+        slot_minutes=30.0,
+        workload=WorkloadSpec(pattern="uniform", target_requests=800),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="flash-crowd",
+        description="6x arrival spike mid-run that nearest-slot prediction "
+        "has never seen",
+        users=80,
+        duration_hours=2.0,
+        slot_minutes=20.0,
+        workload=WorkloadSpec(
+            pattern="flash-crowd",
+            target_requests=900,
+            burst_factor=6.0,
+            burst_start=0.5,
+            burst_duration=0.12,
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="diurnal",
+        description="24 h day/night cycle peaking at 20:00 - the predictor's "
+        "home turf",
+        users=80,
+        duration_hours=24.0,
+        slot_minutes=60.0,
+        workload=WorkloadSpec(
+            pattern="diurnal",
+            target_requests=1500,
+            trough_factor=0.2,
+            peak_hour=20.0,
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="bursty-poisson",
+        description="on/off bursts shorter than the provisioning period, "
+        "invisible in per-slot aggregates",
+        users=60,
+        duration_hours=2.0,
+        slot_minutes=15.0,
+        workload=WorkloadSpec(
+            pattern="bursty",
+            target_requests=900,
+            burst_factor=5.0,
+            burst_count=6,
+            burst_duration=0.25,
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="heterogeneous-fleet",
+        description="wearable/budget-heavy fleet with degradation-driven "
+        "promotion instead of coin flips",
+        users=70,
+        duration_hours=2.0,
+        slot_minutes=30.0,
+        workload=WorkloadSpec(pattern="uniform", target_requests=800),
+        devices=DeviceMixSpec(
+            weights={
+                "wearable": 4.0,
+                "budget-phone": 3.0,
+                "mid-range-phone": 2.0,
+                "flagship-phone": 0.5,
+                "tablet": 0.5,
+            }
+        ),
+        policy=PolicySpec(promotion="threshold", promotion_threshold_ms=2400.0),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="price-spike",
+        description="8x m4.4xlarge / 4x t2.large prices force the ILP toward "
+        "many cheap instances",
+        users=60,
+        duration_hours=2.0,
+        slot_minutes=30.0,
+        workload=WorkloadSpec(pattern="poisson", target_requests=800),
+        cloud=CloudSpec(
+            price_multipliers={"m4.4xlarge": 8.0, "t2.large": 4.0},
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="degraded-3g",
+        description="congested 3G access (2.5x RTT): network-dominated "
+        "response times the allocator cannot fix",
+        users=60,
+        duration_hours=2.0,
+        slot_minutes=30.0,
+        workload=WorkloadSpec(pattern="uniform", target_requests=700),
+        network=NetworkSpec(profile="degraded-3g", degradation=2.5),
+        policy=PolicySpec(promotion="threshold", promotion_threshold_ms=4000.0),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="cold-history",
+        description="short run with a long min_history bootstrap: the "
+        "autoscaler stays reactive",
+        users=40,
+        duration_hours=1.0,
+        slot_minutes=15.0,
+        workload=WorkloadSpec(pattern="uniform", target_requests=500),
+        policy=PolicySpec(min_history=6),
+    )
+)

@@ -1,0 +1,470 @@
+"""Turn a :class:`~repro.scenarios.spec.ScenarioSpec` into a simulation run.
+
+The runner composes the existing building blocks — arrival processes
+(``repro.workload``), device profiles and moderators (``repro.mobile``),
+the calibrated instance catalog and provisioner (``repro.cloud``), latency
+models (``repro.network``), the SDN front-end and predictive autoscaler
+(``repro.sdn``) and the adaptive model (``repro.core``) — exactly the way the
+hand-written Fig. 9/10 experiment does, but driven entirely by the spec.
+
+Every random draw comes from a named stream of one
+:class:`~repro.simulation.randomness.RandomStreams` seeded per scenario, so a
+(spec, seed) pair maps to exactly one result regardless of what else runs in
+the process (or in which campaign worker it runs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cloud.backend import BackendPool
+from repro.cloud.catalog import DEFAULT_CATALOG, InstanceCatalog
+from repro.cloud.provisioner import Provisioner
+from repro.core.allocation import InstanceOption, build_options_from_catalog
+from repro.core.model import AdaptiveModel
+from repro.core.prediction import WorkloadPredictor, prediction_accuracy
+from repro.core.timeslots import TimeSlotHistory
+from repro.mobile.device import DEVICE_PROFILES, MobileDevice
+from repro.mobile.moderator import (
+    BatteryAwarePolicy,
+    Moderator,
+    ResponseTimeThresholdPolicy,
+    StaticProbabilityPolicy,
+)
+from repro.mobile.tasks import DEFAULT_TASK_POOL
+from repro.network.channel import CommunicationChannel
+from repro.network.latency import (
+    ConstantLatencyModel,
+    LogNormalLatencyModel,
+    lte_latency_model,
+    three_g_latency_model,
+)
+from repro.scenarios.spec import NetworkSpec, ScenarioSpec, WorkloadSpec
+from repro.sdn.accelerator import RequestRecord, RoundRobinRouting, SDNAccelerator
+from repro.sdn.autoscaler import Autoscaler
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.randomness import RandomStreams
+from repro.workload.arrival import (
+    ArrivalProcess,
+    FixedRateArrivalProcess,
+    ModulatedPoissonProcess,
+    PoissonArrivalProcess,
+    UniformArrivalProcess,
+)
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Per-scenario metrics — plain scalars, cheap to pickle across workers."""
+
+    name: str
+    seed: int
+    users: int
+    duration_hours: float
+    requests_total: int
+    requests_succeeded: int
+    requests_dropped: int
+    mean_response_ms: float
+    p50_response_ms: float
+    p95_response_ms: float
+    p99_response_ms: float
+    prediction_accuracy: float
+    predictions: int
+    scaling_actions: int
+    allocation_cost_usd: float
+    mean_utilization: float
+    promoted_users: int
+    promotions: int
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of requests dropped at admission."""
+        if self.requests_total == 0:
+            return 0.0
+        return self.requests_dropped / self.requests_total
+
+    def as_row(self) -> Dict[str, object]:
+        """One comparison-table row (the cross-scenario CSV schema).
+
+        NaN metrics (no successful request, or no prediction made) render as
+        ``"n/a"`` so tables stay readable and CSVs never carry literal nan.
+        """
+
+        def cell(value: float, digits: int) -> object:
+            return round(value, digits) if value == value else "n/a"
+
+        return {
+            "scenario": self.name,
+            "seed": self.seed,
+            "users": self.users,
+            "hours": round(self.duration_hours, 2),
+            "requests": self.requests_total,
+            "drop_rate_pct": round(100.0 * self.drop_rate, 2),
+            "p50_ms": cell(self.p50_response_ms, 1),
+            "p95_ms": cell(self.p95_response_ms, 1),
+            "p99_ms": cell(self.p99_response_ms, 1),
+            "mean_ms": cell(self.mean_response_ms, 1),
+            "pred_accuracy_pct": cell(100.0 * self.prediction_accuracy, 1),
+            "predictions": self.predictions,
+            "cost_usd": round(self.allocation_cost_usd, 3),
+            "utilization_pct": round(100.0 * self.mean_utilization, 1),
+            "promoted_users": self.promoted_users,
+        }
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Single-result table used by ``repro-accel scenario run``."""
+        return [self.as_row()]
+
+
+# ---------------------------------------------------------------------------
+# Spec -> simulation components
+# ---------------------------------------------------------------------------
+
+
+def _rate_factor_fn(
+    workload: WorkloadSpec, duration_ms: float
+) -> "Tuple[Callable[[float], float], float]":
+    """The pattern's rate modulation over time, as a factor of the base rate.
+
+    Returns ``(factor_fn, peak_factor)`` where ``peak_factor`` is the exact
+    maximum of ``factor_fn`` (the thinning algorithm needs a true upper
+    bound; a sampled maximum can undershoot the continuous one).
+    """
+    if workload.pattern == "flash-crowd":
+        start = workload.burst_start * duration_ms
+        end = min(start + workload.burst_duration * duration_ms, duration_ms)
+
+        def factor(t_ms: float) -> float:
+            return workload.burst_factor if start <= t_ms < end else 1.0
+
+        return factor, workload.burst_factor
+    if workload.pattern == "diurnal":
+        trough = workload.trough_factor
+        peak_hour = workload.peak_hour
+
+        def factor(t_ms: float) -> float:
+            hour = (t_ms / 3_600_000.0) % 24.0
+            phase = 2.0 * math.pi * (hour - peak_hour) / 24.0
+            # Cosine day/night cycle: 1.0 at the peak hour, `trough` opposite.
+            return trough + (1.0 - trough) * 0.5 * (1.0 + math.cos(phase))
+
+        return factor, 1.0
+    if workload.pattern == "bursty":
+        period = duration_ms / workload.burst_count
+        on_fraction = min(workload.burst_duration, 1.0)
+
+        def factor(t_ms: float) -> float:
+            phase = (t_ms % period) / period
+            return workload.burst_factor if phase < on_fraction else 1.0
+
+        return factor, workload.burst_factor
+    raise ValueError(f"pattern {workload.pattern!r} has no rate modulation")
+
+
+def build_arrival_process(
+    workload: WorkloadSpec, duration_ms: float
+) -> ArrivalProcess:
+    """The arrival process realising ``workload`` over a run of ``duration_ms``.
+
+    The base rate is calibrated so the expected number of arrivals over the
+    run is ``target_requests`` for every pattern (the modulation's mean factor
+    is integrated numerically on a fine grid).
+    """
+    if duration_ms <= 0:
+        raise ValueError(f"duration_ms must be positive, got {duration_ms}")
+    mean_rate_hz = 1000.0 * workload.target_requests / duration_ms
+    if workload.pattern == "uniform":
+        mean_gap_ms = duration_ms / workload.target_requests
+        return UniformArrivalProcess(low_ms=0.5 * mean_gap_ms, high_ms=1.5 * mean_gap_ms)
+    if workload.pattern == "poisson":
+        return PoissonArrivalProcess(rate_hz=mean_rate_hz)
+    if workload.pattern == "fixed":
+        return FixedRateArrivalProcess(rate_hz=mean_rate_hz)
+    factor, peak_factor = _rate_factor_fn(workload, duration_ms)
+    # The mean factor calibrates the base rate to hit target_requests in
+    # expectation; a fine grid is accurate enough for calibration.
+    grid = np.linspace(0.0, duration_ms, 4096, endpoint=False)
+    mean_factor = float(np.mean([factor(float(t)) for t in grid]))
+    base_rate_hz = mean_rate_hz / mean_factor
+    return ModulatedPoissonProcess(
+        lambda t_ms: base_rate_hz * factor(t_ms),
+        peak_rate_hz=base_rate_hz * peak_factor,
+    )
+
+
+def build_catalog(spec: ScenarioSpec) -> InstanceCatalog:
+    """The scenario's catalog: the demanded types with price multipliers applied."""
+    types = []
+    for type_name in spec.cloud.group_types.values():
+        instance_type = DEFAULT_CATALOG.get(type_name)
+        multiplier = spec.cloud.price_multipliers.get(type_name)
+        if multiplier is not None:
+            instance_type = dataclasses.replace(
+                instance_type, price_per_hour=instance_type.price_per_hour * multiplier
+            )
+        types.append(instance_type)
+    return InstanceCatalog(types)
+
+
+def build_channel(
+    network: NetworkSpec, rng: np.random.Generator
+) -> CommunicationChannel:
+    """The access-network channel for a spec's network profile."""
+    if network.profile == "lte":
+        access = lte_latency_model()
+    elif network.profile == "3g":
+        access = three_g_latency_model()
+    elif network.profile == "degraded-3g":
+        base = three_g_latency_model()
+        access = LogNormalLatencyModel(
+            median_ms=base.median_ms * network.degradation,
+            mean_ms=base.mean_ms * network.degradation,
+            floor_ms=base.floor_ms * network.degradation,
+        )
+    else:  # constant
+        access = ConstantLatencyModel(rtt_ms=network.constant_rtt_ms)
+    return CommunicationChannel(access_model=access, rng=rng)
+
+
+def _build_promotion_policy(spec: ScenarioSpec):
+    policy = spec.policy
+    if policy.promotion == "static":
+        return StaticProbabilityPolicy(probability=policy.promotion_probability)
+    if policy.promotion == "threshold":
+        return ResponseTimeThresholdPolicy(threshold_ms=policy.promotion_threshold_ms)
+    return BatteryAwarePolicy(base_probability=policy.promotion_probability)
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+
+
+def run_scenario(spec: ScenarioSpec, *, seed: Optional[int] = None) -> ScenarioResult:
+    """Execute one scenario end to end and return its metric summary.
+
+    ``seed`` overrides ``spec.seed`` (the campaign runner derives one per
+    scenario name); when neither is given, seed 0 is used.
+    """
+    effective_seed = seed if seed is not None else (spec.seed if spec.seed is not None else 0)
+    streams = RandomStreams(effective_seed)
+    engine = SimulationEngine()
+    rng_workload = streams.stream("scenario-workload")
+    rng_devices = streams.stream("scenario-devices")
+    rng_cloud = streams.stream("scenario-cloud")
+    rng_sdn = streams.stream("scenario-sdn")
+    rng_network = streams.stream("scenario-network")
+
+    task = DEFAULT_TASK_POOL.get(spec.task_name)
+    groups = sorted(spec.cloud.group_types)
+    lowest_group, highest_group = groups[0], groups[-1]
+    duration_ms = spec.duration_ms
+    slot_ms = spec.slot_length_ms
+
+    # --- back-end -----------------------------------------------------------
+    catalog = build_catalog(spec)
+    backend = BackendPool()
+    provisioner = Provisioner(
+        engine, catalog, instance_cap=spec.cloud.instance_cap, rng=rng_cloud
+    )
+    level_for_type = {name: group for group, name in spec.cloud.group_types.items()}
+    for group, type_name in spec.cloud.group_types.items():
+        for _ in range(spec.cloud.initial_instances_per_group):
+            backend.add_instance(provisioner.launch(type_name), group)
+
+    # --- adaptive model + autoscaler ----------------------------------------
+    options: List[InstanceOption] = []
+    for option in build_options_from_catalog(
+        catalog,
+        work_units=task.work_units,
+        response_threshold_ms=spec.cloud.response_threshold_ms,
+    ):
+        options.append(
+            InstanceOption(
+                type_name=option.type_name,
+                acceleration_group=level_for_type[option.type_name],
+                cost_per_hour=option.cost_per_hour,
+                capacity=option.capacity,
+            )
+        )
+    predictor = WorkloadPredictor(
+        TimeSlotHistory(slot_length_ms=slot_ms),
+        strategy=spec.policy.predictor_strategy,
+        min_history=max(spec.policy.min_history - 1, 1),
+    )
+    model = AdaptiveModel(
+        options,
+        slot_length_ms=slot_ms,
+        instance_cap=spec.cloud.instance_cap,
+        predictor=predictor,
+    )
+    channel = build_channel(spec.network, rng_network)
+    routing_policy = (
+        RoundRobinRouting() if spec.policy.routing == "round-robin" else None
+    )
+    accelerator = SDNAccelerator(
+        engine,
+        backend,
+        channel=channel,
+        rng=rng_sdn,
+        routing_policy=routing_policy,
+    )
+    autoscaler = Autoscaler(
+        model,
+        provisioner,
+        backend,
+        level_for_type=level_for_type,
+        minimum_per_group=1,
+    )
+
+    # --- devices ------------------------------------------------------------
+    profile_names = sorted(spec.devices.weights)
+    raw_weights = np.asarray(
+        [spec.devices.weights[name] for name in profile_names], dtype=float
+    )
+    probabilities = raw_weights / raw_weights.sum()
+    promotion_policy = _build_promotion_policy(spec)
+    devices: Dict[int, MobileDevice] = {}
+    moderators: Dict[int, Moderator] = {}
+    for user_id in range(spec.users):
+        chosen = profile_names[
+            int(rng_devices.choice(len(profile_names), p=probabilities))
+        ]
+        devices[user_id] = MobileDevice(
+            user_id=user_id,
+            profile=DEVICE_PROFILES[chosen],
+            acceleration_group=lowest_group,
+        )
+        moderators[user_id] = Moderator(
+            promotion_policy,
+            max_group=highest_group,
+            rng=streams.stream(f"scenario-moderator-{user_id}"),
+        )
+
+    # --- workload -----------------------------------------------------------
+    arrival_process = build_arrival_process(spec.workload, duration_ms)
+    arrival_times = arrival_process.arrival_times_ms(
+        rng_workload, start_ms=0.0, end_ms=duration_ms
+    )
+
+    def _make_completion(user_id: int):
+        def _on_complete(record: RequestRecord) -> None:
+            device = devices[user_id]
+            if record.success:
+                moderators[user_id].observe(device, record.response_time_ms, engine.now_ms)
+            else:
+                device.record_failure()
+
+        return _on_complete
+
+    for arrival in arrival_times:
+        user_id = int(rng_workload.integers(0, spec.users))
+
+        def _submit(user_id: int = user_id) -> None:
+            device = devices[user_id]
+            device.requests_sent += 1
+            accelerator.submit(
+                user_id=user_id,
+                acceleration_group=device.acceleration_group,
+                work_units=task.sample_work_units(rng_workload),
+                task_name=task.name,
+                battery_level=device.battery.level,
+                on_complete=_make_completion(user_id),
+            )
+
+        engine.schedule_at(arrival, _submit, label="scenario:request")
+
+    # --- provisioning control loop ------------------------------------------
+    for period in range(1, spec.periods + 1):
+        period_start = (period - 1) * slot_ms
+        period_end = min(period * slot_ms, duration_ms)
+
+        def _scale(start: float = period_start, end: float = period_end) -> None:
+            autoscaler.run_period_end(accelerator.trace_log, start, end)
+
+        engine.schedule_at(period_end, _scale, label=f"scenario:scale-{period}")
+
+    # --- utilization sampling ------------------------------------------------
+    utilization_samples: List[float] = []
+    sample_interval_ms = max(slot_ms / 10.0, 30_000.0)
+
+    def _sample_utilization() -> None:
+        # Core occupancy across the running fleet: jobs in service (capped at
+        # each instance's core count) over total cores.  Admission limits are
+        # far above core counts, so they would flatten the signal.
+        busy = 0.0
+        cores = 0.0
+        for instances in backend.groups.values():
+            for instance in instances:
+                if instance.is_running:
+                    instance_cores = max(
+                        float(instance.instance_type.profile.effective_cores), 1.0
+                    )
+                    busy += min(float(instance.in_service), instance_cores)
+                    cores += instance_cores
+        if cores > 0:
+            utilization_samples.append(busy / cores)
+        if engine.now_ms + sample_interval_ms <= duration_ms:
+            engine.schedule_after(
+                sample_interval_ms, _sample_utilization, label="scenario:utilization"
+            )
+
+    engine.schedule_at(0.0, _sample_utilization, label="scenario:utilization")
+
+    # Run to the end plus a drain margin for in-flight requests.
+    engine.run(until_ms=duration_ms + 60_000.0)
+
+    # --- metrics -------------------------------------------------------------
+    records = accelerator.records
+    successes = [r.response_time_ms for r in records if r.success]
+    dropped = sum(1 for r in records if not r.success)
+    if successes:
+        array = np.asarray(successes, dtype=float)
+        mean_ms = float(array.mean())
+        p50, p95, p99 = (float(np.percentile(array, p)) for p in (50.0, 95.0, 99.0))
+    else:
+        mean_ms = p50 = p95 = p99 = float("nan")
+
+    accuracies: List[float] = []
+    history = model.history
+    for action in autoscaler.actions:
+        decision = action.decision
+        if decision is None:
+            continue
+        realised_index = decision.current_slot.index + 1
+        if realised_index < len(history):
+            accuracies.append(
+                prediction_accuracy(
+                    decision.prediction.predicted_slot, history[realised_index]
+                )
+            )
+    mean_accuracy = float(np.mean(accuracies)) if accuracies else float("nan")
+    predictions = sum(1 for action in autoscaler.actions if action.decision is not None)
+
+    return ScenarioResult(
+        name=spec.name,
+        seed=effective_seed,
+        users=spec.users,
+        duration_hours=spec.duration_hours,
+        requests_total=len(records),
+        requests_succeeded=len(successes),
+        requests_dropped=dropped,
+        mean_response_ms=mean_ms,
+        p50_response_ms=p50,
+        p95_response_ms=p95,
+        p99_response_ms=p99,
+        prediction_accuracy=mean_accuracy,
+        predictions=predictions,
+        scaling_actions=len(autoscaler.actions),
+        allocation_cost_usd=provisioner.total_cost(include_running=True),
+        mean_utilization=(
+            float(np.mean(utilization_samples)) if utilization_samples else 0.0
+        ),
+        promoted_users=sum(1 for device in devices.values() if device.promotions),
+        promotions=sum(len(device.promotions) for device in devices.values()),
+    )

@@ -10,7 +10,7 @@ the corresponding arrival-time generators.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -116,6 +116,66 @@ class UniformArrivalProcess(ArrivalProcess):
 
     def next_gap_ms(self, rng: np.random.Generator) -> float:
         return float(rng.uniform(self.low_ms, self.high_ms))
+
+
+class ModulatedPoissonProcess(ArrivalProcess):
+    """Non-homogeneous Poisson arrivals with a time-varying rate.
+
+    The instantaneous rate is ``rate_fn_hz(t_ms)``; arrivals are generated
+    with Lewis–Shedler thinning against the supplied ``peak_rate_hz`` upper
+    bound.  This is the substrate for scenario workloads the paper never
+    tried — flash crowds, diurnal cycles and bursty on/off phases — where a
+    constant-rate process cannot represent the load shape.
+    """
+
+    def __init__(
+        self,
+        rate_fn_hz: Callable[[float], float],
+        *,
+        peak_rate_hz: float,
+    ) -> None:
+        if peak_rate_hz <= 0:
+            raise ValueError(f"peak_rate_hz must be positive, got {peak_rate_hz}")
+        self.rate_fn_hz = rate_fn_hz
+        self.peak_rate_hz = peak_rate_hz
+
+    def next_gap_ms(self, rng: np.random.Generator) -> float:
+        raise NotImplementedError(
+            "a non-homogeneous process has no stationary gap distribution; "
+            "use arrival_times_ms"
+        )
+
+    def arrival_times_ms(
+        self,
+        rng: np.random.Generator,
+        *,
+        start_ms: float,
+        end_ms: float,
+        max_arrivals: Optional[int] = None,
+    ) -> List[float]:
+        """Generate arrival times in ``[start_ms, end_ms)`` by thinning."""
+        if end_ms < start_ms:
+            raise ValueError(f"end_ms {end_ms} before start_ms {start_ms}")
+        times: List[float] = []
+        peak_gap_mean_ms = 1000.0 / self.peak_rate_hz
+        now = start_ms
+        while True:
+            now += float(rng.exponential(peak_gap_mean_ms))
+            if now >= end_ms:
+                break
+            rate = float(self.rate_fn_hz(now))
+            if rate < 0:
+                raise ValueError(f"rate_fn_hz produced a negative rate at t={now}: {rate}")
+            if rate > self.peak_rate_hz * (1.0 + 1e-9):
+                raise ValueError(
+                    f"rate_fn_hz exceeded peak_rate_hz at t={now}: "
+                    f"{rate} > {self.peak_rate_hz}"
+                )
+            if rng.random() < rate / self.peak_rate_hz:
+                times.append(now)
+                if max_arrivals is not None and len(times) >= max_arrivals:
+                    break
+        return times
 
 
 def doubling_rate_schedule(

@@ -28,6 +28,21 @@ class TestParser:
             build_parser().parse_args([])
 
 
+class TestVersionAndErrors:
+    def test_version_flag_prints_version_and_exits_zero(self, capsys):
+        from repro import __version__
+
+        assert main(["--version"]) == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_unknown_figure_returns_nonzero(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_missing_command_returns_nonzero(self):
+        assert main([]) == 2
+
+
 class TestExecution:
     def test_fig5_prints_ratios(self, capsys):
         assert main(["fig5", "--samples", "40"]) == 0

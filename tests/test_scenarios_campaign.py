@@ -1,0 +1,84 @@
+"""Tests for the parallel campaign runner."""
+
+import pytest
+
+from repro.analysis.reporting import read_csv
+from repro.scenarios import (
+    CampaignRunner,
+    ScenarioSpec,
+    WorkloadSpec,
+    derive_scenario_seed,
+)
+
+
+def tiny_spec(name: str, **kwargs) -> ScenarioSpec:
+    defaults = dict(
+        name=name,
+        users=8,
+        duration_hours=0.25,
+        slot_minutes=7.5,
+        workload=WorkloadSpec(pattern="uniform", target_requests=60),
+    )
+    defaults.update(kwargs)
+    return ScenarioSpec(**defaults)
+
+
+class TestSeedDerivation:
+    def test_stable_across_calls(self):
+        assert derive_scenario_seed(0, "a") == derive_scenario_seed(0, "a")
+
+    def test_differs_by_name_and_root(self):
+        assert derive_scenario_seed(0, "a") != derive_scenario_seed(0, "b")
+        assert derive_scenario_seed(0, "a") != derive_scenario_seed(1, "a")
+
+
+class TestCampaignRunner:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="workers"):
+            CampaignRunner(workers=0)
+        with pytest.raises(ValueError, match="seed"):
+            CampaignRunner(seed=-1)
+        with pytest.raises(ValueError, match="at least one"):
+            CampaignRunner().run([])
+
+    def test_rejects_duplicate_scenario_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CampaignRunner(workers=1).run([tiny_spec("dup"), tiny_spec("dup")])
+
+    def test_results_keep_submission_order(self):
+        specs = [tiny_spec("c-third"), tiny_spec("a-first"), tiny_spec("b-second")]
+        campaign = CampaignRunner(workers=1, seed=0).run(specs)
+        assert [r.name for r in campaign.results] == ["c-third", "a-first", "b-second"]
+
+    def test_parallel_equals_serial(self):
+        specs = [tiny_spec(f"s{i}") for i in range(3)]
+        serial = CampaignRunner(workers=1, seed=3).run(specs)
+        parallel = CampaignRunner(workers=3, seed=3).run(specs)
+        assert serial.rows() == parallel.rows()
+
+    def test_identical_campaign_seeds_reproduce_metrics(self):
+        specs = [tiny_spec("r1"), tiny_spec("r2")]
+        first = CampaignRunner(workers=2, seed=9).run(specs)
+        second = CampaignRunner(workers=2, seed=9).run(specs)
+        assert first.rows() == second.rows()
+
+    def test_spec_pinned_seed_wins_over_derived(self):
+        campaign = CampaignRunner(workers=1, seed=4).run([tiny_spec("pin", seed=77)])
+        assert campaign.results[0].seed == 77
+
+    def test_get_by_name_and_missing(self):
+        campaign = CampaignRunner(workers=1).run([tiny_spec("only")])
+        assert campaign.get("only").name == "only"
+        with pytest.raises(KeyError):
+            campaign.get("absent")
+
+    def test_format_table_and_csv(self, tmp_path):
+        campaign = CampaignRunner(workers=1, seed=0).run([tiny_spec("csvme")])
+        table = campaign.format_table()
+        assert "csvme" in table
+        assert "p95_ms" in table
+        path = campaign.to_csv(tmp_path / "campaign.csv")
+        rows = read_csv(path)
+        assert len(rows) == 1
+        assert rows[0]["scenario"] == "csvme"
+        assert float(rows[0]["requests"]) > 0

@@ -1,0 +1,75 @@
+"""Tests for the ``repro-accel scenario`` CLI verbs."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestScenarioParser:
+    def test_scenario_subcommands_exist(self):
+        parser = build_parser()
+        assert parser.parse_args(["scenario", "list"]).scenario_command == "list"
+        args = parser.parse_args(["scenario", "run", "paper-baseline", "--seed", "4"])
+        assert args.name == "paper-baseline"
+        assert args.seed == 4
+        # No --seed means "defer to the spec's pinned seed" (None), so the
+        # run and campaign paths agree on which seed a scenario gets.
+        assert parser.parse_args(["scenario", "run", "x"]).seed is None
+        args = parser.parse_args(["scenario", "campaign", "--workers", "4"])
+        assert args.workers == 4
+
+    def test_scenario_without_verb_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])
+
+
+class TestScenarioExecution:
+    def test_list_prints_registry(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("paper-baseline", "flash-crowd", "cold-history"):
+            assert name in output
+
+    def test_run_with_overrides(self, capsys):
+        code = main(
+            [
+                "scenario", "run", "paper-baseline",
+                "--users", "8", "--hours", "0.25", "--requests", "60",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "paper-baseline" in output
+        assert "p95_ms" in output
+
+    def test_run_unknown_scenario_exits_nonzero(self, capsys):
+        assert main(["scenario", "run", "does-not-exist"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_invalid_override_exits_nonzero(self, capsys):
+        assert main(["scenario", "run", "paper-baseline", "--users", "0"]) == 2
+        assert "users must be >= 1" in capsys.readouterr().err
+
+    def test_campaign_invalid_workers_exits_nonzero(self, capsys):
+        assert main(["scenario", "campaign", "--workers", "0",
+                     "--only", "cold-history"]) == 2
+        assert "workers must be >= 1" in capsys.readouterr().err
+
+    def test_campaign_subset_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "out.csv"
+        code = main(
+            [
+                "scenario", "campaign",
+                "--only", "cold-history",
+                "--workers", "1",
+                "--csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "cold-history" in output
+        assert csv_path.exists()
+
+    def test_campaign_unknown_subset_exits_nonzero(self, capsys):
+        assert main(["scenario", "campaign", "--only", "ghost"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err

@@ -1,0 +1,163 @@
+"""Spec validation and round-trip tests for the scenario engine."""
+
+import pytest
+
+from repro.scenarios import (
+    ARRIVAL_PATTERNS,
+    CloudSpec,
+    DeviceMixSpec,
+    NetworkSpec,
+    PolicySpec,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+
+
+class TestWorkloadSpec:
+    def test_defaults_are_valid(self):
+        spec = WorkloadSpec()
+        assert spec.pattern in ARRIVAL_PATTERNS
+
+    def test_rejects_unknown_pattern(self):
+        with pytest.raises(ValueError, match="pattern"):
+            WorkloadSpec(pattern="thundering-herd")
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError, match="target_requests"):
+            WorkloadSpec(target_requests=0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"burst_factor": 0.5},
+            {"burst_start": 1.5},
+            {"burst_duration": 0.0},
+            {"burst_count": 0},
+            {"trough_factor": 0.0},
+            {"peak_hour": 24.0},
+        ],
+    )
+    def test_rejects_out_of_range_shape_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadSpec(**kwargs)
+
+
+class TestDeviceMixSpec:
+    def test_default_covers_all_profiles(self):
+        spec = DeviceMixSpec()
+        assert "wearable" in spec.weights
+
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(ValueError, match="unknown device profile"):
+            DeviceMixSpec(weights={"quantum-phone": 1.0})
+
+    def test_rejects_all_zero_weights(self):
+        with pytest.raises(ValueError, match="positive"):
+            DeviceMixSpec(weights={"wearable": 0.0})
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            DeviceMixSpec(weights={"wearable": -1.0})
+
+
+class TestCloudSpec:
+    def test_rejects_unknown_instance_type(self):
+        with pytest.raises(ValueError, match="unknown instance type"):
+            CloudSpec(group_types={1: "z9.mega"})
+
+    def test_rejects_unknown_price_multiplier_target(self):
+        with pytest.raises(ValueError, match="price multiplier"):
+            CloudSpec(price_multipliers={"z9.mega": 2.0})
+
+    def test_rejects_nonpositive_multiplier(self):
+        with pytest.raises(ValueError, match="positive"):
+            CloudSpec(price_multipliers={"t2.nano": 0.0})
+
+    def test_rejects_empty_groups(self):
+        with pytest.raises(ValueError, match="at least one"):
+            CloudSpec(group_types={})
+
+    def test_rejects_same_type_in_two_groups(self):
+        with pytest.raises(ValueError, match="distinct instance type"):
+            CloudSpec(group_types={1: "t2.nano", 2: "t2.nano"})
+
+
+class TestNetworkSpec:
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(ValueError, match="profile"):
+            NetworkSpec(profile="5g")
+
+    def test_rejects_degradation_below_one(self):
+        with pytest.raises(ValueError, match="degradation"):
+            NetworkSpec(degradation=0.5)
+
+
+class TestPolicySpec:
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError, match="predictor_strategy"):
+            PolicySpec(predictor_strategy="oracle")
+
+    def test_rejects_min_history_below_two(self):
+        with pytest.raises(ValueError, match="min_history"):
+            PolicySpec(min_history=1)
+
+    def test_rejects_unknown_promotion(self):
+        with pytest.raises(ValueError, match="promotion"):
+            PolicySpec(promotion="teleport")
+
+    def test_rejects_unknown_routing(self):
+        with pytest.raises(ValueError, match="routing"):
+            PolicySpec(routing="random")
+
+
+class TestScenarioSpec:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            ScenarioSpec(name="")
+
+    def test_rejects_unknown_task(self):
+        with pytest.raises(ValueError, match="unknown task"):
+            ScenarioSpec(name="x", task_name="mine-bitcoin")
+
+    def test_rejects_fewer_requests_than_users(self):
+        with pytest.raises(ValueError, match="target_requests"):
+            ScenarioSpec(name="x", users=50, workload=WorkloadSpec(target_requests=10))
+
+    def test_derived_quantities(self):
+        spec = ScenarioSpec(name="x", duration_hours=2.0, slot_minutes=30.0)
+        assert spec.duration_ms == 2 * 3_600_000.0
+        assert spec.slot_length_ms == 30 * 60_000.0
+        assert spec.periods == 4
+
+    def test_periods_rounds_up_partial_slot(self):
+        spec = ScenarioSpec(name="x", duration_hours=1.25, slot_minutes=30.0)
+        assert spec.periods == 3
+
+    def test_round_trips_through_dict(self):
+        spec = ScenarioSpec(
+            name="round-trip",
+            description="d",
+            users=10,
+            duration_hours=0.5,
+            seed=3,
+            workload=WorkloadSpec(pattern="flash-crowd", target_requests=100),
+            devices=DeviceMixSpec(weights={"wearable": 2.0, "tablet": 1.0}),
+            cloud=CloudSpec(price_multipliers={"t2.large": 2.0}),
+            network=NetworkSpec(profile="3g"),
+            policy=PolicySpec(promotion="threshold"),
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_with_overrides_replaces_only_given_fields(self):
+        spec = ScenarioSpec(name="x", users=60)
+        bumped = spec.with_overrides(users=10, target_requests=120, seed=9)
+        assert bumped.users == 10
+        assert bumped.workload.target_requests == 120
+        assert bumped.seed == 9
+        assert bumped.duration_hours == spec.duration_hours
+        assert spec.users == 60  # original untouched
+
+    def test_specs_are_frozen(self):
+        spec = ScenarioSpec(name="x")
+        with pytest.raises(AttributeError):
+            spec.users = 5

@@ -6,6 +6,7 @@ import pytest
 from repro.workload.arrival import (
     EmpiricalArrivalProcess,
     FixedRateArrivalProcess,
+    ModulatedPoissonProcess,
     PoissonArrivalProcess,
     UniformArrivalProcess,
     doubling_rate_schedule,
@@ -80,6 +81,53 @@ class TestUniform:
     def test_rejects_inverted_bounds(self):
         with pytest.raises(ValueError):
             UniformArrivalProcess(low_ms=500.0, high_ms=100.0)
+
+
+class TestModulatedPoisson:
+    def test_constant_rate_matches_homogeneous_poisson_intensity(self):
+        process = ModulatedPoissonProcess(lambda t: 2.0, peak_rate_hz=2.0)
+        rng = np.random.default_rng(0)
+        times = process.arrival_times_ms(rng, start_ms=0.0, end_ms=100_000.0)
+        # 2 Hz over 100 s -> ~200 arrivals.
+        assert 150 < len(times) < 250
+
+    def test_zero_rate_interval_gets_no_arrivals(self):
+        process = ModulatedPoissonProcess(
+            lambda t: 0.0 if t < 50_000.0 else 4.0, peak_rate_hz=4.0
+        )
+        rng = np.random.default_rng(1)
+        times = process.arrival_times_ms(rng, start_ms=0.0, end_ms=100_000.0)
+        assert times
+        assert all(t >= 50_000.0 for t in times)
+
+    def test_max_arrivals_cap(self):
+        process = ModulatedPoissonProcess(lambda t: 10.0, peak_rate_hz=10.0)
+        rng = np.random.default_rng(2)
+        times = process.arrival_times_ms(
+            rng, start_ms=0.0, end_ms=1_000_000.0, max_arrivals=7
+        )
+        assert len(times) == 7
+
+    def test_rejects_rate_above_peak(self):
+        process = ModulatedPoissonProcess(lambda t: 5.0, peak_rate_hz=1.0)
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError, match="exceeded peak_rate_hz"):
+            process.arrival_times_ms(rng, start_ms=0.0, end_ms=10_000.0)
+
+    def test_rejects_negative_rate(self):
+        process = ModulatedPoissonProcess(lambda t: -1.0, peak_rate_hz=1.0)
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError, match="negative rate"):
+            process.arrival_times_ms(rng, start_ms=0.0, end_ms=10_000.0)
+
+    def test_rejects_non_positive_peak(self):
+        with pytest.raises(ValueError, match="peak_rate_hz"):
+            ModulatedPoissonProcess(lambda t: 1.0, peak_rate_hz=0.0)
+
+    def test_next_gap_is_not_defined(self):
+        process = ModulatedPoissonProcess(lambda t: 1.0, peak_rate_hz=1.0)
+        with pytest.raises(NotImplementedError):
+            process.next_gap_ms(np.random.default_rng(0))
 
 
 class TestDoublingSchedule:
