@@ -39,6 +39,12 @@ from repro.experiments import (
     run_fig10a_prediction_accuracy,
     run_fig11_network_latency,
 )
+from repro.perf import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    BenchReport,
+    compare_reports,
+    run_benchmarks,
+)
 from repro.scenarios import (
     CampaignRunner,
     builtin_specs,
@@ -176,7 +182,10 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
         return 2
     try:
         spec = spec.with_overrides(
-            users=args.users, duration_hours=args.hours, target_requests=args.requests
+            users=args.users,
+            duration_hours=args.hours,
+            target_requests=args.requests,
+            execution=args.execution,
         )
         result = run_scenario(spec, seed=args.seed)
     except ValueError as error:
@@ -206,6 +215,90 @@ def _cmd_scenario_campaign(args: argparse.Namespace) -> int:
     if args.csv:
         path = campaign.to_csv(args.csv)
         print(f"wrote {path}")
+    return 0
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    """Run a benchmark suite and write ``BENCH_<label>.json``."""
+    try:
+        records = run_benchmarks(suite=args.suite, budget=args.budget, seed=args.seed)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    report = BenchReport(
+        label=args.label, suite=args.suite, budget=args.budget, seed=args.seed,
+        records=records,
+    ).finalize()
+    rows = [
+        {
+            "benchmark": record.name,
+            "wall_s": round(record.wall_s, 4),
+            "ops": int(record.ops),
+            "ops_per_s": round(record.ops_per_s, 1),
+            **{key: round(value, 3) for key, value in record.extras.items()},
+        }
+        for record in report.records
+    ]
+    print(format_table(rows))
+    print(f"peak RSS: {report.peak_rss_kb} kB")
+    path = report.write(args.output_dir)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    """Compare two bench reports; nonzero exit on >threshold regressions."""
+    try:
+        baseline = BenchReport.load(args.baseline)
+        current = BenchReport.load(args.current)
+        comparisons, regressions, missing = compare_reports(
+            baseline, current, threshold=args.threshold
+        )
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = [
+        {
+            "benchmark": comparison.name,
+            "baseline_ops_per_s": round(comparison.baseline_ops_per_s, 1),
+            "current_ops_per_s": round(comparison.current_ops_per_s, 1),
+            "ratio": round(comparison.ratio, 3),
+            "status": "REGRESSED" if comparison.regressed(args.threshold) else "ok",
+        }
+        for comparison in comparisons
+    ]
+    rows.extend(
+        {
+            "benchmark": name,
+            "baseline_ops_per_s": "-",
+            "current_ops_per_s": "-",
+            "ratio": "-",
+            "status": "UNMEASURED",
+        }
+        for name in missing
+    )
+    print(format_table(rows))
+    if not comparisons:
+        print("no matching benchmarks between the two reports", file=sys.stderr)
+        return 2
+    failed = False
+    if regressions:
+        print(
+            f"{len(regressions)} benchmark(s) regressed by more than "
+            f"{args.threshold:.0%}",
+            file=sys.stderr,
+        )
+        failed = True
+    if missing:
+        print(
+            f"{len(missing)} baseline benchmark(s) unmeasured in the current "
+            f"report: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
+        return 1
+    print(f"no regression beyond {args.threshold:.0%}")
     return 0
 
 
@@ -271,6 +364,10 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_run.add_argument(
         "--requests", type=int, default=None, help="override target request count"
     )
+    scenario_run.add_argument(
+        "--execution", default=None, choices=("event", "batched"),
+        help="execution mode (batched = vectorised fast path)",
+    )
     scenario_run.set_defaults(handler=_cmd_scenario_run)
 
     scenario_campaign = scenario_sub.add_parser(
@@ -287,6 +384,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", default="", help="also write the comparison table to this CSV path"
     )
     scenario_campaign.set_defaults(handler=_cmd_scenario_campaign)
+
+    bench = subparsers.add_parser(
+        "bench", help="performance benchmarks (run | compare)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_sub.add_parser(
+        "run", help="run micro/macro benchmarks and write BENCH_<label>.json"
+    )
+    bench_run.add_argument("--label", default="current", help="label for the BENCH json")
+    bench_run.add_argument(
+        "--suite", default="all", choices=("micro", "macro", "all"),
+        help="which benchmark suite to run",
+    )
+    bench_run.add_argument(
+        "--budget", default="full", choices=("smoke", "full", "xl"),
+        help="smoke: CI-sized, full: 10k/100k macro runs, xl: adds a 1M batched run",
+    )
+    bench_run.add_argument("--seed", type=int, default=0, help="root random seed")
+    bench_run.add_argument(
+        "--output-dir", default=".", help="directory for the BENCH json"
+    )
+    bench_run.set_defaults(handler=_cmd_bench_run)
+
+    bench_compare = bench_sub.add_parser(
+        "compare", help="compare two BENCH json files, fail on regressions"
+    )
+    bench_compare.add_argument("baseline", help="baseline BENCH_<label>.json")
+    bench_compare.add_argument("current", help="current BENCH_<label>.json")
+    bench_compare.add_argument(
+        "--threshold", type=float, default=DEFAULT_REGRESSION_THRESHOLD,
+        help="relative throughput drop that counts as a regression (default 0.2)",
+    )
+    bench_compare.set_defaults(handler=_cmd_bench_compare)
 
     return parser
 

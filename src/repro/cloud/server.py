@@ -25,6 +25,16 @@ from repro.simulation.queues import ProcessorSharingServer
 from repro.simulation.stats import OnlineStatistics
 
 
+def jittered_work_units(work_units, jitter_z, jitter_fraction):
+    """Scale work by the jitter draw ``1 + z·fraction``, clamped to [0.05, 3].
+
+    Accepts scalars or numpy arrays; this is the single definition of the
+    service-jitter model shared by the scalar instance path and the batched
+    executor, so the two execution modes cannot drift apart.
+    """
+    return work_units * np.clip(1.0 + jitter_z * jitter_fraction, 0.05, 3.0)
+
+
 @dataclass(frozen=True)
 class OffloadOutcome:
     """The result of one offloaded request handled by an instance."""
@@ -93,16 +103,34 @@ class CloudInstance:
         """Fraction of admission capacity currently in use."""
         return self.in_service / self.admission_limit
 
+    def effective_work_units(self, work_units: float, jitter_z: float) -> float:
+        """Apply a pre-drawn standard-normal jitter draw to ``work_units``.
+
+        ``1 + z·jitter_fraction`` is distributionally identical to the
+        instance's own ``normal(1, jitter_fraction)`` draw; taking ``z`` as a
+        parameter lets the scenario runner pre-draw all jitter in one
+        vectorised call and keeps the event and batched execution paths on
+        exactly the same random values.
+        """
+        return float(
+            jittered_work_units(
+                work_units, float(jitter_z), self.instance_type.profile.jitter_fraction
+            )
+        )
+
     def submit(
         self,
         work_units: float,
         on_complete: Callable[[OffloadOutcome], None],
+        jitter_z: Optional[float] = None,
     ) -> OffloadOutcome | None:
         """Submit one offloaded request.
 
         Returns ``None`` when the request is admitted (the outcome is
         delivered later through ``on_complete``), or an immediate rejected
-        :class:`OffloadOutcome` when the request is dropped.
+        :class:`OffloadOutcome` when the request is dropped.  ``jitter_z``
+        optionally supplies the request's service-time jitter as a pre-drawn
+        standard-normal value instead of consuming the instance's own RNG.
         """
         if not self.is_running:
             raise RuntimeError(f"instance {self.instance_id} has been terminated")
@@ -120,9 +148,15 @@ class CloudInstance:
         self.accepted_requests += 1
         # Per-request jitter models variation in code paths and VM scheduling.
         effective_work = work_units
-        if self._rng is not None:
-            jitter = self._rng.normal(1.0, self.instance_type.profile.jitter_fraction)
-            effective_work = work_units * float(np.clip(jitter, 0.05, 3.0))
+        if jitter_z is not None:
+            effective_work = self.effective_work_units(work_units, jitter_z)
+        elif self._rng is not None:
+            # normal(1, f) is computed by numpy as 1 + f·z, so drawing the
+            # standard normal and reusing the shared helper is draw-for-draw
+            # identical to the historical inline formula.
+            effective_work = self.effective_work_units(
+                work_units, float(self._rng.standard_normal())
+            )
         overhead = self.instance_type.profile.base_overhead_ms
 
         def _finished(sojourn_ms: float, request_id: int = request_id) -> None:

@@ -107,23 +107,25 @@ class SlotDistanceIndex:
     differences is identical to the symmetric difference of the pair sets, so
     the result matches :func:`slot_edit_distance` exactly.
 
-    Slots are appended with :meth:`add` (the history only ever grows); the
-    concatenated column arrays are rebuilt lazily on the next query.
+    Slots are appended with :meth:`add` (the history only ever grows) into a
+    capacity-doubling flat buffer, so a grow-query-grow loop — the adaptive
+    model's per-period pattern — costs amortised O(1) per appended assignment
+    instead of re-concatenating the whole history after every ``add``.
     """
 
     def __init__(self, slots: Optional[Sequence[TimeSlot]] = None) -> None:
         self._columns: Dict[Tuple[int, int], int] = {}
-        self._encoded: List[np.ndarray] = []
-        self._sizes: List[int] = []
-        self._flat_cols: np.ndarray = np.empty(0, dtype=np.int64)
-        self._flat_index: np.ndarray = np.empty(0, dtype=np.int64)
-        self._flat_count = 0
+        self._count = 0
+        self._sizes: np.ndarray = np.zeros(16, dtype=np.int64)
+        self._flat_cols: np.ndarray = np.empty(256, dtype=np.int64)
+        self._flat_index: np.ndarray = np.empty(256, dtype=np.int64)
+        self._flat_len = 0
         if slots is not None:
             for slot in slots:
                 self.add(slot)
 
     def __len__(self) -> int:
-        return len(self._encoded)
+        return self._count
 
     def _encode(self, slot: TimeSlot) -> np.ndarray:
         columns = self._columns
@@ -138,39 +140,46 @@ class SlotDistanceIndex:
                 codes.append(code)
         return np.asarray(codes, dtype=np.int64)
 
-    def add(self, slot: TimeSlot) -> None:
-        """Append one slot to the index."""
-        encoded = self._encode(slot)
-        self._encoded.append(encoded)
-        self._sizes.append(encoded.size)
+    @staticmethod
+    def _grown(buffer: np.ndarray, needed: int) -> np.ndarray:
+        capacity = buffer.size
+        while capacity < needed:
+            capacity *= 2
+        if capacity == buffer.size:
+            return buffer
+        grown = np.empty(capacity, dtype=buffer.dtype)
+        grown[: buffer.size] = buffer
+        return grown
 
-    def _flatten(self) -> None:
-        if self._flat_count == len(self._encoded):
-            return
-        if self._encoded:
-            self._flat_cols = np.concatenate(self._encoded)
-            self._flat_index = np.repeat(
-                np.arange(len(self._encoded), dtype=np.int64),
-                np.asarray(self._sizes, dtype=np.int64),
-            )
-        else:
-            self._flat_cols = np.empty(0, dtype=np.int64)
-            self._flat_index = np.empty(0, dtype=np.int64)
-        self._flat_count = len(self._encoded)
+    def add(self, slot: TimeSlot) -> None:
+        """Append one slot to the flat buffer (amortised O(slot size))."""
+        encoded = self._encode(slot)
+        if self._count >= self._sizes.size:
+            self._sizes = self._grown(self._sizes, self._count + 1)
+        needed = self._flat_len + encoded.size
+        self._flat_cols = self._grown(self._flat_cols, needed)
+        self._flat_index = self._grown(self._flat_index, needed)
+        self._sizes[self._count] = encoded.size
+        self._flat_cols[self._flat_len : needed] = encoded
+        self._flat_index[self._flat_len : needed] = self._count
+        self._flat_len = needed
+        self._count += 1
 
     def distances_from(self, current: TimeSlot) -> np.ndarray:
         """Δ(current, t_i) for every indexed slot, as an int64 array."""
-        count = len(self._encoded)
+        count = self._count
         query = self._encode(current)
         if count == 0:
             return np.empty(0, dtype=np.int64)
-        self._flatten()
-        if query.size and self._flat_cols.size:
-            member = np.isin(self._flat_cols, query)
-            overlaps = np.bincount(self._flat_index[member], minlength=count)
+        flat_cols = self._flat_cols[: self._flat_len]
+        if query.size and flat_cols.size:
+            member = np.isin(flat_cols, query)
+            overlaps = np.bincount(
+                self._flat_index[: self._flat_len][member], minlength=count
+            )
         else:
             overlaps = np.zeros(count, dtype=np.int64)
-        sizes = np.asarray(self._sizes, dtype=np.int64)
+        sizes = self._sizes[:count]
         return sizes + np.int64(query.size) - 2 * overlaps
 
 

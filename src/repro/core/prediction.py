@@ -255,9 +255,13 @@ class MeanWorkloadPredictor:
         if len(self.history) == 0:
             return PredictionOutcome(predicted_slot=current, matched_index=-1, distance=0)
         groups = sorted(set(self.history.group_ids()) | set(current.group_ids))
-        means: Dict[int, int] = {}
-        for group in groups:
-            counts = [slot.workload(group) for slot in self.history]
-            means[group] = int(round(float(np.mean(counts))))
+        # One slots × groups count matrix, reduced along the slot axis in a
+        # single vectorised pass (np.rint rounds half-to-even like round()).
+        counts = np.asarray(
+            [[slot.workload(group) for group in groups] for slot in self.history],
+            dtype=float,
+        )
+        rounded = np.rint(counts.mean(axis=0)).astype(int)
+        means: Dict[int, int] = dict(zip(groups, (int(value) for value in rounded)))
         predicted = TimeSlot.from_counts(index=current.index, counts=means)
         return PredictionOutcome(predicted_slot=predicted, matched_index=-1, distance=0)

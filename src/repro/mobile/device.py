@@ -91,9 +91,31 @@ class MobileDevice:
         self.response_times_ms.append(response_time_ms)
         self.battery.drain_offload(response_time_ms)
 
+    def record_responses(self, response_times_ms: "np.ndarray") -> None:
+        """Record a whole batch of response times in one vectorised step.
+
+        Equivalent to calling :meth:`record_response` per value: the battery
+        drain is linear in connection-open time, so draining once by the batch
+        total lands on exactly the same level as draining per request.
+        """
+        values = np.asarray(response_times_ms, dtype=float)
+        if values.size == 0:
+            return
+        if np.any(values < 0):
+            bad = float(values[values < 0][0])
+            raise ValueError(f"response_time_ms must be >= 0, got {bad}")
+        self.response_times_ms.extend(values.tolist())
+        self.battery.drain_offload(float(values.sum()))
+
     def record_failure(self) -> None:
         """Record a dropped request."""
         self.requests_failed += 1
+
+    def record_failures(self, count: int) -> None:
+        """Record ``count`` dropped requests at once."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self.requests_failed += count
 
     def promote(self, new_group: int, at_ms: float) -> None:
         """Move the device to a higher acceleration group."""

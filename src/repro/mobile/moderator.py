@@ -72,6 +72,19 @@ class StaticProbabilityPolicy:
             return PromotionDecision(True, f"static probability {self.probability:.4f}")
         return PromotionDecision(False)
 
+    def decide_many(
+        self,
+        device: MobileDevice,
+        response_times_ms: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Vectorised :meth:`decide`: one uniform draw per response.
+
+        Consumes exactly one ``rng.random()`` per response, in order, so the
+        stream state after a batch matches the scalar per-request path.
+        """
+        return rng.random(len(response_times_ms)) < self.probability
+
 
 @dataclass(frozen=True)
 class ResponseTimeThresholdPolicy:
@@ -103,6 +116,31 @@ class ResponseTimeThresholdPolicy:
                 True, f"mean of last {self.window} responses {recent:.0f} ms > {self.threshold_ms:.0f} ms"
             )
         return PromotionDecision(False)
+
+    def decide_many(
+        self,
+        device: MobileDevice,
+        response_times_ms: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Vectorised :meth:`decide` over a batch already recorded on the device.
+
+        The i-th decision uses the rolling window ending at the i-th new
+        response, computed with one cumulative sum — no RNG is consumed,
+        matching the scalar policy.
+        """
+        batch = len(response_times_ms)
+        if batch == 0:
+            return np.zeros(0, dtype=bool)
+        total = len(device.response_times_ms)
+        prior = total - batch
+        tail_start = max(0, prior - (self.window - 1))
+        tail = np.asarray(device.response_times_ms[tail_start:], dtype=float)
+        sums = np.concatenate(([0.0], np.cumsum(tail)))
+        end = (prior - tail_start) + 1 + np.arange(batch)
+        start = np.maximum(end - self.window, 0)
+        means = (sums[end] - sums[start]) / (end - start)
+        return means > self.threshold_ms
 
 
 @dataclass(frozen=True)
@@ -146,6 +184,26 @@ class BatteryAwarePolicy:
             return PromotionDecision(True, "base static probability")
         return PromotionDecision(False)
 
+    def decide_many(
+        self,
+        device: MobileDevice,
+        response_times_ms: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Vectorised :meth:`decide`: one draw per response against the
+        battery-dependent probability.
+
+        The device's battery level is read once for the whole batch (the
+        batched executor drains per slot rather than per request), which is
+        the documented batched-mode approximation.
+        """
+        probability = (
+            self.low_battery_probability
+            if device.battery.level <= self.battery_threshold
+            else self.base_probability
+        )
+        return rng.random(len(response_times_ms)) < probability
+
 
 class Moderator:
     """Applies a promotion policy to a device after each completed request."""
@@ -181,3 +239,51 @@ class Moderator:
             device.promote(device.acceleration_group + 1, now_ms)
             self.promotions_made += 1
         return decision
+
+    def observe_many(
+        self,
+        device: MobileDevice,
+        response_times_ms: np.ndarray,
+        completed_at_ms: np.ndarray,
+    ) -> int:
+        """Batched :meth:`observe`: record a slot's worth of responses at once.
+
+        Responses must be ordered by completion time.  Policies with a
+        ``decide_many`` make all their promotion draws in one vectorised call;
+        policies without it fall back to scalar ``decide`` per response.
+        Returns the number of promotions applied.
+
+        One deliberate approximation versus the scalar path: when a device
+        reaches the highest group mid-batch, the remaining responses of the
+        batch have already consumed their decision draws (the scalar path
+        stops drawing at that point).  Promotions themselves are applied
+        identically.
+        """
+        values = np.asarray(response_times_ms, dtype=float)
+        stamps = np.asarray(completed_at_ms, dtype=float)
+        if values.shape != stamps.shape:
+            raise ValueError(
+                f"response/completion arrays must align: {values.shape} vs {stamps.shape}"
+            )
+        decide_many = getattr(self.policy, "decide_many", None)
+        if decide_many is None:
+            # Scalar fallback for custom policies: interleave recording and
+            # deciding exactly like observe(), so state-reading policies never
+            # see responses that have not been delivered yet.
+            promotions = 0
+            for response, stamp in zip(values, stamps):
+                if self.observe(device, float(response), float(stamp)).promote:
+                    promotions += 1
+            return promotions
+        device.record_responses(values)
+        if values.size == 0 or device.acceleration_group >= self.max_group:
+            return 0
+        promotions = 0
+        decisions = decide_many(device, values, self._rng)
+        for index in np.flatnonzero(decisions):
+            if device.acceleration_group >= self.max_group:
+                break
+            device.promote(device.acceleration_group + 1, float(stamps[index]))
+            self.promotions_made += 1
+            promotions += 1
+        return promotions

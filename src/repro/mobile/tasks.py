@@ -280,6 +280,22 @@ class OffloadableTask:
         sample = rng.normal(self.work_units, self.work_units * self.work_variability)
         return float(max(sample, self.work_units * 0.1))
 
+    def sample_work_units_many(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` work requirements in one vectorised call.
+
+        Produces the same value sequence as ``count`` scalar
+        :meth:`sample_work_units` calls on the same generator state (numpy
+        fills arrays with the same iterative routine).
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if self.work_variability == 0:
+            return np.full(count, self.work_units)
+        samples = rng.normal(
+            self.work_units, self.work_units * self.work_variability, size=count
+        )
+        return np.maximum(samples, self.work_units * 0.1)
+
     def execute(self, rng: Optional[np.random.Generator] = None) -> Any:
         """Really run the task's algorithm on a generated input."""
         if self.runner is None:

@@ -83,6 +83,32 @@ class CommunicationChannel:
         one_way = self.intra_cloud_model.sample_rtt_ms(self._rng, hour_of_day) / 2.0
         return 2.0 * one_way
 
+    def _sample_many(self, model: LatencyModel, hours_of_day: np.ndarray) -> np.ndarray:
+        sampler = getattr(model, "sample_many_at", None)
+        if sampler is not None:
+            samples = sampler(self._rng, hours_of_day)
+        else:
+            samples = np.asarray(
+                [model.sample_rtt_ms(self._rng, float(hour)) for hour in hours_of_day],
+                dtype=float,
+            )
+        return 2.0 * (samples / 2.0)
+
+    def sample_t1_many(self, hours_of_day: np.ndarray) -> np.ndarray:
+        """Bulk :meth:`sample_t1_ms`: one RTT per entry of ``hours_of_day``.
+
+        Models with a vectorised ``sample_many_at`` (the log-normal and
+        constant models) are sampled in one RNG call; anything else falls
+        back to scalar sampling per request.
+        """
+        return self._sample_many(self.access_model, np.asarray(hours_of_day, dtype=float))
+
+    def sample_t2_many(self, hours_of_day: np.ndarray) -> np.ndarray:
+        """Bulk :meth:`sample_t2_ms` over the intra-cloud hop."""
+        return self._sample_many(
+            self.intra_cloud_model, np.asarray(hours_of_day, dtype=float)
+        )
+
     def breakdown(
         self,
         cloud_ms: float,

@@ -95,6 +95,25 @@ class LogNormalLatencyModel:
         base = rng.lognormal(mean=self.mu, sigma=self.sigma, size=count)
         return np.maximum(base * self.diurnal_factor(hour_of_day), self.floor_ms)
 
+    def diurnal_factors(self, hours_of_day: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`diurnal_factor` over an array of hours."""
+        hours = np.asarray(hours_of_day, dtype=float) % 24.0
+        phase = 2.0 * np.pi * (hours - self.peak_hour) / 24.0
+        return 1.0 + self.diurnal_amplitude * np.cos(phase)
+
+    def sample_many_at(
+        self, rng: np.random.Generator, hours_of_day: np.ndarray
+    ) -> np.ndarray:
+        """Draw one RTT sample per entry of ``hours_of_day`` in one bulk call.
+
+        This is the per-request sampling path of the batched scenario runner:
+        each request keeps its own hour-of-day diurnal modulation, but all
+        log-normal draws happen in a single vectorised RNG call.
+        """
+        hours = np.asarray(hours_of_day, dtype=float)
+        base = rng.lognormal(mean=self.mu, sigma=self.sigma, size=hours.shape)
+        return np.maximum(base * self.diurnal_factors(hours), self.floor_ms)
+
     def mean_rtt_ms(self) -> float:
         """Long-run mean RTT (averaged over the diurnal cycle)."""
         return self.mean_ms
@@ -130,6 +149,21 @@ class ConstantLatencyModel:
 
     def sample_rtt_ms(self, rng: Optional[np.random.Generator] = None, hour_of_day: float = 12.0) -> float:
         return self.rtt_ms
+
+    def sample_many(
+        self, rng: Optional[np.random.Generator] = None, count: int = 0, hour_of_day: float = 12.0
+    ) -> np.ndarray:
+        """``count`` constant samples (no RNG consumed, like the scalar path)."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return np.full(count, self.rtt_ms)
+
+    def sample_many_at(
+        self, rng: Optional[np.random.Generator], hours_of_day: "np.ndarray"
+    ) -> np.ndarray:
+        """One constant sample per requested hour (no RNG consumed)."""
+        hours = np.asarray(hours_of_day, dtype=float)
+        return np.full(hours.shape, self.rtt_ms)
 
     def mean_rtt_ms(self) -> float:
         return self.rtt_ms

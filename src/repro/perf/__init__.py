@@ -1,0 +1,48 @@
+"""``repro.perf`` — the benchmark subsystem.
+
+Micro-benchmarks time the hot primitives (event dispatch, distance index,
+channel sampling, arrival generation, stats folding); macro-benchmarks time
+whole scenario runs in both execution modes.  Results are persisted as
+``BENCH_<label>.json`` files and compared with a regression threshold by
+``repro-accel bench compare``.
+"""
+
+from repro.perf.harness import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    BenchRecord,
+    BenchReport,
+    Comparison,
+    compare_reports,
+    peak_rss_kb,
+    timed,
+)
+from repro.perf.macro import bench_scenario, perf_scenario, run_macro_suite
+from repro.perf.micro import run_micro_suite
+
+__all__ = [
+    "DEFAULT_REGRESSION_THRESHOLD",
+    "BenchRecord",
+    "BenchReport",
+    "Comparison",
+    "bench_scenario",
+    "compare_reports",
+    "peak_rss_kb",
+    "perf_scenario",
+    "run_macro_suite",
+    "run_micro_suite",
+    "timed",
+]
+
+
+def run_benchmarks(suite: str = "all", budget: str = "full", seed: int = 0):
+    """Run the requested suite(s) and return the list of records."""
+    if suite not in ("micro", "macro", "all"):
+        raise ValueError(f"suite must be micro, macro or all, got {suite!r}")
+    records = []
+    if suite in ("micro", "all"):
+        # The micro suite has no xl tier; xl only adds the 1M macro run.
+        micro_budget = "full" if budget == "xl" else budget
+        records.extend(run_micro_suite(budget=micro_budget, seed=seed))
+    if suite in ("macro", "all"):
+        records.extend(run_macro_suite(budget=budget, seed=seed))
+    return records

@@ -1,0 +1,149 @@
+"""Micro-benchmarks: the hot primitives under the scenario runner.
+
+Each benchmark times one primitive in isolation and reports its throughput:
+
+* ``engine.events`` — raw discrete-event dispatch (schedule + run).
+* ``distance.index`` — :class:`SlotDistanceIndex` in the adaptive model's
+  grow-query-grow pattern (one append + one full-history query per period).
+* ``channel.sampling`` — bulk log-normal RTT sampling with per-request
+  diurnal modulation.
+* ``arrival.generation`` — vectorised Poisson arrival-time generation.
+* ``stats.extend`` — vectorised :meth:`OnlineStatistics.extend_array` folds.
+
+Budgets: ``smoke`` keeps every benchmark under ~100 ms for CI; ``full`` is
+the default for real measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.distance import SlotDistanceIndex
+from repro.core.timeslots import TimeSlot
+from repro.network.latency import lte_latency_model
+from repro.perf.harness import BenchRecord, timed
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.stats import OnlineStatistics
+from repro.workload.arrival import PoissonArrivalProcess
+
+#: Per-benchmark operation budgets.
+BUDGETS: Dict[str, Dict[str, int]] = {
+    "smoke": {
+        "engine_events": 5_000,
+        "index_slots": 60,
+        "index_users": 40,
+        "channel_samples": 50_000,
+        "arrival_rate_hz": 200,
+        "arrival_seconds": 50,
+        "stats_values": 50_000,
+    },
+    "full": {
+        "engine_events": 200_000,
+        "index_slots": 400,
+        "index_users": 80,
+        "channel_samples": 2_000_000,
+        "arrival_rate_hz": 1_000,
+        "arrival_seconds": 1_000,
+        "stats_values": 2_000_000,
+    },
+}
+
+
+def bench_engine_events(count: int) -> BenchRecord:
+    """Schedule ``count`` no-op events and drain the queue."""
+
+    def run() -> float:
+        engine = SimulationEngine()
+        callback = lambda: None  # noqa: E731 - a deliberate no-op payload
+        for tick in range(count):
+            engine.schedule_at(float(tick), callback)
+        executed = engine.run()
+        return float(executed)
+
+    return timed("engine.events", run)
+
+
+def bench_slot_distance_index(slots: int, users_per_slot: int, seed: int) -> BenchRecord:
+    """Interleaved add + query over a growing history (the model's pattern)."""
+    rng = np.random.default_rng(seed)
+    population = max(users_per_slot * 4, 8)
+    history = [
+        TimeSlot.from_user_sets(
+            index,
+            {
+                1: rng.choice(population, size=users_per_slot, replace=False).tolist(),
+                2: rng.choice(population, size=users_per_slot // 2, replace=False).tolist(),
+            },
+        )
+        for index in range(slots)
+    ]
+
+    def run() -> float:
+        index = SlotDistanceIndex()
+        queries = 0
+        for slot in history:
+            index.add(slot)
+            index.distances_from(slot)
+            queries += 1
+        return float(queries)
+
+    return timed("distance.index", run, slots=float(slots))
+
+
+def bench_channel_sampling(samples: int, seed: int) -> BenchRecord:
+    """Bulk RTT sampling with per-sample hour-of-day modulation."""
+    model = lte_latency_model()
+    rng = np.random.default_rng(seed)
+    hours = np.linspace(0.0, 24.0, samples, endpoint=False)
+
+    def run() -> float:
+        drawn = model.sample_many_at(rng, hours)
+        return float(drawn.size)
+
+    return timed("channel.sampling", run)
+
+
+def bench_arrival_generation(rate_hz: int, seconds: int, seed: int) -> BenchRecord:
+    """Vectorised Poisson arrival generation over a long horizon."""
+    process = PoissonArrivalProcess(rate_hz=float(rate_hz))
+    rng = np.random.default_rng(seed)
+
+    def run() -> float:
+        times = process.arrival_times_array(
+            rng, start_ms=0.0, end_ms=seconds * 1000.0
+        )
+        return float(times.size)
+
+    return timed("arrival.generation", run, rate_hz=float(rate_hz))
+
+
+def bench_stats_extend(values: int, seed: int) -> BenchRecord:
+    """Vectorised online-statistics folding in slot-sized chunks."""
+    rng = np.random.default_rng(seed)
+    chunks = [rng.exponential(100.0, size=values // 64) for _ in range(64)]
+
+    def run() -> float:
+        stats = OnlineStatistics()
+        for chunk in chunks:
+            stats.extend_array(chunk)
+        return float(stats.count)
+
+    return timed("stats.extend", run)
+
+
+def run_micro_suite(budget: str = "full", seed: int = 0) -> List[BenchRecord]:
+    """Run every micro-benchmark at the given budget."""
+    if budget not in BUDGETS:
+        raise ValueError(f"budget must be one of {sorted(BUDGETS)}, got {budget!r}")
+    sizes = BUDGETS[budget]
+    return [
+        bench_engine_events(sizes["engine_events"]),
+        bench_slot_distance_index(sizes["index_slots"], sizes["index_users"], seed),
+        bench_channel_sampling(sizes["channel_samples"], seed),
+        bench_arrival_generation(
+            sizes["arrival_rate_hz"], sizes["arrival_seconds"], seed
+        ),
+        bench_stats_extend(sizes["stats_values"], seed),
+    ]

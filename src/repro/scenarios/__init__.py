@@ -30,9 +30,11 @@ from repro.scenarios.registry import (
     register_scenario,
     scenario_names,
 )
+from repro.scenarios.plan import RequestPlan, build_request_plan
 from repro.scenarios.runner import ScenarioResult, build_arrival_process, run_scenario
 from repro.scenarios.spec import (
     ARRIVAL_PATTERNS,
+    EXECUTION_MODES,
     NETWORK_PROFILES,
     PROMOTION_POLICIES,
     ROUTING_POLICIES,
@@ -46,9 +48,12 @@ from repro.scenarios.spec import (
 
 __all__ = [
     "ARRIVAL_PATTERNS",
+    "EXECUTION_MODES",
     "NETWORK_PROFILES",
     "PROMOTION_POLICIES",
     "ROUTING_POLICIES",
+    "RequestPlan",
+    "build_request_plan",
     "CampaignResult",
     "CampaignRunner",
     "CloudSpec",

@@ -1,0 +1,123 @@
+"""Bulk pre-generation of per-request randomness (the "request plan").
+
+Profiling the scenario runner shows the data plane dominated not by model
+work but by scalar RNG round trips: one ``next_gap_ms`` per arrival, two
+log-normal draws per request for the access/intra-cloud RTTs, one normal
+draw for the routing overhead, one for the task's work requirement and one
+for the instance's service jitter.  The request plan pulls all of those
+draws forward into a handful of vectorised numpy calls:
+
+* arrival times come from :meth:`ArrivalProcess.arrival_times_array`
+  (chunked gap draws + ``cumsum`` instead of a Python loop),
+* RTTs come from ``CommunicationChannel.sample_t1_many/sample_t2_many``
+  (``LogNormalLatencyModel`` sampled once per hop with per-request
+  hour-of-day modulation),
+* work units come from :meth:`OffloadableTask.sample_work_units_many`, and
+* service jitter is pre-drawn as standard-normal values that
+  :meth:`CloudInstance.effective_work_units` scales by the landing
+  instance's jitter fraction.
+
+Both execution modes consume the *same* plan, which is what makes the
+batched fast path exactly comparable to the event path: for a deterministic
+configuration the two produce identical metrics, and for stochastic ones
+they differ only through the service-queueing approximation, never through
+different random draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mobile.tasks import OffloadableTask
+from repro.network.channel import CommunicationChannel
+from repro.workload.arrival import ArrivalProcess
+
+
+@dataclass(frozen=True)
+class RequestPlan:
+    """All per-request random draws of one scenario run, as parallel arrays."""
+
+    arrival_ms: np.ndarray
+    user_ids: np.ndarray
+    work_units: np.ndarray
+    jitter_z: np.ndarray
+    t1_ms: np.ndarray
+    t2_ms: np.ndarray
+    routing_ms: np.ndarray
+
+    def __post_init__(self) -> None:
+        length = self.arrival_ms.size
+        for name in ("user_ids", "work_units", "jitter_z", "t1_ms", "t2_ms", "routing_ms"):
+            if getattr(self, name).size != length:
+                raise ValueError(
+                    f"plan arrays must align: {name} has {getattr(self, name).size} "
+                    f"entries, arrival_ms has {length}"
+                )
+
+    def __len__(self) -> int:
+        return int(self.arrival_ms.size)
+
+    @property
+    def uplink_ms(self) -> np.ndarray:
+        """Pre-execution delay: the uplink half of both hops plus routing."""
+        return (self.t1_ms + self.t2_ms) / 2.0 + self.routing_ms
+
+    @property
+    def downlink_ms(self) -> np.ndarray:
+        """Post-execution delay: the downlink half of both hops."""
+        return (self.t1_ms + self.t2_ms) / 2.0
+
+
+def build_request_plan(
+    *,
+    arrival_process: ArrivalProcess,
+    channel: CommunicationChannel,
+    task: OffloadableTask,
+    users: int,
+    duration_ms: float,
+    rng_workload: np.random.Generator,
+    rng_routing: np.random.Generator,
+    rng_jitter: np.random.Generator,
+    routing_overhead_mean_ms: float = 150.0,
+    routing_overhead_std_ms: float = 25.0,
+) -> RequestPlan:
+    """Draw one scenario's complete request plan in bulk.
+
+    Stream discipline mirrors the event loop's draw order: the workload
+    stream yields arrival gaps, then user assignments, then work units; the
+    network stream yields all T1 samples then all T2 samples; the SDN stream
+    yields the routing overheads; a dedicated jitter stream yields the
+    service-time draws.
+    """
+    if users < 1:
+        raise ValueError(f"users must be >= 1, got {users}")
+    arrivals = arrival_process.arrival_times_array(
+        rng_workload, start_ms=0.0, end_ms=duration_ms
+    )
+    count = arrivals.size
+    user_ids = rng_workload.integers(0, users, size=count)
+    work = task.sample_work_units_many(rng_workload, count)
+    hours = (arrivals / 3_600_000.0) % 24.0
+    t1 = channel.sample_t1_many(hours)
+    t2 = channel.sample_t2_many(hours)
+    if routing_overhead_std_ms == 0:
+        routing = np.full(count, routing_overhead_mean_ms)
+    else:
+        routing = np.maximum(
+            rng_routing.normal(
+                routing_overhead_mean_ms, routing_overhead_std_ms, size=count
+            ),
+            1.0,
+        )
+    jitter_z = rng_jitter.standard_normal(count)
+    return RequestPlan(
+        arrival_ms=arrivals,
+        user_ids=user_ids,
+        work_units=work,
+        jitter_z=jitter_z,
+        t1_ms=t1,
+        t2_ms=t2,
+        routing_ms=routing,
+    )

@@ -16,7 +16,6 @@ the process (or in which campaign worker it runs).
 from __future__ import annotations
 
 import dataclasses
-import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -44,6 +43,8 @@ from repro.network.latency import (
     lte_latency_model,
     three_g_latency_model,
 )
+from repro.scenarios.batched import DRAIN_MARGIN_MS, ExecutionMetrics, execute_batched
+from repro.scenarios.plan import RequestPlan, build_request_plan
 from repro.scenarios.spec import NetworkSpec, ScenarioSpec, WorkloadSpec
 from repro.sdn.accelerator import RequestRecord, RoundRobinRouting, SDNAccelerator
 from repro.sdn.autoscaler import Autoscaler
@@ -128,39 +129,48 @@ class ScenarioResult:
 
 def _rate_factor_fn(
     workload: WorkloadSpec, duration_ms: float
-) -> "Tuple[Callable[[float], float], float]":
+) -> "Tuple[Callable[[object], object], float]":
     """The pattern's rate modulation over time, as a factor of the base rate.
 
     Returns ``(factor_fn, peak_factor)`` where ``peak_factor`` is the exact
     maximum of ``factor_fn`` (the thinning algorithm needs a true upper
-    bound; a sampled maximum can undershoot the continuous one).
+    bound; a sampled maximum can undershoot the continuous one).  The factor
+    functions are numpy-aware: handed an array of times they return an array,
+    which both the calibration grid and the vectorised thinning generator
+    rely on.
     """
     if workload.pattern == "flash-crowd":
         start = workload.burst_start * duration_ms
         end = min(start + workload.burst_duration * duration_ms, duration_ms)
 
-        def factor(t_ms: float) -> float:
-            return workload.burst_factor if start <= t_ms < end else 1.0
+        def factor(t_ms):
+            t = np.asarray(t_ms, dtype=float)
+            values = np.where((t >= start) & (t < end), workload.burst_factor, 1.0)
+            return values if values.ndim else float(values)
 
         return factor, workload.burst_factor
     if workload.pattern == "diurnal":
         trough = workload.trough_factor
         peak_hour = workload.peak_hour
 
-        def factor(t_ms: float) -> float:
-            hour = (t_ms / 3_600_000.0) % 24.0
-            phase = 2.0 * math.pi * (hour - peak_hour) / 24.0
+        def factor(t_ms):
+            t = np.asarray(t_ms, dtype=float)
+            hour = (t / 3_600_000.0) % 24.0
+            phase = 2.0 * np.pi * (hour - peak_hour) / 24.0
             # Cosine day/night cycle: 1.0 at the peak hour, `trough` opposite.
-            return trough + (1.0 - trough) * 0.5 * (1.0 + math.cos(phase))
+            values = trough + (1.0 - trough) * 0.5 * (1.0 + np.cos(phase))
+            return values if values.ndim else float(values)
 
         return factor, 1.0
     if workload.pattern == "bursty":
         period = duration_ms / workload.burst_count
         on_fraction = min(workload.burst_duration, 1.0)
 
-        def factor(t_ms: float) -> float:
-            phase = (t_ms % period) / period
-            return workload.burst_factor if phase < on_fraction else 1.0
+        def factor(t_ms):
+            t = np.asarray(t_ms, dtype=float)
+            phase = (t % period) / period
+            values = np.where(phase < on_fraction, workload.burst_factor, 1.0)
+            return values if values.ndim else float(values)
 
         return factor, workload.burst_factor
     raise ValueError(f"pattern {workload.pattern!r} has no rate modulation")
@@ -173,7 +183,7 @@ def build_arrival_process(
 
     The base rate is calibrated so the expected number of arrivals over the
     run is ``target_requests`` for every pattern (the modulation's mean factor
-    is integrated numerically on a fine grid).
+    is integrated numerically on a fine grid, in one vectorised evaluation).
     """
     if duration_ms <= 0:
         raise ValueError(f"duration_ms must be positive, got {duration_ms}")
@@ -189,7 +199,7 @@ def build_arrival_process(
     # The mean factor calibrates the base rate to hit target_requests in
     # expectation; a fine grid is accurate enough for calibration.
     grid = np.linspace(0.0, duration_ms, 4096, endpoint=False)
-    mean_factor = float(np.mean([factor(float(t)) for t in grid]))
+    mean_factor = float(np.mean(factor(grid)))
     base_rate_hz = mean_rate_hz / mean_factor
     return ModulatedPoissonProcess(
         lambda t_ms: base_rate_hz * factor(t_ms),
@@ -238,6 +248,123 @@ def _build_promotion_policy(spec: ScenarioSpec):
     if policy.promotion == "threshold":
         return ResponseTimeThresholdPolicy(threshold_ms=policy.promotion_threshold_ms)
     return BatteryAwarePolicy(base_probability=policy.promotion_probability)
+
+
+# ---------------------------------------------------------------------------
+# The event-driven executor
+# ---------------------------------------------------------------------------
+
+
+def _execute_event(
+    *,
+    spec: ScenarioSpec,
+    plan: RequestPlan,
+    engine: SimulationEngine,
+    devices: Dict[int, MobileDevice],
+    moderators: Dict[int, Moderator],
+    backend: BackendPool,
+    accelerator: SDNAccelerator,
+    autoscaler: Autoscaler,
+    task,
+    duration_ms: float,
+    slot_ms: float,
+) -> ExecutionMetrics:
+    """Drive the pre-drawn request plan through the discrete-event engine.
+
+    This is the exact simulation: per-request events, processor-sharing
+    service, promotions applied at delivery time.  All per-request randomness
+    comes from the plan, so it consumes the same draws as the batched path.
+    """
+    completion_callbacks: Dict[int, Callable[[RequestRecord], None]] = {}
+
+    def _completion_for(user_id: int):
+        callback = completion_callbacks.get(user_id)
+        if callback is None:
+
+            def _on_complete(record: RequestRecord) -> None:
+                device = devices[user_id]
+                if record.success:
+                    moderators[user_id].observe(
+                        device, record.response_time_ms, engine.now_ms
+                    )
+                else:
+                    device.record_failure()
+
+            callback = completion_callbacks[user_id] = _on_complete
+        return callback
+
+    task_name = task.name
+    for index in range(len(plan)):
+
+        def _submit(index: int = index) -> None:
+            user_id = int(plan.user_ids[index])
+            device = devices[user_id]
+            device.requests_sent += 1
+            accelerator.submit_planned(
+                user_id=user_id,
+                acceleration_group=device.acceleration_group,
+                work_units=float(plan.work_units[index]),
+                t1_ms=float(plan.t1_ms[index]),
+                t2_ms=float(plan.t2_ms[index]),
+                routing_ms=float(plan.routing_ms[index]),
+                jitter_z=float(plan.jitter_z[index]),
+                task_name=task_name,
+                battery_level=device.battery.level,
+                on_complete=_completion_for(user_id),
+            )
+
+        engine.schedule_at(float(plan.arrival_ms[index]), _submit, label="scenario:request")
+
+    # --- provisioning control loop ------------------------------------------
+    for period in range(1, spec.periods + 1):
+        period_start = (period - 1) * slot_ms
+        period_end = min(period * slot_ms, duration_ms)
+
+        def _scale(start: float = period_start, end: float = period_end) -> None:
+            autoscaler.run_period_end(accelerator.trace_log, start, end)
+
+        engine.schedule_at(period_end, _scale, label=f"scenario:scale-{period}")
+
+    # --- utilization sampling ------------------------------------------------
+    utilization_samples: List[float] = []
+    sample_interval_ms = max(slot_ms / 10.0, 30_000.0)
+
+    def _sample_utilization() -> None:
+        # Core occupancy across the running fleet: jobs in service (capped at
+        # each instance's core count) over total cores.  Admission limits are
+        # far above core counts, so they would flatten the signal.
+        busy = 0.0
+        cores = 0.0
+        for instances in backend.groups.values():
+            for instance in instances:
+                if instance.is_running:
+                    instance_cores = max(
+                        float(instance.instance_type.profile.effective_cores), 1.0
+                    )
+                    busy += min(float(instance.in_service), instance_cores)
+                    cores += instance_cores
+        if cores > 0:
+            utilization_samples.append(busy / cores)
+        if engine.now_ms + sample_interval_ms <= duration_ms:
+            engine.schedule_after(
+                sample_interval_ms, _sample_utilization, label="scenario:utilization"
+            )
+
+    engine.schedule_at(0.0, _sample_utilization, label="scenario:utilization")
+
+    # Run to the end plus a drain margin for in-flight requests.
+    engine.run(until_ms=duration_ms + DRAIN_MARGIN_MS)
+
+    records = accelerator.records
+    successes = np.asarray(
+        [record.response_time_ms for record in records if record.success], dtype=float
+    )
+    return ExecutionMetrics(
+        requests_total=len(records),
+        requests_dropped=sum(1 for record in records if not record.success),
+        success_response_ms=successes,
+        utilization_samples=utilization_samples,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -346,87 +473,58 @@ def run_scenario(spec: ScenarioSpec, *, seed: Optional[int] = None) -> ScenarioR
             rng=streams.stream(f"scenario-moderator-{user_id}"),
         )
 
-    # --- workload -----------------------------------------------------------
+    # --- workload: the shared per-request plan -------------------------------
     arrival_process = build_arrival_process(spec.workload, duration_ms)
-    arrival_times = arrival_process.arrival_times_ms(
-        rng_workload, start_ms=0.0, end_ms=duration_ms
+    plan = build_request_plan(
+        arrival_process=arrival_process,
+        channel=channel,
+        task=task,
+        users=spec.users,
+        duration_ms=duration_ms,
+        rng_workload=rng_workload,
+        rng_routing=rng_sdn,
+        rng_jitter=streams.stream("scenario-jitter"),
+        routing_overhead_mean_ms=accelerator.routing_overhead_mean_ms,
+        routing_overhead_std_ms=accelerator.routing_overhead_std_ms,
     )
 
-    def _make_completion(user_id: int):
-        def _on_complete(record: RequestRecord) -> None:
-            device = devices[user_id]
-            if record.success:
-                moderators[user_id].observe(device, record.response_time_ms, engine.now_ms)
-            else:
-                device.record_failure()
-
-        return _on_complete
-
-    for arrival in arrival_times:
-        user_id = int(rng_workload.integers(0, spec.users))
-
-        def _submit(user_id: int = user_id) -> None:
-            device = devices[user_id]
-            device.requests_sent += 1
-            accelerator.submit(
-                user_id=user_id,
-                acceleration_group=device.acceleration_group,
-                work_units=task.sample_work_units(rng_workload),
-                task_name=task.name,
-                battery_level=device.battery.level,
-                on_complete=_make_completion(user_id),
-            )
-
-        engine.schedule_at(arrival, _submit, label="scenario:request")
-
-    # --- provisioning control loop ------------------------------------------
-    for period in range(1, spec.periods + 1):
-        period_start = (period - 1) * slot_ms
-        period_end = min(period * slot_ms, duration_ms)
-
-        def _scale(start: float = period_start, end: float = period_end) -> None:
-            autoscaler.run_period_end(accelerator.trace_log, start, end)
-
-        engine.schedule_at(period_end, _scale, label=f"scenario:scale-{period}")
-
-    # --- utilization sampling ------------------------------------------------
-    utilization_samples: List[float] = []
-    sample_interval_ms = max(slot_ms / 10.0, 30_000.0)
-
-    def _sample_utilization() -> None:
-        # Core occupancy across the running fleet: jobs in service (capped at
-        # each instance's core count) over total cores.  Admission limits are
-        # far above core counts, so they would flatten the signal.
-        busy = 0.0
-        cores = 0.0
-        for instances in backend.groups.values():
-            for instance in instances:
-                if instance.is_running:
-                    instance_cores = max(
-                        float(instance.instance_type.profile.effective_cores), 1.0
-                    )
-                    busy += min(float(instance.in_service), instance_cores)
-                    cores += instance_cores
-        if cores > 0:
-            utilization_samples.append(busy / cores)
-        if engine.now_ms + sample_interval_ms <= duration_ms:
-            engine.schedule_after(
-                sample_interval_ms, _sample_utilization, label="scenario:utilization"
-            )
-
-    engine.schedule_at(0.0, _sample_utilization, label="scenario:utilization")
-
-    # Run to the end plus a drain margin for in-flight requests.
-    engine.run(until_ms=duration_ms + 60_000.0)
+    if spec.execution == "batched":
+        metrics = execute_batched(
+            spec=spec,
+            plan=plan,
+            engine=engine,
+            devices=devices,
+            moderators=moderators,
+            backend=backend,
+            autoscaler=autoscaler,
+            model=model,
+            round_robin_routing=spec.policy.routing == "round-robin",
+            duration_ms=duration_ms,
+            slot_ms=slot_ms,
+        )
+    else:
+        metrics = _execute_event(
+            spec=spec,
+            plan=plan,
+            engine=engine,
+            devices=devices,
+            moderators=moderators,
+            backend=backend,
+            accelerator=accelerator,
+            autoscaler=autoscaler,
+            task=task,
+            duration_ms=duration_ms,
+            slot_ms=slot_ms,
+        )
 
     # --- metrics -------------------------------------------------------------
-    records = accelerator.records
-    successes = [r.response_time_ms for r in records if r.success]
-    dropped = sum(1 for r in records if not r.success)
-    if successes:
-        array = np.asarray(successes, dtype=float)
-        mean_ms = float(array.mean())
-        p50, p95, p99 = (float(np.percentile(array, p)) for p in (50.0, 95.0, 99.0))
+    successes = metrics.success_response_ms
+    dropped = metrics.requests_dropped
+    if successes.size:
+        mean_ms = float(successes.mean())
+        p50, p95, p99 = (
+            float(np.percentile(successes, p)) for p in (50.0, 95.0, 99.0)
+        )
     else:
         mean_ms = p50 = p95 = p99 = float("nan")
 
@@ -451,8 +549,8 @@ def run_scenario(spec: ScenarioSpec, *, seed: Optional[int] = None) -> ScenarioR
         seed=effective_seed,
         users=spec.users,
         duration_hours=spec.duration_hours,
-        requests_total=len(records),
-        requests_succeeded=len(successes),
+        requests_total=metrics.requests_total,
+        requests_succeeded=int(successes.size),
         requests_dropped=dropped,
         mean_response_ms=mean_ms,
         p50_response_ms=p50,
@@ -463,7 +561,9 @@ def run_scenario(spec: ScenarioSpec, *, seed: Optional[int] = None) -> ScenarioR
         scaling_actions=len(autoscaler.actions),
         allocation_cost_usd=provisioner.total_cost(include_running=True),
         mean_utilization=(
-            float(np.mean(utilization_samples)) if utilization_samples else 0.0
+            float(np.mean(metrics.utilization_samples))
+            if metrics.utilization_samples
+            else 0.0
         ),
         promoted_users=sum(1 for device in devices.values() if device.promotions),
         promotions=sum(len(device.promotions) for device in devices.values()),

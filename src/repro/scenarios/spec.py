@@ -41,6 +41,17 @@ ROUTING_POLICIES = ("acceleration-group", "round-robin")
 #: Supported predictor strategies (mirrors ``WorkloadPredictor.STRATEGIES``).
 PREDICTOR_STRATEGIES = ("nearest", "successor")
 
+#: Supported execution modes for the scenario runner.
+#:
+#: * ``event`` — every request hop is a discrete event on the engine (exact
+#:   processor-sharing service, promotions applied at delivery time).
+#: * ``batched`` — the data plane is computed per provisioning slot as numpy
+#:   arrays from the same pre-drawn request plan; the control plane
+#:   (prediction, allocation, autoscaling) still runs at the same slot
+#:   boundaries.  ~10-40x faster; see ``repro.scenarios.batched`` for the
+#:   documented approximations.
+EXECUTION_MODES = ("event", "batched")
+
 #: The Section VI-C acceleration groups used when a spec does not override them.
 DEFAULT_GROUP_TYPES: Dict[int, str] = {1: "t2.nano", 2: "t2.large", 3: "m4.4xlarge"}
 
@@ -266,6 +277,7 @@ class ScenarioSpec:
     slot_minutes: float = 30.0
     seed: Optional[int] = None
     task_name: str = "minimax"
+    execution: str = "event"
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     devices: DeviceMixSpec = field(default_factory=DeviceMixSpec)
     cloud: CloudSpec = field(default_factory=CloudSpec)
@@ -288,6 +300,10 @@ class ScenarioSpec:
         if self.task_name not in DEFAULT_TASK_POOL.names:
             raise ValueError(
                 f"unknown task {self.task_name!r}; known: {sorted(DEFAULT_TASK_POOL.names)}"
+            )
+        if self.execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"execution must be one of {EXECUTION_MODES}, got {self.execution!r}"
             )
         if self.workload.target_requests < self.users:
             raise ValueError(
@@ -315,6 +331,7 @@ class ScenarioSpec:
         duration_hours: Optional[float] = None,
         target_requests: Optional[int] = None,
         seed: Optional[int] = None,
+        execution: Optional[str] = None,
     ) -> "ScenarioSpec":
         """A copy with the common CLI-level knobs replaced."""
         workload = self.workload
@@ -327,6 +344,7 @@ class ScenarioSpec:
                 duration_hours if duration_hours is not None else self.duration_hours
             ),
             seed=seed if seed is not None else self.seed,
+            execution=execution if execution is not None else self.execution,
             workload=workload,
         )
 

@@ -151,13 +151,51 @@ class SDNAccelerator:
         Returns the request id assigned by the front-end.
         """
         if work_units <= 0:
+            # Validate before sampling so invalid submissions leave the
+            # channel/SDN random streams untouched (the historical contract).
             raise ValueError(f"work_units must be positive, got {work_units}")
-        request_id = next(self._request_ids)
-        arrival_ms = self.engine.now_ms
         hour_of_day = (self.engine.now_ms / 3_600_000.0) % 24.0
         t1_ms = self.channel.sample_t1_ms(hour_of_day)
         t2_ms = self.channel.sample_t2_ms(hour_of_day)
         routing_ms = self._sample_routing_overhead_ms()
+        return self.submit_planned(
+            user_id=user_id,
+            acceleration_group=acceleration_group,
+            work_units=work_units,
+            t1_ms=t1_ms,
+            t2_ms=t2_ms,
+            routing_ms=routing_ms,
+            task_name=task_name,
+            battery_level=battery_level,
+            on_complete=on_complete,
+        )
+
+    def submit_planned(
+        self,
+        *,
+        user_id: int,
+        acceleration_group: int,
+        work_units: float,
+        t1_ms: float,
+        t2_ms: float,
+        routing_ms: float,
+        task_name: str = "",
+        battery_level: float = 1.0,
+        jitter_z: Optional[float] = None,
+        on_complete: Optional[Callable[[RequestRecord], None]] = None,
+    ) -> int:
+        """Accept one request whose network/routing samples were pre-drawn.
+
+        This is the entry point of the plan-driven scenario runner: the
+        per-request log-normal RTTs, routing overhead and (optionally) the
+        service-time jitter draw arrive as arguments, sampled in bulk by
+        :mod:`repro.scenarios.plan`, so the front-end performs no scalar RNG
+        work on the hot path.  :meth:`submit` delegates here after sampling.
+        """
+        if work_units <= 0:
+            raise ValueError(f"work_units must be positive, got {work_units}")
+        request_id = next(self._request_ids)
+        arrival_ms = self.engine.now_ms
         # Per-user routing policies (e.g. the flow-table policy) need to know
         # which user the request belongs to before deciding the group.
         observe_user = getattr(self.routing_policy, "observe_user", None)
@@ -173,7 +211,9 @@ class SDNAccelerator:
         downlink_ms = (t1_ms + t2_ms) / 2.0
 
         def _dispatch() -> None:
-            outcome = self.backend.dispatch(routed_group, work_units, _on_cloud_complete)
+            outcome = self.backend.dispatch(
+                routed_group, work_units, _on_cloud_complete, jitter_z=jitter_z
+            )
             if outcome is not None:
                 # Dropped at admission: the failure is reported back to the
                 # device over the downlink immediately.

@@ -126,9 +126,14 @@ class Autoscaler:
                 launched[type_name] = launched.get(type_name, 0) + 1
         return launched, terminated
 
-    def run_period_end(self, log: TraceLog, period_start_ms: float, period_end_ms: float) -> ScalingAction:
-        """Run the control loop for the period ``[period_start_ms, period_end_ms)``."""
-        slot = self.model.observe_trace_window(log, period_start_ms, period_end_ms)
+    def scale_for_slot(self, slot: TimeSlot, at_ms: float) -> ScalingAction:
+        """Predict, plan and re-shape the fleet for an already-observed slot.
+
+        The slot must already be recorded in the model's history (via
+        ``observe_trace_window`` or ``observe_slot``); the batched scenario
+        executor builds its slots directly from arrays and calls this method,
+        bypassing the per-record trace log entirely.
+        """
         if self.model.can_predict():
             decision = self.model.decide(slot)
             plan = decision.plan
@@ -145,7 +150,7 @@ class Autoscaler:
         launched, terminated = self._apply_counts(target)
         action = ScalingAction(
             period_index=len(self.actions),
-            at_ms=period_end_ms,
+            at_ms=at_ms,
             launched=launched,
             terminated=terminated,
             plan=plan,
@@ -154,12 +159,16 @@ class Autoscaler:
         self.actions.append(action)
         return action
 
+    def run_period_end(self, log: TraceLog, period_start_ms: float, period_end_ms: float) -> ScalingAction:
+        """Run the control loop for the period ``[period_start_ms, period_end_ms)``."""
+        slot = self.model.observe_trace_window(log, period_start_ms, period_end_ms)
+        return self.scale_for_slot(slot, period_end_ms)
+
 
 class ReactiveAutoscaler(Autoscaler):
     """Baseline: provision for the workload just observed (no prediction)."""
 
-    def run_period_end(self, log: TraceLog, period_start_ms: float, period_end_ms: float) -> ScalingAction:
-        slot = self.model.observe_trace_window(log, period_start_ms, period_end_ms)
+    def scale_for_slot(self, slot: TimeSlot, at_ms: float) -> ScalingAction:
         problem = AllocationProblem(
             options=self.model.options,
             group_workloads=slot.workload_vector(self.model.groups()),
@@ -170,7 +179,7 @@ class ReactiveAutoscaler(Autoscaler):
         launched, terminated = self._apply_counts(target)
         action = ScalingAction(
             period_index=len(self.actions),
-            at_ms=period_end_ms,
+            at_ms=at_ms,
             launched=launched,
             terminated=terminated,
             plan=plan,

@@ -19,13 +19,14 @@ from typing import Callable, Optional
 from repro.simulation.clock import SimulationClock
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
     Events order by ``(time_ms, sequence)`` so that events scheduled for the
     same instant fire in the order they were scheduled (FIFO tie-break), which
-    keeps runs deterministic.
+    keeps runs deterministic.  ``__slots__`` keeps the per-event footprint
+    small — large scenarios allocate one event per request hop.
     """
 
     time_ms: float
@@ -33,10 +34,15 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _owner: "Optional[SimulationEngine]" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._owner is not None:
+            self._owner._note_cancelled()
 
 
 class SimulationEngine:
@@ -47,6 +53,7 @@ class SimulationEngine:
         self._queue: list[Event] = []
         self._sequence = itertools.count()
         self._processed_events = 0
+        self._cancelled_pending = 0
         self._running = False
 
     @property
@@ -61,8 +68,12 @@ class SimulationEngine:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._queue)
+        """Number of *live* (non-cancelled) events still queued."""
+        return len(self._queue) - self._cancelled_pending
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` so the live-event count stays exact."""
+        self._cancelled_pending += 1
 
     def schedule_at(self, time_ms: float, callback: Callable[[], None], label: str = "") -> Event:
         """Schedule ``callback`` at absolute simulated time ``time_ms``."""
@@ -76,6 +87,7 @@ class SimulationEngine:
             sequence=next(self._sequence),
             callback=callback,
             label=label,
+            _owner=self,
         )
         heapq.heappush(self._queue, event)
         return event
@@ -114,7 +126,9 @@ class SimulationEngine:
                 if until_ms is not None and event.time_ms > until_ms:
                     break
                 heapq.heappop(self._queue)
+                event._owner = None  # late cancels must not skew the live count
                 if event.cancelled:
+                    self._cancelled_pending -= 1
                     continue
                 self.clock.advance_to(event.time_ms)
                 event.callback()
@@ -129,5 +143,5 @@ class SimulationEngine:
     def __repr__(self) -> str:
         return (
             f"SimulationEngine(now_ms={self.clock.now_ms:.1f}, "
-            f"pending={len(self._queue)}, processed={self._processed_events})"
+            f"pending={self.pending_events}, processed={self._processed_events})"
         )
