@@ -61,3 +61,37 @@ def std_by_key(values_by_key: Mapping[int, Sequence[float]]) -> Dict[int, float]
         for key, values in values_by_key.items()
         if len(values) > 0
     }
+
+
+def federation_rollup(sites: Sequence[object]) -> Dict[str, float]:
+    """Aggregate per-site results into one federation-wide summary.
+
+    Accepts any objects exposing the
+    :class:`~repro.scenarios.runner.SiteResult` fields (``requests_total``,
+    ``requests_dropped``, ``mean_response_ms``, ``allocation_cost_usd``) —
+    exact values, not the rounded display rows, so single drops among many
+    requests are never lost to rounding.  Request counts and costs add up,
+    the drop rate is recomputed from the summed counts, and the mean
+    response time is weighted by each site's served (non-dropped) request
+    count so empty sites do not skew it.
+    """
+    if not sites:
+        raise ValueError("need at least one site result")
+    requests = float(sum(site.requests_total for site in sites))
+    dropped = float(sum(site.requests_dropped for site in sites))
+    cost = float(sum(site.allocation_cost_usd for site in sites))
+    weighted_mean = 0.0
+    served_total = 0.0
+    for site in sites:
+        served = site.requests_total - site.requests_dropped
+        mean_ms = site.mean_response_ms
+        if served > 0 and mean_ms == mean_ms:  # skip NaN (no successes)
+            weighted_mean += served * float(mean_ms)
+            served_total += served
+    return {
+        "requests": requests,
+        "dropped": dropped,
+        "drop_rate_pct": 100.0 * dropped / requests if requests else 0.0,
+        "mean_ms": weighted_mean / served_total if served_total else float("nan"),
+        "cost_usd": cost,
+    }

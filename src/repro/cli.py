@@ -12,7 +12,9 @@ Beyond the paper's figures, the scenario engine runs declarative workloads::
 
     repro-accel scenario list                  # the built-in scenario registry
     repro-accel scenario run flash-crowd       # one scenario end to end
+    repro-accel scenario run edge-vs-core      # multi-site: adds a per-site table
     repro-accel scenario campaign --workers 4  # all scenarios, in parallel
+    repro-accel scenario campaign --execution batched   # whole campaign, fast path
 
 Every experiment accepts ``--seed`` so runs are reproducible.  Unknown
 commands exit with a nonzero status.
@@ -165,6 +167,9 @@ def _cmd_scenario_list(args: argparse.Namespace) -> int:
             "slot_min": spec.slot_minutes,
             "pattern": spec.workload.pattern,
             "network": spec.network.profile,
+            "sites": (
+                f"{len(spec.sites)}:{spec.sites.policy}" if spec.sites else "-"
+            ),
             "description": spec.description,
         }
         for spec in builtin_specs()
@@ -192,6 +197,11 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(format_table(result.rows()))
+    if result.is_multisite:
+        print()
+        print(format_table(result.site_rows()))
+        if result.requests_unrouted:
+            print(f"unrouted requests (no site available): {result.requests_unrouted}")
     return 0
 
 
@@ -206,7 +216,9 @@ def _cmd_scenario_campaign(args: argparse.Namespace) -> int:
     else:
         specs = builtin_specs()
     try:
-        runner = CampaignRunner(workers=args.workers, seed=args.seed)
+        runner = CampaignRunner(
+            workers=args.workers, seed=args.seed, execution=args.execution
+        )
         campaign = runner.run(specs)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -379,6 +391,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario_campaign.add_argument(
         "--only", default="", help="comma-separated subset of scenario names"
+    )
+    scenario_campaign.add_argument(
+        "--execution", default=None, choices=("event", "batched"),
+        help="override every scenario's execution mode "
+        "(batched = whole campaign on the vectorised fast path)",
     )
     scenario_campaign.add_argument(
         "--csv", default="", help="also write the comparison table to this CSV path"

@@ -186,6 +186,117 @@ def build_options_from_catalog(
     return options
 
 
+def best_effort_plan(problem: AllocationProblem) -> AllocationPlan:
+    """A cap-saturating plan for workloads no feasible allocation can cover.
+
+    A capped account cannot crash when demand outgrows it — it provisions as
+    much serving capacity as the cap allows and sheds the excess load at
+    admission control.  Per demanded group the highest-capacity type (ties:
+    cheaper) is selected, every group gets at least one instance, and the
+    remaining cap is split proportionally to each group's ideal instance
+    count (largest remainder).  The plan is marked ``feasible=False`` so
+    callers can tell saturation from a genuine cover.
+    """
+    demanded = problem.demanded_groups()
+    if not demanded:
+        raise AllocationError("best-effort plan needs at least one demanded group")
+    chosen: Dict[int, InstanceOption] = {}
+    ideal: Dict[int, int] = {}
+    for group in demanded:
+        options = problem.options_for_group(group)
+        if not options:
+            raise AllocationError(
+                f"no instance option can serve acceleration group {group}"
+            )
+        best = max(options, key=lambda option: (option.capacity, -option.cost_per_hour))
+        chosen[group] = best
+        ideal[group] = max(
+            int(math.ceil(problem.required_capacity(group) / best.capacity)), 1
+        )
+    cap = problem.instance_cap
+    if len(demanded) > cap:
+        # Not even one instance per group fits; cover the busiest groups.
+        demanded = sorted(
+            demanded, key=lambda group: -problem.required_capacity(group)
+        )[:cap]
+    counts = {group: 1 for group in demanded}
+    spare = cap - len(demanded)
+    # Water-fill the spare cap one instance at a time into the relatively
+    # most under-provisioned group (lowest provisioned/ideal fraction; ties
+    # to the busier group, then declaration order), never beyond a group's
+    # ideal — so every cap unit that can serve real demand is used.
+    while spare > 0:
+        candidates = [group for group in demanded if counts[group] < ideal[group]]
+        if not candidates:
+            break
+        target = min(
+            candidates,
+            key=lambda group: (
+                counts[group] / ideal[group],
+                -problem.required_capacity(group),
+                demanded.index(group),
+            ),
+        )
+        counts[target] += 1
+        spare -= 1
+    type_counts = {option.type_name: 0 for option in problem.options}
+    for group, count in counts.items():
+        type_counts[chosen[group].type_name] += count
+    total_cost = sum(
+        count
+        * next(o.cost_per_hour for o in problem.options if o.type_name == name)
+        for name, count in type_counts.items()
+        if count
+    )
+    capacities = {
+        group: chosen[group].capacity * type_counts[chosen[group].type_name]
+        for group in counts
+    }
+    return AllocationPlan(
+        counts=type_counts,
+        total_cost=total_cost,
+        feasible=False,
+        group_capacities=capacities,
+        solver="best-effort",
+    )
+
+
+def build_group_options(
+    catalog,
+    *,
+    level_for_type: Mapping[str, int],
+    work_units: float,
+    response_threshold_ms: float,
+    capacity_override: Optional[Mapping[str, float]] = None,
+) -> List[InstanceOption]:
+    """Catalog options with each type's acceleration group remapped.
+
+    Deployments (and federation sites) assign instance types to acceleration
+    groups independently of the catalog's default levels — the paper itself
+    re-assigns t2.micro after observing the Fig. 6 anomaly.  This wraps
+    :func:`build_options_from_catalog` and rewrites each option's group
+    according to ``level_for_type``; types without a mapping keep their
+    catalogued level.
+    """
+    options = []
+    for option in build_options_from_catalog(
+        catalog,
+        work_units=work_units,
+        response_threshold_ms=response_threshold_ms,
+        capacity_override=capacity_override,
+    ):
+        group = level_for_type.get(option.type_name, option.acceleration_group)
+        options.append(
+            InstanceOption(
+                type_name=option.type_name,
+                acceleration_group=group,
+                cost_per_hour=option.cost_per_hour,
+                capacity=option.capacity,
+            )
+        )
+    return options
+
+
 class IlpAllocator:
     """Exact cost-minimising allocator.
 

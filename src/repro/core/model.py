@@ -21,10 +21,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.allocation import (
+    AllocationError,
     AllocationPlan,
     AllocationProblem,
     IlpAllocator,
     InstanceOption,
+    best_effort_plan,
 )
 from repro.core.prediction import PredictionOutcome, WorkloadPredictor, prediction_accuracy
 from repro.core.timeslots import TimeSlot, TimeSlotHistory
@@ -134,7 +136,13 @@ class AdaptiveModel:
             group_workloads=workloads,
             instance_cap=self.instance_cap,
         )
-        plan = self.allocator.allocate(problem)
+        try:
+            plan = self.allocator.allocate(problem)
+        except AllocationError:
+            # The predicted workload outgrew the account cap: saturate the
+            # cap and let admission control shed the excess (the capped
+            # utility-computing model of Section IV, not a simulation error).
+            plan = best_effort_plan(problem)
         decision = ModelDecision(
             period_index=len(self.decisions),
             current_slot=current_slot,

@@ -1,0 +1,220 @@
+"""Global request brokering across federation sites.
+
+The broker is the thin global layer of the federation: given one scenario's
+pre-drawn :class:`~repro.scenarios.plan.RequestPlan` it assigns every request
+to a site *before* execution starts, as plain numpy arrays.  Both the event
+and the batched executor then consume the same site partition, which makes
+the two modes comparable by construction (site assignment is never part of
+the queueing approximation).
+
+Assignment is deterministic: it depends only on the spec, the arrival times
+and the user→home-site mapping, never on an RNG draw.  Outage windows split
+the run into availability segments; within each segment the policy picks
+among the available sites:
+
+* ``nearest-rtt``   — per home site, the available site with the lowest
+  expected RTT (serving site's mean access RTT + WAN penalty).
+* ``cheapest``      — the available site with the lowest effective price per
+  unit of serving capacity.
+* ``weighted-load`` — weighted round-robin over the available sites
+  (weights default to each site's instance cap); counters carry across
+  segments so long-run shares match the weights.
+* ``failover``      — the first available site in declaration order.
+
+Requests arriving while *no* site is available are marked unrouted
+(site id ``-1``) and dropped at the broker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.multisite.federation import build_site_catalog
+from repro.multisite.spec import MultiSiteSpec, SiteSpec
+
+#: Site id of a request no site could accept.
+UNROUTED = -1
+
+
+@dataclass(frozen=True)
+class BrokeredPlan:
+    """The broker's verdict for one request plan, as parallel arrays."""
+
+    site_ids: np.ndarray  # per request; UNROUTED when no site was available
+    extra_rtt_ms: np.ndarray  # per request WAN penalty (0 for home-site service)
+    home_site_of_user: np.ndarray  # per user
+
+    def __post_init__(self) -> None:
+        if self.site_ids.size != self.extra_rtt_ms.size:
+            raise ValueError(
+                "site_ids and extra_rtt_ms must align, got "
+                f"{self.site_ids.size} vs {self.extra_rtt_ms.size}"
+            )
+
+    def indices_for_site(self, site_index: int) -> np.ndarray:
+        """Request indices assigned to one site, in arrival order."""
+        return np.flatnonzero(self.site_ids == site_index)
+
+    @property
+    def unrouted(self) -> np.ndarray:
+        """Request indices no site could accept."""
+        return np.flatnonzero(self.site_ids == UNROUTED)
+
+
+def assign_home_sites(users: int, sites: Sequence[SiteSpec]) -> np.ndarray:
+    """Deterministically home ``users`` at sites proportionally to population share.
+
+    User ids are split into contiguous blocks whose sizes follow the
+    normalised ``population_share`` weights — no RNG draw, so the mapping is
+    identical across execution modes and campaign workers.
+    """
+    if users < 1:
+        raise ValueError(f"users must be >= 1, got {users}")
+    shares = np.asarray([site.population_share for site in sites], dtype=float)
+    total = shares.sum()
+    if total <= 0:
+        raise ValueError("population shares must sum to a positive value")
+    boundaries = np.cumsum(shares / total)
+    positions = (np.arange(users) + 0.5) / users
+    return np.searchsorted(boundaries, positions, side="left").astype(np.int64)
+
+
+def wan_penalty_matrix(sites: Sequence[SiteSpec]) -> np.ndarray:
+    """``penalty[h, s]``: extra RTT for a user homed at ``h`` served at ``s``."""
+    wan = np.asarray([site.wan_rtt_ms for site in sites], dtype=float)
+    penalty = wan[:, None] + wan[None, :]
+    np.fill_diagonal(penalty, 0.0)
+    return penalty
+
+
+def site_price_scores(sites: Sequence[SiteSpec]) -> np.ndarray:
+    """Effective $/hour per unit of serving capacity, per site (lower = cheaper).
+
+    Prices come from each site's fully-priced catalog
+    (:func:`repro.multisite.federation.build_site_catalog` — the same one the
+    site's allocator optimises against, with the regional and per-type
+    multipliers applied), normalised by effective core count so a site full
+    of expensive-but-wide instances can still win.
+    """
+    scores = []
+    for site in sites:
+        per_type = []
+        for instance_type in build_site_catalog(site):
+            cores = max(float(instance_type.profile.effective_cores), 1.0)
+            per_type.append(instance_type.price_per_hour / cores)
+        scores.append(float(np.mean(per_type)))
+    return np.asarray(scores, dtype=float)
+
+
+def availability_segments(
+    sites: Sequence[SiteSpec], duration_ms: float
+) -> List[Tuple[float, float, np.ndarray]]:
+    """Split ``[0, duration_ms)`` at outage edges into (start, end, available) runs."""
+    if duration_ms <= 0:
+        raise ValueError(f"duration_ms must be positive, got {duration_ms}")
+    edges = {0.0, duration_ms}
+    for site in sites:
+        for window in site.outages:
+            edges.add(window.start * duration_ms)
+            edges.add(window.end * duration_ms)
+    bounds = sorted(edge for edge in edges if 0.0 <= edge <= duration_ms)
+    segments: List[Tuple[float, float, np.ndarray]] = []
+    for start, end in zip(bounds, bounds[1:]):
+        if end <= start:
+            continue
+        midpoint = (start + end) / 2.0
+        available = np.asarray(
+            [site.available_at(midpoint, duration_ms) for site in sites], dtype=bool
+        )
+        segments.append((start, end, available))
+    return segments
+
+
+def _weighted_round_robin(
+    counts: np.ndarray, weights: np.ndarray, available: np.ndarray, size: int
+) -> np.ndarray:
+    """Assign ``size`` consecutive requests over the available sites by weight.
+
+    Classic virtual-time WRR: site ``s`` receives its ``k``-th request at
+    virtual time ``(counts[s] + k) / weights[s]``; merging all sites'
+    sequences in virtual-time order yields the assignment.  ``counts`` is
+    advanced in place so shares stay proportional across segments.
+    """
+    candidates = np.flatnonzero(available)
+    if candidates.size == 1:
+        only = int(candidates[0])
+        counts[only] += size
+        return np.full(size, only, dtype=np.int64)
+    ks = np.arange(1, size + 1, dtype=float)
+    virtual = np.concatenate(
+        [(counts[site] + ks) / weights[site] for site in candidates]
+    )
+    owners = np.repeat(candidates, size)
+    # Stable merge with declaration order as the tie-break.
+    order = np.lexsort((owners, virtual))[:size]
+    assigned = owners[order].astype(np.int64)
+    taken = np.bincount(assigned, minlength=counts.size)
+    counts += taken
+    return assigned
+
+
+def broker_assign(
+    *,
+    arrival_ms: np.ndarray,
+    user_ids: np.ndarray,
+    users: int,
+    federation: MultiSiteSpec,
+    duration_ms: float,
+    access_rtt_ms: Sequence[float],
+) -> BrokeredPlan:
+    """Assign every request of a plan to a federation site.
+
+    ``access_rtt_ms`` is the expected access-network RTT of each site (the
+    scenario runner derives it from each site's network profile); the
+    ``nearest-rtt`` policy adds the WAN penalty on top of it.
+    """
+    sites = federation.sites
+    count = int(arrival_ms.size)
+    site_ids = np.full(count, UNROUTED, dtype=np.int64)
+    home = assign_home_sites(users, sites)
+    penalty = wan_penalty_matrix(sites)
+    access = np.asarray(access_rtt_ms, dtype=float)
+    if access.size != len(sites):
+        raise ValueError(
+            f"need one access RTT per site, got {access.size} for {len(sites)} sites"
+        )
+    price = site_price_scores(sites)
+    weights = np.asarray([site.broker_weight for site in sites], dtype=float)
+    wrr_counts = np.zeros(len(sites), dtype=float)
+
+    for start, end, available in availability_segments(sites, duration_ms):
+        lo, hi = np.searchsorted(arrival_ms, [start, end], side="left")
+        if hi <= lo:
+            continue
+        if not available.any():
+            continue  # stays UNROUTED
+        segment = slice(int(lo), int(hi))
+        if federation.policy == "failover":
+            site_ids[segment] = int(np.flatnonzero(available)[0])
+        elif federation.policy == "cheapest":
+            masked = np.where(available, price, np.inf)
+            site_ids[segment] = int(np.argmin(masked))
+        elif federation.policy == "nearest-rtt":
+            # Per home site: the available site minimising expected RTT.
+            scores = access[None, :] + penalty  # (home, site)
+            scores = np.where(available[None, :], scores, np.inf)
+            target_for_home = np.argmin(scores, axis=1).astype(np.int64)
+            site_ids[segment] = target_for_home[home[user_ids[segment]]]
+        else:  # weighted-load
+            site_ids[segment] = _weighted_round_robin(
+                wrr_counts, weights, available, int(hi - lo)
+            )
+
+    routed = site_ids >= 0
+    extra = np.zeros(count, dtype=float)
+    if routed.any():
+        extra[routed] = penalty[home[user_ids[routed]], site_ids[routed]]
+    return BrokeredPlan(site_ids=site_ids, extra_rtt_ms=extra, home_site_of_user=home)

@@ -1,0 +1,257 @@
+"""Per-site runtime stacks and the federation that coordinates them.
+
+Each :class:`SiteRuntime` is the full serving stack of one site — its priced
+instance catalog, back-end pool, provisioner, **its own**
+:class:`~repro.core.model.AdaptiveModel` and predictive autoscaler, its
+access-network channel and (in event mode) its own SDN front-end.  The
+:class:`Federation` owns one runtime per site plus the cross-site helpers the
+executors need (clamp tables, availability, aggregate cost).
+
+Sites are deliberately independent: prediction histories, allocation plans
+and billing never mix across sites, exactly like the FLICU-style multi-site
+deployments in the related work where each site trains on local traffic and
+only the thin broker layer is global.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cloud.backend import BackendPool
+from repro.cloud.catalog import DEFAULT_CATALOG, InstanceCatalog
+from repro.cloud.provisioner import Provisioner
+from repro.core.allocation import build_group_options
+from repro.core.model import AdaptiveModel
+from repro.core.prediction import WorkloadPredictor
+from repro.core.timeslots import TimeSlotHistory
+from repro.multisite.spec import MultiSiteSpec, SiteSpec
+from repro.network.channel import CommunicationChannel
+from repro.scenarios.spec import ScenarioSpec
+from repro.sdn.accelerator import RoundRobinRouting, SDNAccelerator
+from repro.sdn.autoscaler import Autoscaler
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.randomness import RandomStreams
+
+
+def build_site_catalog(site: SiteSpec) -> InstanceCatalog:
+    """The site's catalog: demanded types with site-level pricing applied.
+
+    The site-wide ``price_multiplier`` (regional pricing) compounds with the
+    per-type multipliers of the site's :class:`CloudSpec`, so the allocator
+    optimises against the prices this site actually pays.
+    """
+    types = []
+    for type_name in site.cloud.group_types.values():
+        instance_type = DEFAULT_CATALOG.get(type_name)
+        multiplier = site.price_multiplier * site.cloud.price_multipliers.get(
+            type_name, 1.0
+        )
+        if multiplier != 1.0:
+            instance_type = dataclasses.replace(
+                instance_type,
+                price_per_hour=instance_type.price_per_hour * multiplier,
+            )
+        types.append(instance_type)
+    return InstanceCatalog(types)
+
+
+@dataclass
+class SiteRuntime:
+    """The complete serving stack of one federation site."""
+
+    index: int
+    spec: SiteSpec
+    catalog: InstanceCatalog
+    backend: BackendPool
+    provisioner: Provisioner
+    model: AdaptiveModel
+    autoscaler: Autoscaler
+    channel: CommunicationChannel
+    level_for_type: Dict[str, int]
+    accelerator: Optional[SDNAccelerator] = None
+    utilization_samples: List[float] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def lowest_group(self) -> int:
+        return min(self.spec.cloud.group_types)
+
+    def highest_group(self) -> int:
+        return max(self.spec.cloud.group_types)
+
+    def total_cost(self) -> float:
+        """The site's provisioning bill so far (running instances included)."""
+        return self.provisioner.total_cost(include_running=True)
+
+    def sample_utilization(self, in_service_at) -> "tuple[float, float]":
+        """Record one core-occupancy sample over the site's running fleet.
+
+        ``in_service_at`` maps an instance to its current in-service count
+        (the two executors track this differently).  Returns the site's
+        ``(busy, cores)`` pair so callers can fold the same walk into a
+        federation-wide sample without re-iterating the fleet.
+        """
+        busy = 0.0
+        cores = 0.0
+        for instances in self.backend.groups.values():
+            for instance in instances:
+                if not instance.is_running:
+                    continue
+                instance_cores = max(
+                    float(instance.instance_type.profile.effective_cores), 1.0
+                )
+                busy += min(float(in_service_at(instance)), instance_cores)
+                cores += instance_cores
+        if cores > 0:
+            self.utilization_samples.append(busy / cores)
+        return busy, cores
+
+
+def build_site_runtime(
+    *,
+    index: int,
+    site: SiteSpec,
+    scenario: ScenarioSpec,
+    engine: SimulationEngine,
+    streams: RandomStreams,
+    task,
+    with_accelerator: bool,
+) -> SiteRuntime:
+    """Assemble one site's stack from its spec (mirrors the single-site runner)."""
+    from repro.scenarios.runner import build_channel  # local: avoids module cycle
+
+    slot_ms = scenario.slot_length_ms
+    rng_cloud = streams.stream(f"site-{site.name}-cloud")
+    rng_sdn = streams.stream(f"site-{site.name}-sdn")
+    rng_network = streams.stream(f"site-{site.name}-network")
+
+    catalog = build_site_catalog(site)
+    backend = BackendPool()
+    provisioner = Provisioner(
+        engine, catalog, instance_cap=site.cloud.instance_cap, rng=rng_cloud
+    )
+    level_for_type = {name: group for group, name in site.cloud.group_types.items()}
+    for group, type_name in site.cloud.group_types.items():
+        for _ in range(site.cloud.initial_instances_per_group):
+            backend.add_instance(provisioner.launch(type_name), group)
+
+    options = build_group_options(
+        catalog,
+        level_for_type=level_for_type,
+        work_units=task.work_units,
+        response_threshold_ms=site.cloud.response_threshold_ms,
+    )
+    predictor = WorkloadPredictor(
+        TimeSlotHistory(slot_length_ms=slot_ms),
+        strategy=scenario.policy.predictor_strategy,
+        min_history=max(scenario.policy.min_history - 1, 1),
+    )
+    model = AdaptiveModel(
+        options,
+        slot_length_ms=slot_ms,
+        instance_cap=site.cloud.instance_cap,
+        predictor=predictor,
+    )
+    autoscaler = Autoscaler(
+        model,
+        provisioner,
+        backend,
+        level_for_type=level_for_type,
+        minimum_per_group=1,
+    )
+    channel = build_channel(site.network, rng_network)
+    accelerator = None
+    if with_accelerator:
+        routing_policy = (
+            RoundRobinRouting() if scenario.policy.routing == "round-robin" else None
+        )
+        accelerator = SDNAccelerator(
+            engine,
+            backend,
+            channel=channel,
+            rng=rng_sdn,
+            routing_policy=routing_policy,
+        )
+    return SiteRuntime(
+        index=index,
+        spec=site,
+        catalog=catalog,
+        backend=backend,
+        provisioner=provisioner,
+        model=model,
+        autoscaler=autoscaler,
+        channel=channel,
+        level_for_type=level_for_type,
+        accelerator=accelerator,
+    )
+
+
+class Federation:
+    """One runtime per site plus federation-wide helpers."""
+
+    def __init__(self, spec: MultiSiteSpec, sites: List[SiteRuntime]) -> None:
+        if len(spec.sites) != len(sites):
+            raise ValueError(
+                f"spec declares {len(spec.sites)} sites but {len(sites)} runtimes given"
+            )
+        self.spec = spec
+        self.sites = list(sites)
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+    def __iter__(self):
+        return iter(self.sites)
+
+    def site(self, index: int) -> SiteRuntime:
+        return self.sites[index]
+
+    def highest_group(self) -> int:
+        """The highest acceleration group declared anywhere in the federation."""
+        return max(site.highest_group() for site in self.sites)
+
+    def total_cost(self) -> float:
+        """Federation-wide provisioning bill."""
+        return sum(site.total_cost() for site in self.sites)
+
+    def total_scaling_actions(self) -> int:
+        return sum(len(site.autoscaler.actions) for site in self.sites)
+
+    def mean_access_rtt_ms(self) -> np.ndarray:
+        """Expected access RTT per site (the broker's nearest-rtt input)."""
+        return np.asarray(
+            [site.channel.access_model.mean_rtt_ms() for site in self.sites],
+            dtype=float,
+        )
+
+
+def build_federation(
+    *,
+    scenario: ScenarioSpec,
+    engine: SimulationEngine,
+    streams: RandomStreams,
+    task,
+    with_accelerators: bool,
+) -> Federation:
+    """Build every site runtime of a scenario's federation."""
+    if scenario.sites is None:
+        raise ValueError(f"scenario {scenario.name!r} declares no sites")
+    runtimes = [
+        build_site_runtime(
+            index=index,
+            site=site,
+            scenario=scenario,
+            engine=engine,
+            streams=streams,
+            task=task,
+            with_accelerator=with_accelerators,
+        )
+        for index, site in enumerate(scenario.sites.sites)
+    ]
+    return Federation(scenario.sites, runtimes)

@@ -1,0 +1,649 @@
+"""Execute a multi-site scenario end to end (event and batched modes).
+
+``run_multisite_scenario`` is the federation twin of
+:func:`repro.scenarios.runner.run_scenario`: it builds one serving stack per
+site (:mod:`repro.multisite.federation`), lets the global broker partition
+the pre-drawn request plan across sites (:mod:`repro.multisite.broker`),
+samples each request's network latency from its *serving* site's access
+model plus the WAN penalty, and then drives the plan through either
+
+* the **event** executor — per-request events on the shared engine, one SDN
+  front-end per site, exact processor-sharing service; or
+* the **batched** executor — per-site Lindley recursions over the
+  site-partitioned plan, reusing the single-site vectorised data plane
+  (:func:`repro.scenarios.batched.serve_slot_requests`) with one instance
+  state table per site.
+
+Both executors consume the same brokered plan, so site assignment, arrivals,
+work, RTTs and jitter are identical across modes; only the documented
+single-site queueing approximations differ.  The control plane is fully
+per-site: each site's adaptive model observes only the requests that site
+served and its autoscaler re-shapes only that site's fleet, at the same slot
+boundaries in both modes.
+
+Requests that arrive while no site is available (federation-wide outage) are
+dropped at the broker: they fail back to the device immediately at arrival
+time and are counted in ``requests_unrouted`` (and in the federation-wide
+drop totals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.mobile.device import DEVICE_PROFILES, MobileDevice
+from repro.mobile.moderator import Moderator
+from repro.mobile.tasks import DEFAULT_TASK_POOL
+from repro.multisite.broker import UNROUTED, BrokeredPlan, broker_assign
+from repro.multisite.federation import Federation, SiteRuntime, build_federation
+from repro.scenarios.batched import (
+    DRAIN_MARGIN_MS,
+    InstanceState,
+    clamp_table,
+    serve_slot_requests,
+)
+from repro.scenarios.plan import RequestPlan, build_request_plan
+from repro.scenarios.runner import (
+    ScenarioResult,
+    SiteResult,
+    _build_promotion_policy,
+    build_arrival_process,
+    prediction_accuracy_samples,
+)
+from repro.scenarios.spec import ScenarioSpec
+from repro.sdn.accelerator import RequestRecord
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.randomness import RandomStreams
+from repro.core.timeslots import TimeSlot
+
+
+@dataclass
+class SiteExecutionStats:
+    """One site's data-plane tallies, shared by both executors."""
+
+    requests_total: int = 0
+    requests_dropped: int = 0
+    success_chunks: List[np.ndarray] = field(default_factory=list)
+
+    @property
+    def success_response_ms(self) -> np.ndarray:
+        if not self.success_chunks:
+            return np.empty(0, dtype=float)
+        return np.concatenate(self.success_chunks)
+
+
+@dataclass
+class FederationMetrics:
+    """Federation-wide data-plane outputs plus the per-site breakdown."""
+
+    requests_total: int
+    requests_dropped: int
+    requests_unrouted: int
+    success_response_ms: np.ndarray
+    utilization_samples: List[float]
+    per_site: List[SiteExecutionStats]
+
+
+def sample_network_for_sites(
+    *,
+    plan: RequestPlan,
+    brokered: BrokeredPlan,
+    federation: Federation,
+) -> RequestPlan:
+    """Fill the plan's T1/T2 from each request's serving site.
+
+    Each site's channel samples its own partition in arrival order (one bulk
+    draw per hop per site, from the site's named stream), and routed requests
+    pay the broker's WAN penalty on top of T1 — identically in both execution
+    modes, since this happens before either executor runs.
+    """
+    t1 = np.zeros(len(plan), dtype=float)
+    t2 = np.zeros(len(plan), dtype=float)
+    hours = (plan.arrival_ms / 3_600_000.0) % 24.0
+    for site in federation:
+        picks = brokered.indices_for_site(site.index)
+        if picks.size == 0:
+            continue
+        t1[picks] = site.channel.sample_t1_many(hours[picks])
+        t2[picks] = site.channel.sample_t2_many(hours[picks])
+    t1 += brokered.extra_rtt_ms
+    return plan.with_network(t1, t2)
+
+
+# ---------------------------------------------------------------------------
+# Event executor
+# ---------------------------------------------------------------------------
+
+
+def execute_event_multisite(
+    *,
+    spec: ScenarioSpec,
+    plan: RequestPlan,
+    brokered: BrokeredPlan,
+    engine: SimulationEngine,
+    federation: Federation,
+    devices: Dict[int, MobileDevice],
+    moderators: Dict[int, Moderator],
+    task,
+    duration_ms: float,
+    slot_ms: float,
+) -> FederationMetrics:
+    """Drive the brokered plan through per-site SDN front-ends on one engine."""
+    completion_callbacks: Dict[int, Callable[[RequestRecord], None]] = {}
+    unrouted = 0
+
+    def _completion_for(user_id: int):
+        callback = completion_callbacks.get(user_id)
+        if callback is None:
+
+            def _on_complete(record: RequestRecord) -> None:
+                device = devices[user_id]
+                if record.success:
+                    moderators[user_id].observe(
+                        device, record.response_time_ms, engine.now_ms
+                    )
+                else:
+                    device.record_failure()
+
+            callback = completion_callbacks[user_id] = _on_complete
+        return callback
+
+    task_name = task.name
+    site_ids = brokered.site_ids
+    for index in range(len(plan)):
+
+        def _submit(index: int = index) -> None:
+            nonlocal unrouted
+            user_id = int(plan.user_ids[index])
+            device = devices[user_id]
+            device.requests_sent += 1
+            site_index = int(site_ids[index])
+            if site_index == UNROUTED:
+                # Federation-wide outage: the broker rejects the request
+                # immediately; no site ever sees it.
+                unrouted += 1
+                device.record_failure()
+                return
+            site = federation.site(site_index)
+            site.accelerator.submit_planned(
+                user_id=user_id,
+                acceleration_group=device.acceleration_group,
+                work_units=float(plan.work_units[index]),
+                t1_ms=float(plan.t1_ms[index]),
+                t2_ms=float(plan.t2_ms[index]),
+                routing_ms=float(plan.routing_ms[index]),
+                jitter_z=float(plan.jitter_z[index]),
+                task_name=task_name,
+                battery_level=device.battery.level,
+                on_complete=_completion_for(user_id),
+            )
+
+        engine.schedule_at(float(plan.arrival_ms[index]), _submit, label="multisite:request")
+
+    # --- per-site provisioning control loops --------------------------------
+    for period in range(1, spec.periods + 1):
+        period_start = (period - 1) * slot_ms
+        period_end = min(period * slot_ms, duration_ms)
+        for site in federation:
+
+            def _scale(
+                site: SiteRuntime = site,
+                start: float = period_start,
+                end: float = period_end,
+            ) -> None:
+                site.autoscaler.run_period_end(site.accelerator.trace_log, start, end)
+
+            engine.schedule_at(
+                period_end, _scale, label=f"multisite:scale-{site.name}-{period}"
+            )
+
+    # --- utilization sampling (federation-wide and per site) ----------------
+    utilization_samples: List[float] = []
+    sample_interval_ms = max(slot_ms / 10.0, 30_000.0)
+
+    def _sample_utilization() -> None:
+        busy = 0.0
+        cores = 0.0
+        for site in federation:
+            site_busy, site_cores = site.sample_utilization(
+                lambda instance: instance.in_service
+            )
+            busy += site_busy
+            cores += site_cores
+        if cores > 0:
+            utilization_samples.append(busy / cores)
+        if engine.now_ms + sample_interval_ms <= duration_ms:
+            engine.schedule_after(
+                sample_interval_ms, _sample_utilization, label="multisite:utilization"
+            )
+
+    engine.schedule_at(0.0, _sample_utilization, label="multisite:utilization")
+
+    engine.run(until_ms=duration_ms + DRAIN_MARGIN_MS)
+
+    per_site: List[SiteExecutionStats] = []
+    for site in federation:
+        records = site.accelerator.records
+        stats = SiteExecutionStats(
+            requests_total=len(records),
+            requests_dropped=sum(1 for record in records if not record.success),
+        )
+        stats.success_chunks.append(
+            np.asarray(
+                [r.response_time_ms for r in records if r.success], dtype=float
+            )
+        )
+        per_site.append(stats)
+
+    successes = (
+        np.concatenate([stats.success_response_ms for stats in per_site])
+        if per_site
+        else np.empty(0, dtype=float)
+    )
+    return FederationMetrics(
+        requests_total=sum(stats.requests_total for stats in per_site) + unrouted,
+        requests_dropped=sum(stats.requests_dropped for stats in per_site) + unrouted,
+        requests_unrouted=unrouted,
+        success_response_ms=successes,
+        utilization_samples=utilization_samples,
+        per_site=per_site,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batched executor
+# ---------------------------------------------------------------------------
+
+
+def execute_batched_multisite(
+    *,
+    spec: ScenarioSpec,
+    plan: RequestPlan,
+    brokered: BrokeredPlan,
+    engine: SimulationEngine,
+    federation: Federation,
+    devices: Dict[int, MobileDevice],
+    moderators: Dict[int, Moderator],
+    duration_ms: float,
+    slot_ms: float,
+) -> FederationMetrics:
+    """Run the federation's data plane slot by slot, one Lindley pass per site."""
+    users = spec.users
+    horizon = duration_ms + DRAIN_MARGIN_MS
+    group_of_user = np.asarray(
+        [devices[user].acceleration_group for user in range(users)], dtype=np.int64
+    )
+    highest_group = max(int(group_of_user.max(initial=0)), federation.highest_group())
+    round_robin = spec.policy.routing == "round-robin"
+
+    # One vectorised-FCFS state table and round-robin cursor per site.
+    site_states: List[Dict[str, InstanceState]] = [dict() for _ in federation.sites]
+    rr_cursors = np.zeros(len(federation.sites), dtype=np.int64)
+
+    def state_for_site(site_index: int):
+        states = site_states[site_index]
+
+        def state_for(instance) -> InstanceState:
+            state = states.get(instance.instance_id)
+            if state is None:
+                cores = max(int(round(instance.instance_type.profile.effective_cores)), 1)
+                state = InstanceState(instance=instance, core_free_ms=np.zeros(cores))
+                states[instance.instance_id] = state
+            return state
+
+        return state_for
+
+    state_fors = [state_for_site(site.index) for site in federation]
+
+    sample_interval_ms = max(slot_ms / 10.0, 30_000.0)
+    sample_times = [0.0]
+    while sample_times[-1] + sample_interval_ms <= duration_ms:
+        sample_times.append(sample_times[-1] + sample_interval_ms)
+    sample_cursor = 0
+    utilization_samples: List[float] = []
+
+    def append_utilization(t_ms: float) -> None:
+        busy = 0.0
+        cores_total = 0.0
+        for site in federation:
+            states = site_states[site.index]
+
+            def in_service(instance) -> float:
+                state = states.get(instance.instance_id)
+                return float(state.in_service_at(t_ms)) if state else 0.0
+
+            site_busy, site_cores = site.sample_utilization(in_service)
+            busy += site_busy
+            cores_total += site_cores
+        if cores_total > 0:
+            utilization_samples.append(busy / cores_total)
+
+    arrival = plan.arrival_ms
+    uplink = plan.uplink_ms
+    downlink = plan.downlink_ms
+    site_ids = brokered.site_ids
+
+    requests_total = 0
+    dropped_total = 0
+    unrouted_total = 0
+    success_chunks: List[np.ndarray] = []
+    per_site = [SiteExecutionStats() for _ in federation.sites]
+
+    for period in range(1, spec.periods + 1):
+        start = (period - 1) * slot_ms
+        end = min(period * slot_ms, duration_ms)
+        i0, i1 = np.searchsorted(arrival, [start, end], side="left")
+        count = int(i1 - i0)
+        uids = plan.user_ids[i0:i1]
+        t1 = plan.t1_ms[i0:i1]
+        t2 = plan.t2_ms[i0:i1]
+        routing = plan.routing_ms[i0:i1]
+        dispatch = arrival[i0:i1] + uplink[i0:i1]
+        dlink = downlink[i0:i1]
+        work = plan.work_units[i0:i1]
+        jitter = plan.jitter_z[i0:i1]
+        window_sites = site_ids[i0:i1]
+
+        delivered = np.empty(count)
+        cloud = np.zeros(count)
+        ok = np.ones(count, dtype=bool)
+        routed_groups = np.zeros(count, dtype=np.int64)
+
+        # Broker drops (no available site) fail back instantly at arrival.
+        lost = np.flatnonzero(window_sites == UNROUTED)
+        ok[lost] = False
+        delivered[lost] = arrival[i0:i1][lost]
+        unrouted_total += int(lost.size)
+
+        for site in federation:
+            select = np.flatnonzero(window_sites == site.index)
+            if select.size == 0:
+                continue
+            levels = site.backend.levels
+            if not levels:
+                raise ValueError(f"site {site.name!r} back-end pool is empty")
+            if round_robin:
+                routed = np.asarray(levels, dtype=np.int64)[
+                    (rr_cursors[site.index] + np.arange(select.size)) % len(levels)
+                ]
+                rr_cursors[site.index] += select.size
+            else:
+                routed = clamp_table(levels, highest_group)[
+                    group_of_user[uids[select]]
+                ]
+            routed_groups[select] = routed
+            serve_slot_requests(
+                backend=site.backend,
+                state_for=state_fors[site.index],
+                select=select,
+                routed=routed,
+                dispatch=dispatch,
+                work=work,
+                jitter=jitter,
+                downlink=dlink,
+                delivered=delivered,
+                cloud=cloud,
+                ok=ok,
+                slot_start_ms=start,
+            )
+        response = t1 + t2 + routing + cloud
+
+        if count:
+            sent = np.bincount(uids, minlength=users)
+            for user in np.flatnonzero(sent):
+                devices[int(user)].requests_sent += int(sent[user])
+
+        recorded = delivered <= horizon
+        requests_total += int(np.count_nonzero(recorded))
+        failed = recorded & ~ok
+        dropped_total += int(np.count_nonzero(failed))
+        if np.any(failed):
+            failures = np.bincount(uids[failed], minlength=users)
+            for user in np.flatnonzero(failures):
+                devices[int(user)].record_failures(int(failures[user]))
+        succeeded = recorded & ok
+        success_chunks.append(response[succeeded])
+
+        for site in federation:
+            mask = recorded & (window_sites == site.index)
+            stats = per_site[site.index]
+            stats.requests_total += int(np.count_nonzero(mask))
+            stats.requests_dropped += int(np.count_nonzero(mask & ~ok))
+            stats.success_chunks.append(response[mask & succeeded])
+
+        while sample_cursor < len(sample_times) and sample_times[sample_cursor] < end:
+            append_utilization(sample_times[sample_cursor])
+            sample_cursor += 1
+
+        if np.any(succeeded):
+            by_user = np.argsort(uids[succeeded], kind="stable")
+            user_sorted = uids[succeeded][by_user]
+            response_sorted = response[succeeded][by_user]
+            delivered_sorted = delivered[succeeded][by_user]
+            uniques, first = np.unique(user_sorted, return_index=True)
+            bounds = np.append(first, user_sorted.size)
+            for user, lo, hi in zip(uniques, bounds[:-1], bounds[1:]):
+                device = devices[int(user)]
+                by_completion = np.argsort(delivered_sorted[lo:hi], kind="stable")
+                moderators[int(user)].observe_many(
+                    device,
+                    response_sorted[lo:hi][by_completion],
+                    delivered_sorted[lo:hi][by_completion],
+                )
+                group_of_user[int(user)] = device.acceleration_group
+
+        # --- per-site control planes at the slot boundary -------------------
+        engine.clock.advance_to(end)
+        observed = recorded & (delivered < end)
+        for site in federation:
+            site_mask = observed & (window_sites == site.index)
+            users_per_group: Dict[int, set] = {
+                group: set() for group in site.model.groups()
+            }
+            if np.any(site_mask):
+                for group in np.unique(routed_groups[site_mask]):
+                    picks = site_mask & (routed_groups == group)
+                    users_per_group.setdefault(int(group), set()).update(
+                        int(user) for user in np.unique(uids[picks])
+                    )
+            slot = TimeSlot.from_user_sets(len(site.model.history), users_per_group)
+            site.model.observe_slot(slot)
+            site.autoscaler.scale_for_slot(slot, end)
+
+    while sample_cursor < len(sample_times):
+        append_utilization(sample_times[sample_cursor])
+        sample_cursor += 1
+
+    engine.clock.advance_to(horizon)
+    responses = (
+        np.concatenate(success_chunks) if success_chunks else np.empty(0, dtype=float)
+    )
+    return FederationMetrics(
+        requests_total=requests_total,
+        requests_dropped=dropped_total,
+        requests_unrouted=unrouted_total,
+        success_response_ms=responses,
+        utilization_samples=utilization_samples,
+        per_site=per_site,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The multi-site runner
+# ---------------------------------------------------------------------------
+
+
+def run_multisite_scenario(spec: ScenarioSpec, *, seed: int = 0) -> ScenarioResult:
+    """Execute one multi-site scenario end to end (both execution modes)."""
+    if spec.sites is None:
+        raise ValueError(f"scenario {spec.name!r} declares no sites")
+    streams = RandomStreams(seed)
+    engine = SimulationEngine()
+    rng_workload = streams.stream("scenario-workload")
+    rng_devices = streams.stream("scenario-devices")
+    rng_routing = streams.stream("scenario-sdn")
+
+    task = DEFAULT_TASK_POOL.get(spec.task_name)
+    duration_ms = spec.duration_ms
+    slot_ms = spec.slot_length_ms
+
+    federation = build_federation(
+        scenario=spec,
+        engine=engine,
+        streams=streams,
+        task=task,
+        with_accelerators=spec.execution == "event",
+    )
+
+    # --- workload + brokering ------------------------------------------------
+    arrival_process = build_arrival_process(spec.workload, duration_ms)
+    plan = build_request_plan(
+        arrival_process=arrival_process,
+        channel=None,  # sampled per serving site below
+        task=task,
+        users=spec.users,
+        duration_ms=duration_ms,
+        rng_workload=rng_workload,
+        rng_routing=rng_routing,
+        rng_jitter=streams.stream("scenario-jitter"),
+    )
+    brokered = broker_assign(
+        arrival_ms=plan.arrival_ms,
+        user_ids=plan.user_ids,
+        users=spec.users,
+        federation=spec.sites,
+        duration_ms=duration_ms,
+        access_rtt_ms=federation.mean_access_rtt_ms(),
+    )
+    plan = sample_network_for_sites(
+        plan=plan, brokered=brokered, federation=federation
+    )
+
+    # --- devices (homed per site, shared moderators) -------------------------
+    profile_names = sorted(spec.devices.weights)
+    raw_weights = np.asarray(
+        [spec.devices.weights[name] for name in profile_names], dtype=float
+    )
+    probabilities = raw_weights / raw_weights.sum()
+    promotion_policy = _build_promotion_policy(spec)
+    max_group = federation.highest_group()
+    devices: Dict[int, MobileDevice] = {}
+    moderators: Dict[int, Moderator] = {}
+    for user_id in range(spec.users):
+        chosen = profile_names[
+            int(rng_devices.choice(len(profile_names), p=probabilities))
+        ]
+        home = federation.site(int(brokered.home_site_of_user[user_id]))
+        devices[user_id] = MobileDevice(
+            user_id=user_id,
+            profile=DEVICE_PROFILES[chosen],
+            acceleration_group=home.lowest_group(),
+        )
+        moderators[user_id] = Moderator(
+            promotion_policy,
+            max_group=max_group,
+            rng=streams.stream(f"scenario-moderator-{user_id}"),
+        )
+
+    if spec.execution == "batched":
+        metrics = execute_batched_multisite(
+            spec=spec,
+            plan=plan,
+            brokered=brokered,
+            engine=engine,
+            federation=federation,
+            devices=devices,
+            moderators=moderators,
+            duration_ms=duration_ms,
+            slot_ms=slot_ms,
+        )
+    else:
+        metrics = execute_event_multisite(
+            spec=spec,
+            plan=plan,
+            brokered=brokered,
+            engine=engine,
+            federation=federation,
+            devices=devices,
+            moderators=moderators,
+            task=task,
+            duration_ms=duration_ms,
+            slot_ms=slot_ms,
+        )
+
+    # --- federation-wide + per-site metrics ----------------------------------
+    successes = metrics.success_response_ms
+    if successes.size:
+        mean_ms = float(successes.mean())
+        p50, p95, p99 = (
+            float(np.percentile(successes, p)) for p in (50.0, 95.0, 99.0)
+        )
+    else:
+        mean_ms = p50 = p95 = p99 = float("nan")
+
+    accuracies: List[float] = []
+    predictions_total = 0
+    site_results: List[SiteResult] = []
+    for site in federation:
+        stats = metrics.per_site[site.index]
+        site_successes = stats.success_response_ms
+        site_predictions = sum(
+            1 for action in site.autoscaler.actions if action.decision is not None
+        )
+        predictions_total += site_predictions
+        accuracies.extend(prediction_accuracy_samples(site.autoscaler, site.model))
+        site_results.append(
+            SiteResult(
+                name=site.name,
+                requests_total=stats.requests_total,
+                requests_dropped=stats.requests_dropped,
+                mean_response_ms=(
+                    float(site_successes.mean()) if site_successes.size else float("nan")
+                ),
+                p95_response_ms=(
+                    float(np.percentile(site_successes, 95.0))
+                    if site_successes.size
+                    else float("nan")
+                ),
+                allocation_cost_usd=site.total_cost(),
+                scaling_actions=len(site.autoscaler.actions),
+                predictions=site_predictions,
+                mean_utilization=(
+                    float(np.mean(site.utilization_samples))
+                    if site.utilization_samples
+                    else 0.0
+                ),
+            )
+        )
+
+    return ScenarioResult(
+        name=spec.name,
+        seed=seed,
+        users=spec.users,
+        duration_hours=spec.duration_hours,
+        requests_total=metrics.requests_total,
+        requests_succeeded=int(successes.size),
+        requests_dropped=metrics.requests_dropped,
+        mean_response_ms=mean_ms,
+        p50_response_ms=p50,
+        p95_response_ms=p95,
+        p99_response_ms=p99,
+        prediction_accuracy=(
+            float(np.mean(accuracies)) if accuracies else float("nan")
+        ),
+        predictions=predictions_total,
+        scaling_actions=federation.total_scaling_actions(),
+        allocation_cost_usd=federation.total_cost(),
+        mean_utilization=(
+            float(np.mean(metrics.utilization_samples))
+            if metrics.utilization_samples
+            else 0.0
+        ),
+        promoted_users=sum(1 for device in devices.values() if device.promotions),
+        promotions=sum(len(device.promotions) for device in devices.values()),
+        requests_unrouted=metrics.requests_unrouted,
+        sites=tuple(site_results),
+    )

@@ -1,0 +1,182 @@
+"""Declarative multi-site federation specifications.
+
+A :class:`SiteSpec` describes one geographically distinct acceleration site —
+its own instance catalog and capacity cap (a :class:`~repro.scenarios.spec.CloudSpec`),
+its own access-network profile, a WAN latency penalty for requests that are
+brokered to it from elsewhere, a site-wide pricing multiplier and scheduled
+outage windows.  A :class:`MultiSiteSpec` bundles several sites with the
+global broker policy that assigns each request to a site.
+
+Like the scenario specs these are frozen dataclasses of plain values: they
+validate on construction, round-trip through ``to_dict``/``from_dict`` and
+pickle cleanly across campaign worker processes.
+
+Latency model
+-------------
+Each site sits on a federation interconnect.  ``wan_rtt_ms`` is the site's
+round-trip distance to that interconnect; a request from a user homed at site
+``h`` but served at site ``s != h`` pays ``wan_rtt_ms(h) + wan_rtt_ms(s)``
+extra round-trip latency on top of the serving site's access network.  A
+request served at its home site pays no WAN penalty.
+
+Outage semantics
+----------------
+An :class:`OutageWindow` makes a site unreachable for *new* requests arriving
+inside the window (fractions of the run); requests already in flight drain
+normally.  The broker routes around unavailable sites according to its
+policy; when no site is available the request is dropped at the broker.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.scenarios.spec import CloudSpec, NetworkSpec
+
+#: Supported global broker routing policies (see :mod:`repro.multisite.broker`).
+#:
+#: * ``nearest-rtt`` — each request goes to the available site with the lowest
+#:   expected RTT for its user (home site first, then by WAN distance).
+#: * ``cheapest`` — every request goes to the available site with the lowest
+#:   effective price per unit of capacity.
+#: * ``weighted-load`` — requests are spread over available sites by weighted
+#:   round-robin (weights default to each site's instance cap).
+#: * ``failover`` — all requests go to the first available site in declaration
+#:   order (primary/secondary/... with automatic failover).
+BROKER_POLICIES = ("nearest-rtt", "cheapest", "weighted-load", "failover")
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """One scheduled unavailability window, as fractions of the run duration."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start < 1.0:
+            raise ValueError(f"outage start must be in [0, 1), got {self.start}")
+        if not 0.0 < self.end <= 1.0:
+            raise ValueError(f"outage end must be in (0, 1], got {self.end}")
+        if self.end <= self.start:
+            raise ValueError(
+                f"outage end ({self.end}) must be after its start ({self.start})"
+            )
+
+    def contains(self, t_ms: float, duration_ms: float) -> bool:
+        """Whether simulated time ``t_ms`` falls inside the window."""
+        return self.start * duration_ms <= t_ms < self.end * duration_ms
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """One acceleration site of the federation."""
+
+    name: str
+    cloud: CloudSpec = field(default_factory=CloudSpec)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    wan_rtt_ms: float = 0.0
+    price_multiplier: float = 1.0
+    population_share: float = 1.0
+    weight: Optional[float] = None
+    outages: Tuple[OutageWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("site name must be non-empty")
+        if self.wan_rtt_ms < 0:
+            raise ValueError(f"wan_rtt_ms must be >= 0, got {self.wan_rtt_ms}")
+        if self.price_multiplier <= 0:
+            raise ValueError(
+                f"price_multiplier must be positive, got {self.price_multiplier}"
+            )
+        if self.population_share < 0:
+            raise ValueError(
+                f"population_share must be >= 0, got {self.population_share}"
+            )
+        if self.weight is not None and self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+        outages = tuple(
+            window if isinstance(window, OutageWindow) else OutageWindow(**window)
+            for window in self.outages
+        )
+        object.__setattr__(self, "outages", outages)
+
+    @property
+    def broker_weight(self) -> float:
+        """The weighted-load broker weight (defaults to the instance cap)."""
+        return float(self.weight) if self.weight is not None else float(self.cloud.instance_cap)
+
+    def available_at(self, t_ms: float, duration_ms: float) -> bool:
+        """Whether the site accepts new requests at simulated time ``t_ms``."""
+        return not any(window.contains(t_ms, duration_ms) for window in self.outages)
+
+
+@dataclass(frozen=True)
+class MultiSiteSpec:
+    """The federation: the sites plus the global broker policy."""
+
+    sites: Tuple[SiteSpec, ...]
+    policy: str = "nearest-rtt"
+
+    def __post_init__(self) -> None:
+        sites = tuple(
+            site if isinstance(site, SiteSpec) else SiteSpec(**site)
+            for site in self.sites
+        )
+        if not sites:
+            raise ValueError("a federation needs at least one site")
+        names = [site.name for site in sites]
+        if len(set(names)) != len(names):
+            raise ValueError(f"site names must be unique, got {names}")
+        if self.policy not in BROKER_POLICIES:
+            raise ValueError(
+                f"policy must be one of {BROKER_POLICIES}, got {self.policy!r}"
+            )
+        if all(site.population_share == 0 for site in sites):
+            raise ValueError("at least one site needs a positive population_share")
+        object.__setattr__(self, "sites", sites)
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+    @property
+    def site_names(self) -> Tuple[str, ...]:
+        return tuple(site.name for site in self.sites)
+
+    def site(self, name: str) -> SiteSpec:
+        """Look up one site by name."""
+        for site in self.sites:
+            if site.name == name:
+                return site
+        raise KeyError(f"unknown site {name!r}; known: {list(self.site_names)}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-dict view (JSON/YAML friendly) that round-trips via from_dict."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MultiSiteSpec":
+        """Rebuild a federation spec from :meth:`to_dict` output."""
+        data = dict(payload)
+        raw_sites: Sequence[Any] = data.get("sites", ())
+        sites = []
+        for raw in raw_sites:
+            if isinstance(raw, SiteSpec):
+                sites.append(raw)
+                continue
+            site = dict(raw)
+            if isinstance(site.get("cloud"), Mapping):
+                site["cloud"] = CloudSpec(**site["cloud"])
+            if isinstance(site.get("network"), Mapping):
+                site["network"] = NetworkSpec(**site["network"])
+            if "outages" in site:
+                site["outages"] = tuple(
+                    window if isinstance(window, OutageWindow) else OutageWindow(**window)
+                    for window in site["outages"]
+                )
+            sites.append(SiteSpec(**site))
+        data["sites"] = tuple(sites)
+        return cls(**data)

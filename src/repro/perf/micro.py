@@ -9,6 +9,9 @@ Each benchmark times one primitive in isolation and reports its throughput:
   diurnal modulation.
 * ``arrival.generation`` — vectorised Poisson arrival-time generation.
 * ``stats.extend`` — vectorised :meth:`OnlineStatistics.extend_array` folds.
+* ``server.processor_sharing`` — a saturated (ρ≈0.9) processor-sharing
+  server on the event engine: the submit/complete reschedule path whose heap
+  churn the lazy-cancellation scheme targets.
 
 Budgets: ``smoke`` keeps every benchmark under ~100 ms for CI; ``full`` is
 the default for real measurements.
@@ -25,6 +28,7 @@ from repro.core.timeslots import TimeSlot
 from repro.network.latency import lte_latency_model
 from repro.perf.harness import BenchRecord, timed
 from repro.simulation.engine import SimulationEngine
+from repro.simulation.queues import ProcessorSharingServer
 from repro.simulation.stats import OnlineStatistics
 from repro.workload.arrival import PoissonArrivalProcess
 
@@ -38,6 +42,7 @@ BUDGETS: Dict[str, Dict[str, int]] = {
         "arrival_rate_hz": 200,
         "arrival_seconds": 50,
         "stats_values": 50_000,
+        "server_jobs": 5_000,
     },
     "full": {
         "engine_events": 200_000,
@@ -47,6 +52,7 @@ BUDGETS: Dict[str, Dict[str, int]] = {
         "arrival_rate_hz": 1_000,
         "arrival_seconds": 1_000,
         "stats_values": 2_000_000,
+        "server_jobs": 100_000,
     },
 }
 
@@ -133,6 +139,34 @@ def bench_stats_extend(values: int, seed: int) -> BenchRecord:
     return timed("stats.extend", run)
 
 
+def bench_processor_sharing(jobs: int, seed: int) -> BenchRecord:
+    """A single processor-sharing server at ρ≈0.9 on the event engine.
+
+    Every submit and completion exercises the lazy next-completion
+    rescheduling; ops = jobs completed.
+    """
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(10.0, size=jobs))
+    work = rng.exponential(36.0, size=jobs)  # over 4 cores at rate 1/ms: rho 0.9
+
+    def run() -> float:
+        engine = SimulationEngine()
+        server = ProcessorSharingServer(
+            engine, service_rate_per_core=1.0, cores=4, name="bench"
+        )
+        sink = lambda sojourn_ms: None  # noqa: E731 - deliberate no-op sink
+
+        def submit(index: int) -> None:
+            server.submit(float(work[index]), sink)
+
+        for index in range(jobs):
+            engine.schedule_at(float(arrivals[index]), lambda i=index: submit(i))
+        engine.run()
+        return float(server.completed_jobs)
+
+    return timed("server.processor_sharing", run)
+
+
 def run_micro_suite(budget: str = "full", seed: int = 0) -> List[BenchRecord]:
     """Run every micro-benchmark at the given budget."""
     if budget not in BUDGETS:
@@ -146,4 +180,5 @@ def run_micro_suite(budget: str = "full", seed: int = 0) -> List[BenchRecord]:
             sizes["arrival_rate_hz"], sizes["arrival_seconds"], seed
         ),
         bench_stats_extend(sizes["stats_values"], seed),
+        bench_processor_sharing(sizes["server_jobs"], seed),
     ]

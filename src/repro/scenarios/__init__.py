@@ -31,7 +31,12 @@ from repro.scenarios.registry import (
     scenario_names,
 )
 from repro.scenarios.plan import RequestPlan, build_request_plan
-from repro.scenarios.runner import ScenarioResult, build_arrival_process, run_scenario
+from repro.scenarios.runner import (
+    ScenarioResult,
+    SiteResult,
+    build_arrival_process,
+    run_scenario,
+)
 from repro.scenarios.spec import (
     ARRIVAL_PATTERNS,
     EXECUTION_MODES,
@@ -62,6 +67,7 @@ __all__ = [
     "PolicySpec",
     "ScenarioResult",
     "ScenarioSpec",
+    "SiteResult",
     "WorkloadSpec",
     "build_arrival_process",
     "builtin_specs",

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.reporting import format_table, write_csv
 from repro.scenarios.registry import builtin_specs
 from repro.scenarios.runner import ScenarioResult, run_scenario
-from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.spec import EXECUTION_MODES, ScenarioSpec
 
 
 def derive_scenario_seed(root_seed: int, name: str) -> int:
@@ -79,15 +79,31 @@ class CampaignResult:
 
 
 class CampaignRunner:
-    """Executes a list of scenario specs, optionally across processes."""
+    """Executes a list of scenario specs, optionally across processes.
 
-    def __init__(self, *, workers: Optional[int] = None, seed: int = 0) -> None:
+    ``execution`` overrides every scenario's execution mode for the whole
+    campaign (``"batched"`` runs the entire campaign on the vectorised fast
+    path); ``None`` keeps each spec's own mode.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = None,
+        seed: int = 0,
+        execution: Optional[str] = None,
+    ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if seed < 0:
             raise ValueError(f"seed must be >= 0, got {seed}")
+        if execution is not None and execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"execution must be one of {EXECUTION_MODES}, got {execution!r}"
+            )
         self.workers = workers
         self.seed = seed
+        self.execution = execution
 
     def _job_seed(self, spec: ScenarioSpec) -> int:
         """Spec-pinned seeds win; otherwise derive from campaign seed + name."""
@@ -103,6 +119,8 @@ class CampaignRunner:
         names = [spec.name for spec in specs]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate scenario names in campaign: {names}")
+        if self.execution is not None:
+            specs = [spec.with_overrides(execution=self.execution) for spec in specs]
         jobs = [(spec, self._job_seed(spec)) for spec in specs]
         workers = self.workers
         if workers is None:

@@ -26,7 +26,9 @@ different random draws.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -69,11 +71,22 @@ class RequestPlan:
         """Post-execution delay: the downlink half of both hops."""
         return (self.t1_ms + self.t2_ms) / 2.0
 
+    def with_network(self, t1_ms: np.ndarray, t2_ms: np.ndarray) -> "RequestPlan":
+        """A copy with the network draws replaced.
+
+        The multi-site runner builds the plan without network samples first
+        (the serving site — and hence the latency model — is only known once
+        the broker has assigned sites), then fills T1/T2 per site partition
+        and the WAN penalty through this method.
+        """
+        return dataclasses.replace(self, t1_ms=np.asarray(t1_ms, dtype=float),
+                                   t2_ms=np.asarray(t2_ms, dtype=float))
+
 
 def build_request_plan(
     *,
     arrival_process: ArrivalProcess,
-    channel: CommunicationChannel,
+    channel: Optional[CommunicationChannel],
     task: OffloadableTask,
     users: int,
     duration_ms: float,
@@ -90,6 +103,10 @@ def build_request_plan(
     network stream yields all T1 samples then all T2 samples; the SDN stream
     yields the routing overheads; a dedicated jitter stream yields the
     service-time draws.
+
+    ``channel=None`` leaves T1/T2 zero-filled: the multi-site runner samples
+    the network per serving site once the broker has assigned the requests
+    (see :meth:`RequestPlan.with_network`).
     """
     if users < 1:
         raise ValueError(f"users must be >= 1, got {users}")
@@ -100,8 +117,12 @@ def build_request_plan(
     user_ids = rng_workload.integers(0, users, size=count)
     work = task.sample_work_units_many(rng_workload, count)
     hours = (arrivals / 3_600_000.0) % 24.0
-    t1 = channel.sample_t1_many(hours)
-    t2 = channel.sample_t2_many(hours)
+    if channel is None:
+        t1 = np.zeros(count)
+        t2 = np.zeros(count)
+    else:
+        t1 = channel.sample_t1_many(hours)
+        t2 = channel.sample_t2_many(hours)
     if routing_overhead_std_ms == 0:
         routing = np.full(count, routing_overhead_mean_ms)
     else:

@@ -32,6 +32,22 @@ failure mode of the edit-distance predictor / ILP allocator pipeline:
     barely) reaches prediction and the autoscaler falls back to reactive
     provisioning — the paper's "bootstrap time" caveat, isolated.
 
+Four **multi-site federation** scenarios exercise the global broker
+(:mod:`repro.multisite`) on top of per-site adaptive models:
+
+``region-outage-failover``
+    Two regions under a ``failover`` broker; the primary goes dark mid-run
+    and all traffic must drain to the secondary without drops.
+``cross-region-flash-crowd``
+    A flash crowd spread over two regions by ``weighted-load`` brokering, so
+    no single site's allocator faces the whole spike.
+``price-arbitrage``
+    A ``cheapest`` broker between an expensive nearby region and a distant
+    cheap one: cost drops, latency pays the WAN penalty.
+``edge-vs-core``
+    A small edge site in front of a big core site under ``nearest-rtt``:
+    edge-homed users stay local, the rest backhaul to the core.
+
 Scenarios registered here (or via :func:`register_scenario`) are addressable
 by name from the CLI (``repro-accel scenario run <name>``) and the campaign
 runner.
@@ -41,6 +57,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.multisite.spec import MultiSiteSpec, OutageWindow, SiteSpec
 from repro.scenarios.spec import (
     CloudSpec,
     DeviceMixSpec,
@@ -211,5 +228,140 @@ register_scenario(
         slot_minutes=15.0,
         workload=WorkloadSpec(pattern="uniform", target_requests=500),
         policy=PolicySpec(min_history=6),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Multi-site federation scenarios
+# ---------------------------------------------------------------------------
+
+register_scenario(
+    ScenarioSpec(
+        name="region-outage-failover",
+        description="primary region dark for the middle third of the run: "
+        "failover brokering drains traffic to the secondary",
+        users=50,
+        duration_hours=1.5,
+        slot_minutes=15.0,
+        workload=WorkloadSpec(pattern="uniform", target_requests=700),
+        sites=MultiSiteSpec(
+            sites=(
+                SiteSpec(
+                    name="region-a",
+                    cloud=CloudSpec(instance_cap=16),
+                    wan_rtt_ms=8.0,
+                    population_share=2.0,
+                    outages=(OutageWindow(start=1.0 / 3.0, end=2.0 / 3.0),),
+                ),
+                SiteSpec(
+                    name="region-b",
+                    cloud=CloudSpec(instance_cap=16),
+                    wan_rtt_ms=35.0,
+                    population_share=1.0,
+                ),
+            ),
+            policy="failover",
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="cross-region-flash-crowd",
+        description="6x spike spread over two regions by weighted-load "
+        "brokering: neither allocator faces the whole surge",
+        users=80,
+        duration_hours=2.0,
+        slot_minutes=20.0,
+        workload=WorkloadSpec(
+            pattern="flash-crowd",
+            target_requests=1200,
+            burst_factor=6.0,
+            burst_start=0.5,
+            burst_duration=0.12,
+        ),
+        sites=MultiSiteSpec(
+            sites=(
+                SiteSpec(
+                    name="us-east",
+                    cloud=CloudSpec(instance_cap=14),
+                    wan_rtt_ms=10.0,
+                    population_share=1.0,
+                ),
+                SiteSpec(
+                    name="eu-west",
+                    cloud=CloudSpec(instance_cap=14),
+                    wan_rtt_ms=45.0,
+                    population_share=1.0,
+                ),
+            ),
+            policy="weighted-load",
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="price-arbitrage",
+        description="cheapest-site brokering between a 3x-priced nearby "
+        "region and a cheap distant one: cost wins, latency pays the WAN",
+        users=60,
+        duration_hours=2.0,
+        slot_minutes=30.0,
+        workload=WorkloadSpec(pattern="poisson", target_requests=800),
+        sites=MultiSiteSpec(
+            sites=(
+                SiteSpec(
+                    name="premium-near",
+                    cloud=CloudSpec(instance_cap=20),
+                    wan_rtt_ms=6.0,
+                    price_multiplier=3.0,
+                    population_share=1.0,
+                ),
+                SiteSpec(
+                    name="budget-far",
+                    cloud=CloudSpec(instance_cap=20),
+                    wan_rtt_ms=70.0,
+                    price_multiplier=0.6,
+                    population_share=1.0,
+                ),
+            ),
+            policy="cheapest",
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="edge-vs-core",
+        description="small LTE edge site in front of a big core site under "
+        "nearest-rtt brokering: edge users stay local, the rest backhaul",
+        users=70,
+        duration_hours=2.0,
+        slot_minutes=30.0,
+        workload=WorkloadSpec(pattern="uniform", target_requests=900),
+        sites=MultiSiteSpec(
+            sites=(
+                SiteSpec(
+                    name="edge",
+                    cloud=CloudSpec(
+                        group_types={1: "t2.nano", 2: "t2.large"},
+                        instance_cap=6,
+                    ),
+                    network=NetworkSpec(profile="lte"),
+                    wan_rtt_ms=4.0,
+                    population_share=3.0,
+                ),
+                SiteSpec(
+                    name="core",
+                    cloud=CloudSpec(instance_cap=24),
+                    network=NetworkSpec(profile="lte"),
+                    wan_rtt_ms=40.0,
+                    population_share=1.0,
+                ),
+            ),
+            policy="nearest-rtt",
+        ),
     )
 )

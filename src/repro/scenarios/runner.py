@@ -24,7 +24,7 @@ import numpy as np
 from repro.cloud.backend import BackendPool
 from repro.cloud.catalog import DEFAULT_CATALOG, InstanceCatalog
 from repro.cloud.provisioner import Provisioner
-from repro.core.allocation import InstanceOption, build_options_from_catalog
+from repro.core.allocation import InstanceOption, build_group_options
 from repro.core.model import AdaptiveModel
 from repro.core.prediction import WorkloadPredictor, prediction_accuracy
 from repro.core.timeslots import TimeSlotHistory
@@ -60,8 +60,53 @@ from repro.workload.arrival import (
 
 
 @dataclass(frozen=True)
+class SiteResult:
+    """Per-site metrics of one multi-site scenario run (picklable scalars)."""
+
+    name: str
+    requests_total: int
+    requests_dropped: int
+    mean_response_ms: float
+    p95_response_ms: float
+    allocation_cost_usd: float
+    scaling_actions: int
+    predictions: int
+    mean_utilization: float
+
+    @property
+    def drop_rate(self) -> float:
+        if self.requests_total == 0:
+            return 0.0
+        return self.requests_dropped / self.requests_total
+
+    def as_row(self) -> Dict[str, object]:
+        """One per-site comparison row (the multisite CLI/CSV schema)."""
+
+        def cell(value: float, digits: int) -> object:
+            return round(value, digits) if value == value else "n/a"
+
+        return {
+            "site": self.name,
+            "requests": self.requests_total,
+            "drop_rate_pct": round(100.0 * self.drop_rate, 2),
+            "mean_ms": cell(self.mean_response_ms, 1),
+            "p95_ms": cell(self.p95_response_ms, 1),
+            "cost_usd": round(self.allocation_cost_usd, 3),
+            "scaling_actions": self.scaling_actions,
+            "predictions": self.predictions,
+            "utilization_pct": round(100.0 * self.mean_utilization, 1),
+        }
+
+
+@dataclass(frozen=True)
 class ScenarioResult:
-    """Per-scenario metrics — plain scalars, cheap to pickle across workers."""
+    """Per-scenario metrics — plain scalars, cheap to pickle across workers.
+
+    For multi-site scenarios the headline numbers are federation-wide
+    (``requests_dropped`` includes requests dropped at the broker because no
+    site was available, counted separately in ``requests_unrouted``) and
+    ``sites`` carries the per-site breakdown.
+    """
 
     name: str
     seed: int
@@ -81,13 +126,35 @@ class ScenarioResult:
     mean_utilization: float
     promoted_users: int
     promotions: int
+    requests_unrouted: int = 0
+    sites: Tuple[SiteResult, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sites", tuple(self.sites))
 
     @property
     def drop_rate(self) -> float:
-        """Fraction of requests dropped at admission."""
+        """Fraction of requests dropped (admission control or brokering)."""
         if self.requests_total == 0:
             return 0.0
         return self.requests_dropped / self.requests_total
+
+    @property
+    def is_multisite(self) -> bool:
+        return bool(self.sites)
+
+    def site(self, name: str) -> SiteResult:
+        """The per-site result for one site by name."""
+        for site in self.sites:
+            if site.name == name:
+                return site
+        raise KeyError(
+            f"no site result for {name!r}; have {[s.name for s in self.sites]}"
+        )
+
+    def site_rows(self) -> List[Dict[str, object]]:
+        """Per-site comparison rows (empty for single-site runs)."""
+        return [site.as_row() for site in self.sites]
 
     def as_row(self) -> Dict[str, object]:
         """One comparison-table row (the cross-scenario CSV schema).
@@ -241,6 +308,29 @@ def build_channel(
     return CommunicationChannel(access_model=access, rng=rng)
 
 
+def prediction_accuracy_samples(autoscaler: Autoscaler, model: AdaptiveModel) -> List[float]:
+    """Realised accuracy of each of an autoscaler's predictive decisions.
+
+    A decision made at the end of slot ``i`` predicted slot ``i + 1``; once
+    that slot is in the model's history the prediction can be scored.  Shared
+    by the single-site runner and the per-site federation roll-up.
+    """
+    accuracies: List[float] = []
+    history = model.history
+    for action in autoscaler.actions:
+        decision = action.decision
+        if decision is None:
+            continue
+        realised_index = decision.current_slot.index + 1
+        if realised_index < len(history):
+            accuracies.append(
+                prediction_accuracy(
+                    decision.prediction.predicted_slot, history[realised_index]
+                )
+            )
+    return accuracies
+
+
 def _build_promotion_policy(spec: ScenarioSpec):
     policy = spec.policy
     if policy.promotion == "static":
@@ -377,8 +467,16 @@ def run_scenario(spec: ScenarioSpec, *, seed: Optional[int] = None) -> ScenarioR
 
     ``seed`` overrides ``spec.seed`` (the campaign runner derives one per
     scenario name); when neither is given, seed 0 is used.
+
+    Scenarios with a ``sites:`` section run as a multi-site federation (one
+    adaptive model per site, a global broker assigning requests) and return
+    the same :class:`ScenarioResult` with the per-site breakdown attached.
     """
     effective_seed = seed if seed is not None else (spec.seed if spec.seed is not None else 0)
+    if spec.sites is not None:
+        from repro.multisite.runner import run_multisite_scenario
+
+        return run_multisite_scenario(spec, seed=effective_seed)
     streams = RandomStreams(effective_seed)
     engine = SimulationEngine()
     rng_workload = streams.stream("scenario-workload")
@@ -405,20 +503,12 @@ def run_scenario(spec: ScenarioSpec, *, seed: Optional[int] = None) -> ScenarioR
             backend.add_instance(provisioner.launch(type_name), group)
 
     # --- adaptive model + autoscaler ----------------------------------------
-    options: List[InstanceOption] = []
-    for option in build_options_from_catalog(
+    options: List[InstanceOption] = build_group_options(
         catalog,
+        level_for_type=level_for_type,
         work_units=task.work_units,
         response_threshold_ms=spec.cloud.response_threshold_ms,
-    ):
-        options.append(
-            InstanceOption(
-                type_name=option.type_name,
-                acceleration_group=level_for_type[option.type_name],
-                cost_per_hour=option.cost_per_hour,
-                capacity=option.capacity,
-            )
-        )
+    )
     predictor = WorkloadPredictor(
         TimeSlotHistory(slot_length_ms=slot_ms),
         strategy=spec.policy.predictor_strategy,
@@ -528,19 +618,7 @@ def run_scenario(spec: ScenarioSpec, *, seed: Optional[int] = None) -> ScenarioR
     else:
         mean_ms = p50 = p95 = p99 = float("nan")
 
-    accuracies: List[float] = []
-    history = model.history
-    for action in autoscaler.actions:
-        decision = action.decision
-        if decision is None:
-            continue
-        realised_index = decision.current_slot.index + 1
-        if realised_index < len(history):
-            accuracies.append(
-                prediction_accuracy(
-                    decision.prediction.predicted_slot, history[realised_index]
-                )
-            )
+    accuracies = prediction_accuracy_samples(autoscaler, model)
     mean_accuracy = float(np.mean(accuracies)) if accuracies else float("nan")
     predictions = sum(1 for action in autoscaler.actions if action.decision is not None)
 

@@ -22,7 +22,13 @@ from typing import Dict, List, Mapping, Optional
 
 from repro.cloud.backend import BackendPool
 from repro.cloud.provisioner import Provisioner, ProvisioningError
-from repro.core.allocation import AllocationPlan, AllocationProblem, IlpAllocator
+from repro.core.allocation import (
+    AllocationError,
+    AllocationPlan,
+    AllocationProblem,
+    IlpAllocator,
+    best_effort_plan,
+)
 from repro.core.model import AdaptiveModel, ModelDecision
 from repro.core.timeslots import TimeSlot
 from repro.workload.traces import TraceLog
@@ -145,7 +151,11 @@ class Autoscaler:
                 group_workloads=slot.workload_vector(self.model.groups()),
                 instance_cap=self.model.instance_cap,
             )
-            plan = IlpAllocator().allocate(problem)
+            try:
+                plan = IlpAllocator().allocate(problem)
+            except AllocationError:
+                # Demand already exceeds the cap: saturate it and shed load.
+                plan = best_effort_plan(problem)
         target = self._target_counts(plan)
         launched, terminated = self._apply_counts(target)
         action = ScalingAction(
@@ -174,7 +184,10 @@ class ReactiveAutoscaler(Autoscaler):
             group_workloads=slot.workload_vector(self.model.groups()),
             instance_cap=self.model.instance_cap,
         )
-        plan = IlpAllocator().allocate(problem)
+        try:
+            plan = IlpAllocator().allocate(problem)
+        except AllocationError:
+            plan = best_effort_plan(problem)
         target = self._target_counts(plan)
         launched, terminated = self._apply_counts(target)
         action = ScalingAction(

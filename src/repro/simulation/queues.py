@@ -78,9 +78,17 @@ class ProcessorSharingServer:
     is at most the parallelism width each job receives the full per-core rate;
     beyond that, the total rate is shared equally among all in-service jobs.
 
-    Completion times are recomputed whenever the job population changes, by
-    cancelling and re-scheduling the next-completion event.  This yields an
-    exact processor-sharing trajectory under piecewise-constant sharing.
+    Completion times are recomputed whenever the job population changes.
+    Rescheduling is *lazy*: the pending next-completion event is only
+    replaced when the new next completion moves **earlier** than the
+    scheduled time.  When it moves later (the common case — every arrival
+    beyond the parallelism width slows the jobs in service), the existing
+    event is kept; on firing, the handler notices nothing has finished yet
+    and re-arms itself at the corrected time.  This trades one guaranteed
+    cancel+push per arrival for at most one extra no-op pop per population
+    change, which cuts the event-path heap churn substantially while
+    preserving the exact processor-sharing trajectory under
+    piecewise-constant sharing.
     """
 
     def __init__(
@@ -174,25 +182,44 @@ class ProcessorSharingServer:
             job.remaining_work -= rate * elapsed
 
     def _reschedule_completion(self) -> None:
-        if self._completion_event is not None:
-            self._completion_event.cancel()
-            self._completion_event = None
         if not self._jobs:
+            if self._completion_event is not None:
+                self._completion_event.cancel()
+                self._completion_event = None
             return
         rate = self.per_job_rate()
         next_job = min(self._jobs.values(), key=lambda job: job.remaining_work)
-        delay = max(next_job.remaining_work / rate, 0.0)
-        self._completion_event = self._engine.schedule_after(
-            delay, self._complete_next, label=f"{self.name}:complete"
+        target_ms = self._engine.now_ms + max(next_job.remaining_work / rate, 0.0)
+        event = self._completion_event
+        if event is not None and not event.cancelled:
+            # Lazy cancellation: an event that fires *no later* than the new
+            # completion time can be kept — if it fires early, the handler
+            # below finds nothing finished and re-arms at the corrected time.
+            if event.time_ms <= target_ms + 1e-9:
+                return
+            event.cancel()
+        self._completion_event = self._engine.schedule_at(
+            target_ms, self._complete_next, label=f"{self.name}:complete"
         )
 
     def _complete_next(self) -> None:
+        self._completion_event = None
         self._drain_progress()
         finished = [job for job in self._jobs.values() if job.remaining_work <= 1e-9]
-        if not finished:
+        if not finished and self._jobs:
+            rate = self.per_job_rate()
+            next_job = min(self._jobs.values(), key=lambda job: job.remaining_work)
+            delay = next_job.remaining_work / rate
+            if delay > 1e-6:
+                # Stale early fire (the population grew after this event was
+                # scheduled, slowing every job): re-arm at the corrected time.
+                self._completion_event = self._engine.schedule_after(
+                    delay, self._complete_next, label=f"{self.name}:complete"
+                )
+                return
             # Numerical drift can leave the smallest job epsilon short; force
             # completion of the minimum-work job to preserve progress.
-            finished = [min(self._jobs.values(), key=lambda job: job.remaining_work)]
+            finished = [next_job]
         for job in finished:
             del self._jobs[job.job_id]
             self.completed_jobs += 1

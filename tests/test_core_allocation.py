@@ -10,6 +10,8 @@ from repro.core.allocation import (
     IlpAllocator,
     InstanceOption,
     OverProvisioningAllocator,
+    best_effort_plan,
+    build_group_options,
     build_options_from_catalog,
 )
 
@@ -214,3 +216,62 @@ class TestBuildOptionsFromCatalog:
             DEFAULT_CATALOG, work_units=5000.0, response_threshold_ms=100.0
         )
         assert options == []
+
+
+class TestBestEffortPlan:
+    """Cap-saturating fallback for workloads no allocation can cover."""
+
+    def test_saturates_the_cap_and_marks_infeasible(self):
+        problem = AllocationProblem(
+            options=OPTIONS, group_workloads={1: 500, 2: 10}, instance_cap=6
+        )
+        with pytest.raises(AllocationError):
+            IlpAllocator().allocate(problem)
+        plan = best_effort_plan(problem)
+        assert not plan.feasible
+        assert plan.solver == "best-effort"
+        assert 0 < plan.total_instances <= 6
+        # The uncoverable group gets the lion's share of the cap, but every
+        # demanded group keeps at least one instance.
+        assert plan.counts["t2.small"] >= 4   # highest-capacity group-1 type
+        assert plan.counts["t2.large"] >= 1
+
+    def test_prefers_highest_capacity_type_per_group(self):
+        problem = AllocationProblem(
+            options=OPTIONS, group_workloads={1: 1000}, instance_cap=3
+        )
+        plan = best_effort_plan(problem)
+        assert plan.counts["t2.small"] == 3   # 12 > 10 capacity
+        assert plan.counts["t2.nano"] == 0
+
+    def test_more_groups_than_cap_covers_the_busiest(self):
+        problem = AllocationProblem(
+            options=OPTIONS, group_workloads={1: 500, 2: 900, 3: 800}, instance_cap=2
+        )
+        plan = best_effort_plan(problem)
+        assert plan.total_instances == 2
+        assert plan.counts["t2.large"] == 1   # group 2: busiest
+        assert plan.counts["m4.4xlarge"] == 1  # group 3: second
+
+    def test_rejects_empty_demand(self):
+        problem = AllocationProblem(
+            options=OPTIONS, group_workloads={}, instance_cap=4
+        )
+        with pytest.raises(AllocationError):
+            best_effort_plan(problem)
+
+
+class TestBuildGroupOptions:
+    def test_remaps_groups_from_level_for_type(self):
+        options = build_group_options(
+            DEFAULT_CATALOG,
+            level_for_type={"t2.nano": 7},
+            work_units=100.0,
+            response_threshold_ms=5000.0,
+        )
+        by_name = {option.type_name: option for option in options}
+        assert by_name["t2.nano"].acceleration_group == 7
+        # Unmapped types keep their catalogued level.
+        assert by_name["t2.large"].acceleration_group == DEFAULT_CATALOG.get(
+            "t2.large"
+        ).acceleration_level

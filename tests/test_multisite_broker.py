@@ -1,0 +1,203 @@
+"""Unit tests for the global request broker's routing policies."""
+
+import numpy as np
+import pytest
+
+from repro.multisite.broker import (
+    UNROUTED,
+    assign_home_sites,
+    availability_segments,
+    broker_assign,
+    site_price_scores,
+    wan_penalty_matrix,
+)
+from repro.multisite.spec import MultiSiteSpec, OutageWindow, SiteSpec
+from repro.scenarios.spec import CloudSpec
+
+
+def make_sites(**kwargs):
+    defaults = dict(
+        sites=(
+            SiteSpec(name="a", cloud=CloudSpec(instance_cap=10), wan_rtt_ms=5.0),
+            SiteSpec(name="b", cloud=CloudSpec(instance_cap=10), wan_rtt_ms=30.0),
+        ),
+        policy="failover",
+    )
+    defaults.update(kwargs)
+    return MultiSiteSpec(**defaults)
+
+
+def assign(federation, count=100, users=10, duration_ms=100_000.0, access=None):
+    arrivals = np.linspace(0.0, duration_ms, count, endpoint=False)
+    user_ids = np.arange(count) % users
+    return broker_assign(
+        arrival_ms=arrivals,
+        user_ids=user_ids,
+        users=users,
+        federation=federation,
+        duration_ms=duration_ms,
+        access_rtt_ms=access if access is not None else [40.0] * len(federation.sites),
+    )
+
+
+class TestHomeAssignment:
+    def test_shares_split_users_proportionally(self):
+        sites = (
+            SiteSpec(name="big", population_share=3.0),
+            SiteSpec(name="small", population_share=1.0),
+        )
+        home = assign_home_sites(100, sites)
+        assert int((home == 0).sum()) == 75
+        assert int((home == 1).sum()) == 25
+
+    def test_zero_share_site_gets_no_users(self):
+        sites = (
+            SiteSpec(name="peopled", population_share=1.0),
+            SiteSpec(name="empty", population_share=0.0),
+        )
+        home = assign_home_sites(50, sites)
+        assert int((home == 1).sum()) == 0
+
+    def test_deterministic(self):
+        sites = make_sites().sites
+        first = assign_home_sites(33, sites)
+        second = assign_home_sites(33, sites)
+        np.testing.assert_array_equal(first, second)
+
+
+class TestAvailabilitySegments:
+    def test_no_outages_is_one_segment(self):
+        segments = availability_segments(make_sites().sites, 1000.0)
+        assert len(segments) == 1
+        start, end, available = segments[0]
+        assert (start, end) == (0.0, 1000.0)
+        assert available.all()
+
+    def test_outage_splits_run_into_three(self):
+        sites = (
+            SiteSpec(name="a", outages=(OutageWindow(start=0.3, end=0.6),)),
+            SiteSpec(name="b"),
+        )
+        segments = availability_segments(sites, 1000.0)
+        assert [(s, e) for s, e, _ in segments] == [
+            (0.0, 300.0), (300.0, 600.0), (600.0, 1000.0)
+        ]
+        assert segments[0][2].all()
+        assert not segments[1][2][0] and segments[1][2][1]
+        assert segments[2][2].all()
+
+
+class TestPolicies:
+    def test_failover_prefers_declaration_order(self):
+        brokered = assign(make_sites(policy="failover"))
+        assert (brokered.site_ids == 0).all()
+
+    def test_failover_shifts_during_outage(self):
+        federation = make_sites(
+            sites=(
+                SiteSpec(name="a", outages=(OutageWindow(start=0.5, end=1.0),)),
+                SiteSpec(name="b"),
+            ),
+            policy="failover",
+        )
+        brokered = assign(federation, count=100, duration_ms=100_000.0)
+        assert (brokered.site_ids[:50] == 0).all()
+        assert (brokered.site_ids[50:] == 1).all()
+
+    def test_unrouted_when_every_site_is_down(self):
+        window = (OutageWindow(start=0.5, end=1.0),)
+        federation = make_sites(
+            sites=(SiteSpec(name="a", outages=window), SiteSpec(name="b", outages=window)),
+            policy="failover",
+        )
+        brokered = assign(federation, count=100)
+        assert (brokered.site_ids[:50] == 0).all()
+        assert (brokered.site_ids[50:] == UNROUTED).all()
+        assert brokered.unrouted.size == 50
+
+    def test_cheapest_picks_lowest_effective_price(self):
+        federation = make_sites(
+            sites=(
+                SiteSpec(name="pricey", price_multiplier=3.0),
+                SiteSpec(name="bargain", price_multiplier=0.5),
+            ),
+            policy="cheapest",
+        )
+        scores = site_price_scores(federation.sites)
+        assert scores[1] < scores[0]
+        brokered = assign(federation)
+        assert (brokered.site_ids == 1).all()
+
+    def test_nearest_rtt_keeps_users_at_home(self):
+        federation = make_sites(policy="nearest-rtt")
+        # Users homed at either site (equal shares): everyone should stay home
+        # because leaving costs wan(home) + wan(remote) extra.
+        brokered = assign(federation, count=200, users=10)
+        home_of_request = brokered.home_site_of_user[np.arange(200) % 10]
+        np.testing.assert_array_equal(brokered.site_ids, home_of_request)
+        assert np.all(brokered.extra_rtt_ms == 0.0)
+
+    def test_nearest_rtt_fails_over_to_next_nearest(self):
+        federation = make_sites(
+            sites=(
+                SiteSpec(name="near", wan_rtt_ms=5.0,
+                         outages=(OutageWindow(start=0.0, end=1.0),)),
+                SiteSpec(name="far", wan_rtt_ms=30.0),
+            ),
+            policy="nearest-rtt",
+        )
+        brokered = assign(federation, count=100, users=10)
+        assert (brokered.site_ids == 1).all()
+        # Users homed at `near` now pay both WAN legs.
+        homed_near = brokered.home_site_of_user[np.arange(100) % 10] == 0
+        assert np.all(brokered.extra_rtt_ms[homed_near] == 35.0)
+        assert np.all(brokered.extra_rtt_ms[~homed_near] == 0.0)
+
+    def test_weighted_load_matches_weight_ratio(self):
+        federation = make_sites(
+            sites=(
+                SiteSpec(name="wide", weight=3.0),
+                SiteSpec(name="narrow", weight=1.0),
+            ),
+            policy="weighted-load",
+        )
+        brokered = assign(federation, count=400)
+        counts = np.bincount(brokered.site_ids, minlength=2)
+        assert counts[0] == 300
+        assert counts[1] == 100
+
+    def test_weighted_load_counters_carry_across_segments(self):
+        federation = make_sites(
+            sites=(
+                SiteSpec(name="wide", weight=3.0,
+                         outages=(OutageWindow(start=0.25, end=0.5),)),
+                SiteSpec(name="narrow", weight=1.0),
+            ),
+            policy="weighted-load",
+        )
+        brokered = assign(federation, count=400, duration_ms=100_000.0)
+        # During the outage quarter all 100 requests go to `narrow`; the WRR
+        # counters then keep long-run shares tilted back toward `wide`.
+        outage = slice(100, 200)
+        assert (brokered.site_ids[outage] == 1).all()
+        counts = np.bincount(brokered.site_ids, minlength=2)
+        assert counts.sum() == 400
+        assert counts[0] > 200  # wide still dominates overall
+
+    def test_assignment_is_deterministic(self):
+        federation = make_sites(policy="weighted-load")
+        first = assign(federation)
+        second = assign(federation)
+        np.testing.assert_array_equal(first.site_ids, second.site_ids)
+
+
+class TestWanPenalty:
+    def test_matrix_is_symmetric_with_zero_diagonal(self):
+        penalty = wan_penalty_matrix(make_sites().sites)
+        assert penalty[0, 0] == 0.0 and penalty[1, 1] == 0.0
+        assert penalty[0, 1] == penalty[1, 0] == 35.0
+
+    def test_mismatched_access_rtt_length_rejected(self):
+        federation = make_sites()
+        with pytest.raises(ValueError, match="one access RTT per site"):
+            assign(federation, access=[40.0])

@@ -1,0 +1,282 @@
+"""End-to-end multi-site federation tests: parity, outage failover, metrics.
+
+Mirrors the single-site parity contract: a deterministic federation
+(fixed-rate arrivals, constant per-site RTTs, promotions off) must be
+*identical* between the event and batched executors, and stochastic
+federations must agree within the documented single-site tolerances —
+the broker itself is deterministic and shared, so site partitions always
+match exactly.
+"""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.analysis.metrics import federation_rollup
+from repro.multisite.spec import MultiSiteSpec, OutageWindow, SiteSpec
+from repro.scenarios import get_scenario, run_scenario
+from repro.scenarios.spec import (
+    CloudSpec,
+    NetworkSpec,
+    PolicySpec,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+
+MULTISITE_BUILTINS = (
+    "region-outage-failover",
+    "cross-region-flash-crowd",
+    "price-arbitrage",
+    "edge-vs-core",
+)
+
+
+def deterministic_spec(**overrides) -> ScenarioSpec:
+    sites = MultiSiteSpec(
+        sites=(
+            SiteSpec(
+                name="edge",
+                cloud=CloudSpec(group_types={1: "t2.nano", 2: "t2.large"}, instance_cap=6),
+                network=NetworkSpec(profile="constant", constant_rtt_ms=30.0),
+                wan_rtt_ms=5.0,
+                population_share=2.0,
+            ),
+            SiteSpec(
+                name="core",
+                cloud=CloudSpec(instance_cap=12),
+                network=NetworkSpec(profile="constant", constant_rtt_ms=50.0),
+                wan_rtt_ms=40.0,
+            ),
+        ),
+        policy="nearest-rtt",
+    )
+    defaults = dict(
+        name="ms-deterministic",
+        users=8,
+        duration_hours=0.5,
+        slot_minutes=10.0,
+        task_name="fibonacci",
+        workload=WorkloadSpec(pattern="fixed", target_requests=233),
+        policy=PolicySpec(promotion="static", promotion_probability=0.0),
+        sites=sites,
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+def stochastic_spec(policy="weighted-load", **overrides) -> ScenarioSpec:
+    sites = MultiSiteSpec(
+        sites=(
+            SiteSpec(
+                name="edge",
+                cloud=CloudSpec(group_types={1: "t2.nano", 2: "t2.large"}, instance_cap=8),
+                wan_rtt_ms=5.0,
+                population_share=2.0,
+            ),
+            SiteSpec(name="core", cloud=CloudSpec(instance_cap=20), wan_rtt_ms=40.0),
+        ),
+        policy=policy,
+    )
+    defaults = dict(
+        name="ms-stochastic",
+        users=30,
+        duration_hours=1.0,
+        slot_minutes=15.0,
+        task_name="fibonacci",
+        workload=WorkloadSpec(pattern="uniform", target_requests=2500),
+        sites=sites,
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+def run_both(spec: ScenarioSpec, seed: int):
+    event = run_scenario(dataclasses.replace(spec, execution="event"), seed=seed)
+    batched = run_scenario(dataclasses.replace(spec, execution="batched"), seed=seed)
+    return event, batched
+
+
+class TestDeterministicParity:
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_metrics_identical_including_per_site(self, seed):
+        event, batched = run_both(deterministic_spec(), seed)
+        assert event.as_row() == batched.as_row()
+        assert event.site_rows() == batched.site_rows()
+        assert event.requests_unrouted == batched.requests_unrouted == 0
+
+    def test_deterministic_run_is_multisite(self):
+        result = run_scenario(deterministic_spec(execution="batched"), seed=0)
+        assert result.is_multisite
+        assert [site.name for site in result.sites] == ["edge", "core"]
+        assert result.requests_total > 200
+
+
+class TestStochasticEquivalence:
+    @pytest.mark.parametrize("policy", ["weighted-load", "nearest-rtt"])
+    def test_summary_statistics_within_tolerance(self, policy):
+        event, batched = run_both(stochastic_spec(policy=policy), 0)
+        # The broker is shared: the site partition matches exactly.
+        assert event.requests_total == batched.requests_total
+        for site_event, site_batched in zip(event.sites, batched.sites):
+            assert site_event.requests_total == site_batched.requests_total
+            assert site_event.scaling_actions == site_batched.scaling_actions
+            assert site_event.allocation_cost_usd == pytest.approx(
+                site_batched.allocation_cost_usd, rel=0.05
+            )
+            if not math.isnan(site_event.mean_response_ms):
+                assert site_batched.mean_response_ms == pytest.approx(
+                    site_event.mean_response_ms, rel=0.10
+                )
+        assert abs(event.drop_rate - batched.drop_rate) <= 0.02
+        assert batched.mean_response_ms == pytest.approx(
+            event.mean_response_ms, rel=0.10
+        )
+        assert batched.p95_response_ms == pytest.approx(
+            event.p95_response_ms, rel=0.15
+        )
+        assert event.scaling_actions == batched.scaling_actions
+        assert event.predictions == batched.predictions
+
+
+class TestOutageFailover:
+    def failover_spec(self, **overrides) -> ScenarioSpec:
+        sites = MultiSiteSpec(
+            sites=(
+                SiteSpec(
+                    name="primary",
+                    cloud=CloudSpec(instance_cap=12),
+                    wan_rtt_ms=5.0,
+                    outages=(OutageWindow(start=1.0 / 3.0, end=2.0 / 3.0),),
+                ),
+                SiteSpec(name="secondary", cloud=CloudSpec(instance_cap=12), wan_rtt_ms=30.0),
+            ),
+            policy="failover",
+        )
+        defaults = dict(
+            name="ms-failover",
+            users=12,
+            duration_hours=0.75,
+            slot_minutes=15.0,
+            task_name="fibonacci",
+            workload=WorkloadSpec(pattern="uniform", target_requests=450),
+            sites=sites,
+        )
+        defaults.update(overrides)
+        return ScenarioSpec(**defaults)
+
+    @pytest.mark.parametrize("execution", ["event", "batched"])
+    def test_traffic_drains_to_secondary_without_drops(self, execution):
+        result = run_scenario(self.failover_spec(execution=execution), seed=2)
+        primary = result.site("primary")
+        secondary = result.site("secondary")
+        # Both sites served traffic, and the outage third moved to secondary.
+        assert primary.requests_total > 0
+        assert secondary.requests_total > 0.2 * result.requests_total
+        assert result.requests_unrouted == 0
+        assert result.requests_dropped == 0
+        # The secondary's allocator actually scaled while it carried the load.
+        assert secondary.scaling_actions == primary.scaling_actions > 0
+
+    def test_federation_wide_outage_drops_at_broker(self):
+        window = (OutageWindow(start=0.5, end=1.0),)
+        sites = MultiSiteSpec(
+            sites=(
+                SiteSpec(name="a", outages=window),
+                SiteSpec(name="b", outages=window),
+            ),
+            policy="failover",
+        )
+        spec = self.failover_spec(sites=sites)
+        event, batched = run_both(spec, 1)
+        assert event.requests_unrouted == batched.requests_unrouted > 0
+        assert event.requests_dropped >= event.requests_unrouted
+        # Unrouted requests never reach a site.
+        assert sum(s.requests_total for s in event.sites) + event.requests_unrouted \
+            == event.requests_total
+
+
+class TestBuiltinMultisiteScenarios:
+    @pytest.mark.parametrize("name", MULTISITE_BUILTINS)
+    @pytest.mark.parametrize("execution", ["event", "batched"])
+    def test_runs_small_in_both_modes(self, name, execution):
+        spec = get_scenario(name).with_overrides(
+            users=10, duration_hours=0.5, target_requests=120, execution=execution
+        )
+        result = run_scenario(spec, seed=0)
+        assert result.is_multisite
+        assert result.requests_total > 50
+        assert len(result.sites) == 2
+        assert sum(s.requests_total for s in result.sites) + result.requests_unrouted \
+            == result.requests_total
+
+    @pytest.mark.parametrize("name", MULTISITE_BUILTINS)
+    def test_small_parity_within_tolerance(self, name):
+        spec = get_scenario(name).with_overrides(
+            users=10, duration_hours=0.5, target_requests=150
+        )
+        event, batched = run_both(spec, 0)
+        assert event.requests_total == batched.requests_total
+        assert [s.requests_total for s in event.sites] == [
+            s.requests_total for s in batched.sites
+        ]
+        if not math.isnan(event.mean_response_ms):
+            assert batched.mean_response_ms == pytest.approx(
+                event.mean_response_ms, rel=0.10
+            )
+
+    def test_full_size_flash_crowd_survives_cap_saturation(self):
+        # Regression: under weighted-load brokering every user hits both
+        # sites, so a site's slot can observe (nearly) the whole user
+        # population while holding a 14-instance cap — the per-site ILP goes
+        # infeasible at the spike and must degrade to the cap-saturating
+        # plan instead of raising AllocationError (crashed the default
+        # campaign before the best-effort fallback existed).
+        spec = get_scenario("cross-region-flash-crowd").with_overrides(
+            execution="batched"
+        )
+        result = run_scenario(spec, seed=6001877480158004700)
+        assert result.requests_total > 1000
+        assert result.drop_rate < 0.5
+
+    def test_price_arbitrage_prefers_cheap_site(self):
+        spec = get_scenario("price-arbitrage").with_overrides(
+            users=10, duration_hours=0.5, target_requests=150, execution="batched"
+        )
+        result = run_scenario(spec, seed=0)
+        assert result.site("budget-far").requests_total > 0
+        assert result.site("premium-near").requests_total == 0
+
+    def test_edge_vs_core_splits_by_home(self):
+        spec = get_scenario("edge-vs-core").with_overrides(
+            users=12, duration_hours=0.5, target_requests=150, execution="batched"
+        )
+        result = run_scenario(spec, seed=0)
+        assert result.site("edge").requests_total > result.site("core").requests_total > 0
+
+
+class TestFederationRollup:
+    def test_rollup_matches_headline_metrics(self):
+        result = run_scenario(stochastic_spec(execution="batched"), seed=0)
+        rollup = federation_rollup(result.sites)
+        assert rollup["requests"] == result.requests_total - result.requests_unrouted
+        assert rollup["dropped"] == result.requests_dropped - result.requests_unrouted
+        assert rollup["cost_usd"] == pytest.approx(result.allocation_cost_usd)
+        assert rollup["mean_ms"] == pytest.approx(result.mean_response_ms, rel=0.01)
+
+    def test_rollup_rejects_empty(self):
+        with pytest.raises(ValueError):
+            federation_rollup([])
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        spec = stochastic_spec(execution="batched")
+        first = run_scenario(spec, seed=9)
+        second = run_scenario(spec, seed=9)
+        assert first.as_row() == second.as_row()
+        assert first.site_rows() == second.site_rows()
+
+    def test_different_seeds_differ(self):
+        spec = stochastic_spec(execution="batched")
+        assert run_scenario(spec, seed=1).as_row() != run_scenario(spec, seed=2).as_row()

@@ -1,0 +1,147 @@
+"""Validation, round-tripping and pickling of the multi-site specs."""
+
+import pickle
+
+import pytest
+
+from repro.multisite.spec import (
+    BROKER_POLICIES,
+    MultiSiteSpec,
+    OutageWindow,
+    SiteSpec,
+)
+from repro.scenarios.spec import CloudSpec, NetworkSpec, ScenarioSpec, WorkloadSpec
+
+
+def two_sites(policy="nearest-rtt") -> MultiSiteSpec:
+    return MultiSiteSpec(
+        sites=(
+            SiteSpec(
+                name="edge",
+                cloud=CloudSpec(group_types={1: "t2.nano", 2: "t2.large"}, instance_cap=6),
+                network=NetworkSpec(profile="lte"),
+                wan_rtt_ms=4.0,
+                population_share=3.0,
+                outages=(OutageWindow(start=0.25, end=0.5),),
+            ),
+            SiteSpec(
+                name="core",
+                cloud=CloudSpec(instance_cap=20),
+                wan_rtt_ms=40.0,
+                price_multiplier=0.8,
+            ),
+        ),
+        policy=policy,
+    )
+
+
+class TestOutageWindow:
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError, match="after its start"):
+            OutageWindow(start=0.5, end=0.25)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            OutageWindow(start=-0.1, end=0.5)
+        with pytest.raises(ValueError):
+            OutageWindow(start=0.2, end=1.5)
+
+    def test_contains_uses_run_fractions(self):
+        window = OutageWindow(start=0.25, end=0.5)
+        assert window.contains(300.0, 1000.0)
+        assert not window.contains(200.0, 1000.0)
+        assert not window.contains(500.0, 1000.0)  # half-open
+
+
+class TestSiteSpec:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="name"):
+            SiteSpec(name="")
+        with pytest.raises(ValueError, match="wan_rtt_ms"):
+            SiteSpec(name="x", wan_rtt_ms=-1.0)
+        with pytest.raises(ValueError, match="price_multiplier"):
+            SiteSpec(name="x", price_multiplier=0.0)
+        with pytest.raises(ValueError, match="weight"):
+            SiteSpec(name="x", weight=0.0)
+
+    def test_broker_weight_defaults_to_instance_cap(self):
+        site = SiteSpec(name="x", cloud=CloudSpec(instance_cap=7))
+        assert site.broker_weight == 7.0
+        assert SiteSpec(name="y", weight=2.5).broker_weight == 2.5
+
+    def test_availability_honours_outages(self):
+        site = two_sites().site("edge")
+        assert site.available_at(0.0, 1000.0)
+        assert not site.available_at(300.0, 1000.0)
+        assert site.available_at(600.0, 1000.0)
+
+
+class TestMultiSiteSpec:
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            MultiSiteSpec(sites=(SiteSpec(name="a"), SiteSpec(name="a")))
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            MultiSiteSpec(sites=(SiteSpec(name="a"),), policy="teleport")
+
+    def test_rejects_empty_federation(self):
+        with pytest.raises(ValueError, match="at least one site"):
+            MultiSiteSpec(sites=())
+
+    def test_all_policies_are_constructible(self):
+        for policy in BROKER_POLICIES:
+            assert two_sites(policy).policy == policy
+
+    def test_site_lookup(self):
+        spec = two_sites()
+        assert spec.site("core").wan_rtt_ms == 40.0
+        with pytest.raises(KeyError):
+            spec.site("moon")
+
+    def test_round_trips_through_dict(self):
+        spec = two_sites(policy="failover")
+        rebuilt = MultiSiteSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.site("edge").outages == spec.site("edge").outages
+
+    def test_pickles_cleanly(self):
+        spec = two_sites()
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestScenarioSpecIntegration:
+    def scenario(self, **overrides) -> ScenarioSpec:
+        defaults = dict(
+            name="ms",
+            users=10,
+            duration_hours=0.5,
+            slot_minutes=10.0,
+            workload=WorkloadSpec(pattern="uniform", target_requests=100),
+            sites=two_sites(),
+        )
+        defaults.update(overrides)
+        return ScenarioSpec(**defaults)
+
+    def test_is_multisite_flag(self):
+        assert self.scenario().is_multisite
+        assert not ScenarioSpec(name="plain").is_multisite
+
+    def test_scenario_round_trips_with_sites(self):
+        spec = self.scenario()
+        rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.sites is not None
+        assert rebuilt.sites.site_names == ("edge", "core")
+
+    def test_scenario_accepts_dict_form_sites(self):
+        spec = self.scenario(sites=two_sites().to_dict())
+        assert isinstance(spec.sites, MultiSiteSpec)
+
+    def test_scenario_rejects_garbage_sites(self):
+        with pytest.raises((ValueError, TypeError)):
+            self.scenario(sites=42)
+
+    def test_scenario_pickles_with_sites(self):
+        spec = self.scenario()
+        assert pickle.loads(pickle.dumps(spec)) == spec

@@ -118,6 +118,7 @@ class TestSuites:
             "channel.sampling",
             "arrival.generation",
             "stats.extend",
+            "server.processor_sharing",
         }
         assert all(record.ops_per_s > 0 for record in records)
 
@@ -151,7 +152,7 @@ class TestBenchCli:
         assert code == 0
         payload = json.loads((tmp_path / "BENCH_clitest.json").read_text())
         assert payload["label"] == "clitest"
-        assert len(payload["records"]) == 5
+        assert len(payload["records"]) == 6
         out = capsys.readouterr().out
         assert "engine.events" in out
 

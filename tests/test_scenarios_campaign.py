@@ -45,6 +45,44 @@ class TestCampaignRunner:
         with pytest.raises(ValueError, match="duplicate"):
             CampaignRunner(workers=1).run([tiny_spec("dup"), tiny_spec("dup")])
 
+    def test_rejects_unknown_execution_mode(self):
+        with pytest.raises(ValueError, match="execution"):
+            CampaignRunner(execution="warp")
+
+    def test_execution_override_matches_per_spec_batched_runs(self):
+        specs = [tiny_spec("exec-a"), tiny_spec("exec-b")]
+        overridden = CampaignRunner(workers=1, seed=0, execution="batched").run(specs)
+        explicit = CampaignRunner(workers=1, seed=0).run(
+            [spec.with_overrides(execution="batched") for spec in specs]
+        )
+        assert overridden.rows() == explicit.rows()
+
+    def test_execution_none_keeps_spec_modes(self):
+        event_only = CampaignRunner(workers=1, seed=0).run([tiny_spec("keep")])
+        batched = CampaignRunner(workers=1, seed=0, execution="batched").run(
+            [tiny_spec("keep")]
+        )
+        # Same plan, same request population; only the service model differs.
+        assert (
+            event_only.get("keep").requests_total
+            == batched.get("keep").requests_total
+        )
+
+    def test_batched_campaign_covers_multisite_scenarios(self):
+        from repro.scenarios import get_scenario
+
+        specs = [
+            get_scenario(name).with_overrides(
+                users=8, duration_hours=0.25, target_requests=60
+            )
+            for name in ("region-outage-failover", "edge-vs-core")
+        ]
+        campaign = CampaignRunner(workers=1, seed=0, execution="batched").run(specs)
+        assert len(campaign) == 2
+        for result in campaign.results:
+            assert result.is_multisite
+            assert result.requests_total > 0
+
     def test_results_keep_submission_order(self):
         specs = [tiny_spec("c-third"), tiny_spec("a-first"), tiny_spec("b-second")]
         campaign = CampaignRunner(workers=1, seed=0).run(specs)

@@ -17,6 +17,9 @@ class TestScenarioParser:
         assert parser.parse_args(["scenario", "run", "x"]).seed is None
         args = parser.parse_args(["scenario", "campaign", "--workers", "4"])
         assert args.workers == 4
+        assert args.execution is None
+        args = parser.parse_args(["scenario", "campaign", "--execution", "batched"])
+        assert args.execution == "batched"
 
     def test_scenario_without_verb_errors(self):
         with pytest.raises(SystemExit):
@@ -73,3 +76,38 @@ class TestScenarioExecution:
     def test_campaign_unknown_subset_exits_nonzero(self, capsys):
         assert main(["scenario", "campaign", "--only", "ghost"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+    def test_campaign_batched_execution_flag(self, capsys):
+        code = main(
+            [
+                "scenario", "campaign",
+                "--only", "cold-history,region-outage-failover",
+                "--workers", "1",
+                "--execution", "batched",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "cold-history" in output
+        assert "region-outage-failover" in output
+
+    def test_run_multisite_prints_site_table(self, capsys):
+        code = main(
+            [
+                "scenario", "run", "edge-vs-core",
+                "--users", "8", "--hours", "0.25", "--requests", "60",
+                "--execution", "batched",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "edge-vs-core" in output
+        for column in ("site", "cost_usd"):
+            assert column in output
+        assert "edge" in output and "core" in output
+
+    def test_list_shows_site_counts(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "2:failover" in output
+        assert "2:nearest-rtt" in output

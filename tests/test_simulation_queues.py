@@ -141,3 +141,68 @@ class TestProcessorSharingServer:
             server.submit(20.0, lambda s: completions.append(engine.now_ms))
         engine.run()
         assert max(completions) == pytest.approx(200.0)
+
+
+class TestLazyCancellation:
+    """The lazy next-completion rescheduling must preserve exact PS timing."""
+
+    def _server(self, engine, rate=1.0, cores=1):
+        return ProcessorSharingServer(
+            engine, service_rate_per_core=rate, cores=cores, name="lazy"
+        )
+
+    def test_arrival_that_slows_service_keeps_event_and_rearms(self, engine):
+        # One job of 100 units on one core at rate 1: due at t=100.  A second
+        # job arriving at t=50 halves the rate, pushing the first completion
+        # to t=150 — the stale t=100 event must re-arm, not complete early.
+        server = self._server(engine)
+        completions = []
+        server.submit(100.0, lambda s: completions.append(("a", engine.now_ms)))
+        engine.schedule_at(
+            50.0,
+            lambda: server.submit(100.0, lambda s: completions.append(("b", engine.now_ms))),
+        )
+        engine.run()
+        assert completions[0] == ("a", pytest.approx(150.0))
+        assert completions[1] == ("b", pytest.approx(200.0))
+
+    def test_smaller_job_reschedules_earlier(self, engine):
+        # A tiny job arriving mid-service must pull the next completion
+        # earlier than the pending event (the eager-cancel branch).
+        server = self._server(engine, cores=2)
+        completions = []
+        server.submit(100.0, lambda s: completions.append(("big", engine.now_ms)))
+        engine.schedule_at(
+            10.0,
+            lambda: server.submit(5.0, lambda s: completions.append(("small", engine.now_ms))),
+        )
+        engine.run()
+        assert completions[0] == ("small", pytest.approx(15.0))
+        assert completions[1] == ("big", pytest.approx(100.0))
+
+    def test_trajectory_matches_analytic_processor_sharing(self, engine):
+        # Three staggered jobs on one core: the exact PS trajectory is easy
+        # to compute by hand and must be unchanged by lazy rescheduling.
+        server = self._server(engine)
+        done = {}
+        server.submit(30.0, lambda s: done.__setitem__("a", engine.now_ms))
+        engine.schedule_at(
+            10.0, lambda: server.submit(30.0, lambda s: done.__setitem__("b", engine.now_ms))
+        )
+        engine.schedule_at(
+            20.0, lambda: server.submit(30.0, lambda s: done.__setitem__("c", engine.now_ms))
+        )
+        engine.run()
+        # By hand: a runs solo to t=10 (20 left), shares halves to t=20
+        # (a=15, b=25 left), then thirds until a finishes at t=65; b and c
+        # drain to 10 and 15, b finishes at t=85, c solo until t=90.
+        assert done["a"] == pytest.approx(65.0)
+        assert done["b"] == pytest.approx(85.0)
+        assert done["c"] == pytest.approx(90.0)
+
+    def test_idle_server_cancels_pending_event(self, engine):
+        server = self._server(engine)
+        server.submit(10.0, lambda s: None)
+        engine.run()
+        assert server.in_service == 0
+        assert engine.pending_events == 0
