@@ -20,11 +20,14 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional
 
 from repro.cloud.catalog import DEFAULT_CATALOG
 from repro.mobile.device import DEVICE_PROFILES
 from repro.mobile.tasks import DEFAULT_TASK_POOL
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (multisite uses our specs)
+    from repro.multisite.spec import MultiSiteSpec
 
 #: Supported arrival patterns (see :class:`WorkloadSpec`).
 ARRIVAL_PATTERNS = ("uniform", "poisson", "fixed", "flash-crowd", "diurnal", "bursty")
@@ -268,7 +271,14 @@ class PolicySpec:
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """One complete, runnable scenario."""
+    """One complete, runnable scenario.
+
+    When ``sites`` is set the scenario runs as a **multi-site federation**
+    (see :mod:`repro.multisite`): each site brings its own cloud catalog,
+    capacity cap, pricing and access network, and a global broker assigns
+    every request to a site.  The top-level ``cloud`` and ``network``
+    sections are then ignored in favour of the per-site ones.
+    """
 
     name: str
     description: str = ""
@@ -283,6 +293,7 @@ class ScenarioSpec:
     cloud: CloudSpec = field(default_factory=CloudSpec)
     network: NetworkSpec = field(default_factory=NetworkSpec)
     policy: PolicySpec = field(default_factory=PolicySpec)
+    sites: Optional["MultiSiteSpec"] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -310,6 +321,22 @@ class ScenarioSpec:
                 f"target_requests ({self.workload.target_requests}) must be at "
                 f"least the number of users ({self.users})"
             )
+        if self.sites is not None:
+            from repro.multisite.spec import MultiSiteSpec  # deferred: cycle guard
+
+            sites = self.sites
+            if isinstance(sites, Mapping):
+                sites = MultiSiteSpec.from_dict(sites)
+            if not isinstance(sites, MultiSiteSpec):
+                raise ValueError(
+                    f"sites must be a MultiSiteSpec (or its dict form), got {type(sites)!r}"
+                )
+            object.__setattr__(self, "sites", sites)
+
+    @property
+    def is_multisite(self) -> bool:
+        """Whether the scenario runs as a multi-site federation."""
+        return self.sites is not None
 
     @property
     def duration_ms(self) -> float:
