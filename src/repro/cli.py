@@ -23,11 +23,14 @@ commands exit with a nonzero status.
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Sequence
 
 from repro import __version__
+from repro.analysis.metrics import routing_share_rows
 from repro.analysis.reporting import format_table, write_csv
 from repro.experiments import (
     build_reproduction_summary,
@@ -47,12 +50,41 @@ from repro.perf import (
     compare_reports,
     run_benchmarks,
 )
+from repro.multisite.spec import BROKER_POLICIES
 from repro.scenarios import (
     CampaignRunner,
     builtin_specs,
     get_scenario,
     run_scenario,
 )
+
+
+def _invalid_broker(broker: "str | None") -> bool:
+    """Report (on stderr) whether ``broker`` names an unknown policy."""
+    if broker is None or broker in BROKER_POLICIES:
+        return False
+    print(
+        f"error: unknown broker policy {broker!r}; choose from "
+        f"{', '.join(BROKER_POLICIES)}",
+        file=sys.stderr,
+    )
+    return True
+
+
+def _jsonify(value: object) -> object:
+    """Make a result payload strict-JSON safe: NaN/inf metrics become null.
+
+    ``json.dumps`` would otherwise emit the non-standard ``NaN`` token for
+    metrics like a no-success site's mean response time, which strict
+    parsers (jq, JavaScript ``JSON.parse``) reject.
+    """
+    if isinstance(value, dict):
+        return {key: _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, float) and (value != value or value in (float("inf"), float("-inf"))):
+        return None
+    return value
 
 
 def _print_rows(rows: Iterable[Dict[str, object]]) -> None:
@@ -179,11 +211,13 @@ def _cmd_scenario_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_scenario_run(args: argparse.Namespace) -> int:
-    """Run one named scenario and print its metric row."""
+    """Run one named scenario and print its metric row (or JSON)."""
     try:
         spec = get_scenario(args.name)
     except KeyError as error:
         print(str(error.args[0]), file=sys.stderr)
+        return 2
+    if _invalid_broker(args.broker):
         return 2
     try:
         spec = spec.with_overrides(
@@ -191,17 +225,30 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
             duration_hours=args.hours,
             target_requests=args.requests,
             execution=args.execution,
+            broker=args.broker,
         )
         result = run_scenario(spec, seed=args.seed)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.json:
+        payload = _jsonify(dataclasses.asdict(result))
+        print(json.dumps(payload, indent=2))
+        return 0
     print(format_table(result.rows()))
     if result.is_multisite:
         print()
         print(format_table(result.site_rows()))
+        if result.slot_site_requests:
+            print()
+            print(format_table(routing_share_rows(
+                result.slot_site_requests,
+                [site.name for site in result.sites],
+            )))
         if result.requests_unrouted:
             print(f"unrouted requests (no site available): {result.requests_unrouted}")
+        if result.requests_spilled:
+            print(f"requests spilled across sites: {result.requests_spilled}")
     return 0
 
 
@@ -215,7 +262,11 @@ def _cmd_scenario_campaign(args: argparse.Namespace) -> int:
             return 2
     else:
         specs = builtin_specs()
+    if _invalid_broker(args.broker):
+        return 2
     try:
+        if args.broker:
+            specs = [spec.with_overrides(broker=args.broker) for spec in specs]
         runner = CampaignRunner(
             workers=args.workers, seed=args.seed, execution=args.execution
         )
@@ -380,6 +431,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--execution", default=None, choices=("event", "batched"),
         help="execution mode (batched = vectorised fast path)",
     )
+    scenario_run.add_argument(
+        "--broker", default=None,
+        help="override the federation broker policy (multi-site scenarios "
+        "only; e.g. dynamic-load)",
+    )
+    scenario_run.add_argument(
+        "--json", action="store_true",
+        help="print the full result as JSON (per-site rows, spillover and "
+        "per-slot routing fields included)",
+    )
     scenario_run.set_defaults(handler=_cmd_scenario_run)
 
     scenario_campaign = scenario_sub.add_parser(
@@ -396,6 +457,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--execution", default=None, choices=("event", "batched"),
         help="override every scenario's execution mode "
         "(batched = whole campaign on the vectorised fast path)",
+    )
+    scenario_campaign.add_argument(
+        "--broker", default=None,
+        help="override every selected scenario's federation broker policy "
+        "(all selected scenarios must be multi-site)",
     )
     scenario_campaign.add_argument(
         "--csv", default="", help="also write the comparison table to this CSV path"

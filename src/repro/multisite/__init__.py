@@ -11,7 +11,10 @@ global broker that assigns every request to a site.
   :class:`MultiSiteSpec` (the sites plus the broker policy).
 * :mod:`repro.multisite.broker` — deterministic request→site assignment
   under the ``nearest-rtt`` / ``cheapest`` / ``weighted-load`` / ``failover``
-  policies, with outage-aware availability segments.
+  policies (plan-time pre-partition, with outage-aware availability
+  segments) and the ``dynamic-load`` :class:`DynamicBroker` that re-brokers
+  inside the slot loop from live per-site backlog, with optional cross-site
+  spillover.
 * :mod:`repro.multisite.federation` — one serving stack per site.
 * :mod:`repro.multisite.runner` — the end-to-end executor for both the
   event and the batched (per-site Lindley recursion) execution modes.
@@ -27,6 +30,9 @@ Quick start
 from repro.multisite.broker import (
     UNROUTED,
     BrokeredPlan,
+    DynamicBroker,
+    SiteLoadState,
+    StaticSlotBroker,
     assign_home_sites,
     availability_segments,
     broker_assign,
@@ -49,18 +55,23 @@ from repro.multisite.spec import (
     MultiSiteSpec,
     OutageWindow,
     SiteSpec,
+    SpilloverSpec,
 )
 
 __all__ = [
     "BROKER_POLICIES",
     "UNROUTED",
     "BrokeredPlan",
+    "DynamicBroker",
     "Federation",
     "FederationMetrics",
     "MultiSiteSpec",
     "OutageWindow",
+    "SiteLoadState",
     "SiteRuntime",
     "SiteSpec",
+    "SpilloverSpec",
+    "StaticSlotBroker",
     "assign_home_sites",
     "availability_segments",
     "broker_assign",

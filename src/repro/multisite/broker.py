@@ -1,16 +1,14 @@
 """Global request brokering across federation sites.
 
-The broker is the thin global layer of the federation: given one scenario's
-pre-drawn :class:`~repro.scenarios.plan.RequestPlan` it assigns every request
-to a site *before* execution starts, as plain numpy arrays.  Both the event
-and the batched executor then consume the same site partition, which makes
-the two modes comparable by construction (site assignment is never part of
-the queueing approximation).
+The broker is the thin global layer of the federation.  It comes in two
+shapes, both deterministic (no RNG draw ever decides a site):
 
-Assignment is deterministic: it depends only on the spec, the arrival times
-and the user→home-site mapping, never on an RNG draw.  Outage windows split
-the run into availability segments; within each segment the policy picks
-among the available sites:
+**Plan-time pre-partition** (``nearest-rtt`` / ``cheapest`` /
+``weighted-load`` / ``failover``): given one scenario's pre-drawn
+:class:`~repro.scenarios.plan.RequestPlan`, :func:`broker_assign` assigns
+every request to a site *before* execution starts, as plain numpy arrays.
+Outage windows split the run into availability segments; within each segment
+the policy picks among the available sites:
 
 * ``nearest-rtt``   — per home site, the available site with the lowest
   expected RTT (serving site's mean access RTT + WAN penalty).
@@ -21,19 +19,34 @@ among the available sites:
   segments so long-run shares match the weights.
 * ``failover``      — the first available site in declaration order.
 
-Requests arriving while *no* site is available are marked unrouted
-(site id ``-1``) and dropped at the broker.
+**Slot-loop dynamic brokering** (``dynamic-load``): the
+:class:`DynamicBroker` defers assignment to the control-slot boundaries of
+the run.  At every boundary it reads each site's *live* state — the serving
+rate of the fleet the autoscaler actually built, the broker's fluid backlog
+estimate, outage status — and re-weights the round-robin for the next slot
+(declared weight × free-capacity fraction).  With a
+:class:`~repro.multisite.spec.SpilloverSpec` it additionally re-brokers
+mid-slot: once a site's queued work exceeds its spill budget, overflow
+requests divert to the cheapest/nearest available site that still has room,
+with the WAN penalty re-applied for the new serving site.
+
+Both executors drive the same broker object through the same
+slot-boundary step, so site assignment is identical across execution modes
+by construction (it is never part of the queueing approximation).  Requests
+arriving while *no* site is available are marked unrouted (site id ``-1``)
+and dropped at the broker.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.multisite.federation import build_site_catalog
-from repro.multisite.spec import MultiSiteSpec, SiteSpec
+from repro.multisite.spec import MultiSiteSpec, SiteSpec, SpilloverSpec
+from repro.scenarios.plan import RequestPlan
 
 #: Site id of a request no site could accept.
 UNROUTED = -1
@@ -218,3 +231,362 @@ def broker_assign(
     if routed.any():
         extra[routed] = penalty[home[user_ids[routed]], site_ids[routed]]
     return BrokeredPlan(site_ids=site_ids, extra_rtt_ms=extra, home_site_of_user=home)
+
+
+# ---------------------------------------------------------------------------
+# Slot-loop brokering (live-state protocol + dynamic policy)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SiteLoadState:
+    """One site's live state as seen by the broker at a slot boundary.
+
+    This is the per-round state-exchange record of the federation: the
+    executors publish it through the shared slot-boundary step and the
+    dynamic broker bases every routing decision of the next slot on it.
+    ``backlog_work_units`` and ``in_flight_requests`` are the broker's own
+    fluid estimates (offered work minus fleet drain), which keeps the two
+    execution modes byte-identical: both consume the same snapshots in the
+    same order, so routing can never diverge through queueing noise.
+    """
+
+    site_index: int
+    available: bool
+    capacity_work_per_ms: float
+    backlog_work_units: float
+    in_flight_requests: float
+    remaining_instance_cap: int
+    admission_capacity_requests: int = 0
+
+
+class StaticSlotBroker:
+    """Slot-loop adapter over a plan-time :class:`BrokeredPlan`.
+
+    The static policies keep their pre-partition semantics (and their exact
+    historical RNG draw order), but expose the same per-slot interface as
+    :class:`DynamicBroker` so both executors run one code path: each
+    ``broker_slot`` call just locates the slot window and records the
+    routing share realised by the fixed partition.
+    """
+
+    samples_network = False
+    is_dynamic = False
+
+    def __init__(
+        self, *, plan: RequestPlan, brokered: BrokeredPlan, site_count: int
+    ) -> None:
+        self._arrival_ms = plan.arrival_ms
+        self._site_count = int(site_count)
+        self.site_ids = brokered.site_ids
+        self.extra_rtt_ms = brokered.extra_rtt_ms
+        self.home_site_of_user = brokered.home_site_of_user
+        self.spilled = np.zeros(len(plan), dtype=bool)
+        self.requests_spilled = 0
+        self.slot_site_requests: List[np.ndarray] = []
+        self.slot_spilled: List[int] = []
+        self.load_history: List[Tuple[SiteLoadState, ...]] = []
+
+    def broker_slot(
+        self,
+        start_ms: float,
+        end_ms: float,
+        *,
+        capacity_work_per_ms: Optional[np.ndarray] = None,
+        remaining_instance_cap: Optional[np.ndarray] = None,
+    ) -> Tuple[int, int]:
+        """Locate the slot window; assignment happened at plan time."""
+        i0, i1 = np.searchsorted(self._arrival_ms, [start_ms, end_ms], side="left")
+        window = self.site_ids[i0:i1]
+        routed = window[window >= 0]
+        self.slot_site_requests.append(
+            np.bincount(routed, minlength=self._site_count)
+        )
+        self.slot_spilled.append(0)
+        return int(i0), int(i1)
+
+    def as_brokered_plan(self) -> BrokeredPlan:
+        return BrokeredPlan(
+            site_ids=self.site_ids,
+            extra_rtt_ms=self.extra_rtt_ms,
+            home_site_of_user=self.home_site_of_user,
+        )
+
+
+class DynamicBroker:
+    """Load-aware in-slot broker with cross-site spillover (``dynamic-load``).
+
+    Unlike the plan-time policies this broker assigns requests slot by slot:
+    at each control-slot boundary the executors hand it the live per-site
+    serving rates (the fleets the autoscalers actually built) and it
+
+    1. drains its fluid backlog estimate by what each fleet could serve
+       since the previous boundary,
+    2. re-weights the round-robin for the upcoming slot — each site's
+       declared broker weight is scaled by its free-capacity fraction
+       ``max(slot_capacity − backlog, 0) / slot_capacity`` — so congested
+       sites shed traffic proportionally to how far behind they are, and
+    3. (with spillover enabled) walks the slot's requests in arrival order
+       against a continuously draining fluid queue per site and re-brokers
+       every request that would push a site's projected in-flight count past
+       ``queue_limit_fraction`` of its live admission capacity — the level
+       at which the site would start rejecting — to the cheapest/nearest
+       available site whose queue still has room, re-applying the WAN
+       penalty for the new serving site.
+
+    Assignment depends only on the spec, the plan and the capacity
+    snapshots — never on an RNG draw — and both executors call
+    ``broker_slot`` exactly once per slot in the same order, so the event
+    and batched modes produce identical per-slot routing by construction.
+    """
+
+    samples_network = True
+    is_dynamic = True
+
+    def __init__(
+        self,
+        *,
+        plan: RequestPlan,
+        users: int,
+        federation: MultiSiteSpec,
+        duration_ms: float,
+        access_rtt_ms: Sequence[float],
+    ) -> None:
+        sites = federation.sites
+        count = len(plan)
+        self.spec = federation
+        self.sites = sites
+        self.plan = plan
+        self.duration_ms = float(duration_ms)
+        self.site_ids = np.full(count, UNROUTED, dtype=np.int64)
+        self.extra_rtt_ms = np.zeros(count, dtype=float)
+        self.spilled = np.zeros(count, dtype=bool)
+        self.home_site_of_user = assign_home_sites(users, sites)
+        self.penalty = wan_penalty_matrix(sites)
+        self.access = np.asarray(access_rtt_ms, dtype=float)
+        if self.access.size != len(sites):
+            raise ValueError(
+                f"need one access RTT per site, got {self.access.size} "
+                f"for {len(sites)} sites"
+            )
+        self.price = site_price_scores(sites)
+        self.declared_weights = np.asarray(
+            [site.broker_weight for site in sites], dtype=float
+        )
+        self.spillover: Optional[SpilloverSpec] = federation.spillover
+        # Spill preference: a ranked row of candidate sites per home site
+        # (nearest-rtt) or one global row (cheapest).
+        if self.spillover is not None and self.spillover.prefer == "cheapest":
+            order = np.argsort(self.price, kind="stable").astype(np.int64)
+            self._spill_rank = np.tile(order, (len(sites), 1))
+        else:
+            rtt = self.access[None, :] + self.penalty  # (home, site)
+            self._spill_rank = np.argsort(rtt, axis=1, kind="stable").astype(np.int64)
+        self._segments = availability_segments(sites, self.duration_ms)
+        self._mean_work = float(np.mean(plan.work_units)) if count else 1.0
+        # Fluid live-state: queued work and queued request count per site,
+        # drained by the capacity that was current during the elapsed
+        # interval.
+        self.backlog_work = np.zeros(len(sites), dtype=float)
+        self.backlog_requests = np.zeros(len(sites), dtype=float)
+        self._drain_capacity = np.zeros(len(sites), dtype=float)
+        self._last_boundary_ms = 0.0
+        self.requests_spilled = 0
+        self.slot_site_requests: List[np.ndarray] = []
+        self.slot_spilled: List[int] = []
+        self.load_history: List[Tuple[SiteLoadState, ...]] = []
+
+    # -- live-state protocol -------------------------------------------------
+
+    def _snapshot(
+        self,
+        available: np.ndarray,
+        capacity: np.ndarray,
+        remaining_cap: np.ndarray,
+        admission_capacity: np.ndarray,
+    ) -> Tuple[SiteLoadState, ...]:
+        states = tuple(
+            SiteLoadState(
+                site_index=index,
+                available=bool(available[index]),
+                capacity_work_per_ms=float(capacity[index]),
+                backlog_work_units=float(self.backlog_work[index]),
+                in_flight_requests=float(self.backlog_requests[index]),
+                remaining_instance_cap=int(remaining_cap[index]),
+                admission_capacity_requests=int(admission_capacity[index]),
+            )
+            for index in range(len(self.sites))
+        )
+        self.load_history.append(states)
+        return states
+
+    def _slot_weights(
+        self, available: np.ndarray, slot_capacity_work: np.ndarray
+    ) -> np.ndarray:
+        """Round-robin weights for one slot: declared weight × free fraction."""
+        free = np.maximum(slot_capacity_work - self.backlog_work, 0.0)
+        congestion = np.divide(
+            free,
+            slot_capacity_work,
+            out=np.zeros_like(free),
+            where=slot_capacity_work > 0,
+        )
+        for candidate in (
+            self.declared_weights * congestion,
+            slot_capacity_work,
+            self.declared_weights,
+        ):
+            weights = np.where(available, candidate, 0.0)
+            if weights.sum() > 0:
+                return weights
+        return np.where(available, 1.0, 0.0)
+
+    # -- the slot-boundary step ----------------------------------------------
+
+    def broker_slot(
+        self,
+        start_ms: float,
+        end_ms: float,
+        *,
+        capacity_work_per_ms: Optional[np.ndarray] = None,
+        remaining_instance_cap: Optional[np.ndarray] = None,
+        admission_capacity: Optional[np.ndarray] = None,
+    ) -> Tuple[int, int]:
+        """Assign the requests arriving in ``[start_ms, end_ms)`` to sites."""
+        if capacity_work_per_ms is None:
+            raise ValueError("the dynamic broker needs a live capacity snapshot")
+        site_count = len(self.sites)
+        capacity = np.asarray(capacity_work_per_ms, dtype=float)
+        if remaining_instance_cap is None:
+            remaining_cap = np.zeros(site_count, dtype=np.int64)
+        else:
+            remaining_cap = np.asarray(remaining_instance_cap, dtype=np.int64)
+        if admission_capacity is None:
+            admission = np.zeros(site_count, dtype=np.int64)
+        else:
+            admission = np.asarray(admission_capacity, dtype=np.int64)
+        arrival = self.plan.arrival_ms
+        i0, i1 = np.searchsorted(arrival, [start_ms, end_ms], side="left")
+        i0, i1 = int(i0), int(i1)
+        slot_len = end_ms - start_ms
+        if slot_len <= 0:
+            raise ValueError(f"empty slot [{start_ms}, {end_ms})")
+
+        # 1. drain the backlog with the capacity of the elapsed interval.
+        elapsed = start_ms - self._last_boundary_ms
+        if elapsed > 0:
+            self.backlog_work = np.maximum(
+                self.backlog_work - self._drain_capacity * elapsed, 0.0
+            )
+            self.backlog_requests = np.maximum(
+                self.backlog_requests
+                - self._drain_capacity * elapsed / self._mean_work,
+                0.0,
+            )
+        self._last_boundary_ms = start_ms
+        self._drain_capacity = capacity
+
+        slot_capacity_work = capacity * slot_len
+        slot_available = np.asarray(
+            [site.available_at(start_ms, self.duration_ms) for site in self.sites],
+            dtype=bool,
+        )
+        self._snapshot(slot_available, capacity, remaining_cap, admission)
+
+        # 2. re-weight the round-robin for this slot.
+        spilled_this_slot = 0
+        counts = np.zeros(site_count, dtype=float)
+        used_work = np.zeros(site_count, dtype=float)
+        used_requests = np.zeros(site_count, dtype=float)
+        if self.spillover is not None:
+            queue_limit = self.spillover.queue_limit_fraction * admission.astype(float)
+            drain_rate = capacity / self._mean_work  # requests per ms
+        else:
+            queue_limit = None
+            drain_rate = None
+
+        for seg_start, seg_end, available in self._segments:
+            lo = max(int(np.searchsorted(arrival, max(seg_start, start_ms), side="left")), i0)
+            hi = min(int(np.searchsorted(arrival, min(seg_end, end_ms), side="left")), i1)
+            if hi <= lo:
+                continue
+            if not available.any():
+                continue  # stays UNROUTED
+            weights = self._slot_weights(available, slot_capacity_work)
+            routable = available & (weights > 0)
+            if not routable.any():
+                continue
+            proposals = _weighted_round_robin(counts, weights, routable, hi - lo)
+
+            # 3. mid-slot spillover: divert overflow off saturated sites.
+            # Each site runs a fluid queue that drains continuously at the
+            # fleet's serving rate; a request that would push its site's
+            # projected in-flight count past the admission-derived limit is
+            # re-brokered to the preferred site whose queue has room.
+            if queue_limit is not None:
+                work = self.plan.work_units[lo:hi]
+                homes = self.home_site_of_user[self.plan.user_ids[lo:hi]]
+                elapsed_in_slot = arrival[lo:hi] - start_ms
+
+                def projected_queue(site: int, t_rel: float) -> float:
+                    return max(
+                        0.0,
+                        self.backlog_requests[site]
+                        + used_requests[site]
+                        - drain_rate[site] * t_rel,
+                    )
+
+                for k in range(proposals.size):
+                    site = int(proposals[k])
+                    t_rel = float(elapsed_in_slot[k])
+                    if projected_queue(site, t_rel) + 1.0 <= queue_limit[site]:
+                        used_requests[site] += 1.0
+                        used_work[site] += float(work[k])
+                        continue
+                    for candidate in self._spill_rank[int(homes[k])]:
+                        candidate = int(candidate)
+                        if candidate == site or not available[candidate]:
+                            continue
+                        if projected_queue(candidate, t_rel) + 1.0 <= queue_limit[candidate]:
+                            proposals[k] = candidate
+                            used_requests[candidate] += 1.0
+                            used_work[candidate] += float(work[k])
+                            self.spilled[lo + k] = True
+                            spilled_this_slot += 1
+                            break
+                    else:
+                        # Federation-wide overload: nowhere to spill to.
+                        used_requests[site] += 1.0
+                        used_work[site] += float(work[k])
+            else:
+                used_requests += np.bincount(proposals, minlength=site_count)
+                used_work += np.bincount(
+                    proposals,
+                    weights=self.plan.work_units[lo:hi],
+                    minlength=site_count,
+                )
+            self.site_ids[lo:hi] = proposals
+
+        # 4. settle the window: WAN penalties, backlog, routing shares.
+        window_sites = self.site_ids[i0:i1]
+        routed = np.flatnonzero(window_sites >= 0) + i0
+        if routed.size:
+            self.extra_rtt_ms[routed] = self.penalty[
+                self.home_site_of_user[self.plan.user_ids[routed]],
+                self.site_ids[routed],
+            ]
+        self.backlog_work += used_work
+        self.backlog_requests += used_requests
+        served = window_sites[window_sites >= 0]
+        self.slot_site_requests.append(np.bincount(served, minlength=site_count))
+        self.slot_spilled.append(spilled_this_slot)
+        self.requests_spilled += spilled_this_slot
+        return i0, i1
+
+    def as_brokered_plan(self) -> BrokeredPlan:
+        """The realised assignment in plan-time form (for rollups and tests)."""
+        return BrokeredPlan(
+            site_ids=self.site_ids,
+            extra_rtt_ms=self.extra_rtt_ms,
+            home_site_of_user=self.home_site_of_user,
+        )

@@ -89,6 +89,42 @@ class SiteRuntime:
         """The site's provisioning bill so far (running instances included)."""
         return self.provisioner.total_cost(include_running=True)
 
+    def capacity_work_per_ms(self) -> float:
+        """Serving rate of the currently running fleet, in work units per ms.
+
+        One core of an instance retires ``speed_factor`` work units per
+        millisecond (the batched executor's service model); summing over the
+        fleet gives the site's fluid-limit capacity — the live signal the
+        ``dynamic-load`` broker re-weights routing with at slot boundaries.
+        """
+        rate = 0.0
+        for instances in self.backend.groups.values():
+            for instance in instances:
+                if not instance.is_running:
+                    continue
+                profile = instance.instance_type.profile
+                cores = max(int(round(profile.effective_cores)), 1)
+                rate += cores * profile.speed_factor
+        return rate
+
+    def remaining_instance_cap(self) -> int:
+        """How many more instances this site's account cap still allows."""
+        return max(self.spec.cloud.instance_cap - self.provisioner.running_count, 0)
+
+    def admission_capacity_requests(self) -> int:
+        """Concurrent requests the running fleet admits before rejecting.
+
+        The sum of the per-instance admission limits — the live saturation
+        ceiling the dynamic broker's spillover guard keeps its in-flight
+        estimate below.
+        """
+        total = 0
+        for instances in self.backend.groups.values():
+            for instance in instances:
+                if instance.is_running:
+                    total += int(instance.admission_limit)
+        return total
+
     def sample_utilization(self, in_service_at) -> "tuple[float, float]":
         """Record one core-occupancy sample over the site's running fleet.
 
@@ -228,6 +264,25 @@ class Federation:
         return np.asarray(
             [site.channel.access_model.mean_rtt_ms() for site in self.sites],
             dtype=float,
+        )
+
+    def capacity_snapshot(self) -> np.ndarray:
+        """Live per-site serving rate (work units per ms) of the current fleets.
+
+        Both executors hand this to the dynamic broker at every slot
+        boundary, *after* the previous boundary's autoscaling actions — the
+        broker therefore chases the fleet the autoscalers actually built,
+        not the forecast the plan-time partition would have used.
+        """
+        return np.asarray(
+            [site.capacity_work_per_ms() for site in self.sites], dtype=float
+        )
+
+    def admission_snapshot(self) -> np.ndarray:
+        """Live per-site admission capacity (concurrent requests before drops)."""
+        return np.asarray(
+            [site.admission_capacity_requests() for site in self.sites],
+            dtype=np.int64,
         )
 
 

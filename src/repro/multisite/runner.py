@@ -14,12 +14,18 @@ model plus the WAN penalty, and then drives the plan through either
   (:func:`repro.scenarios.batched.serve_slot_requests`) with one instance
   state table per site.
 
-Both executors consume the same brokered plan, so site assignment, arrivals,
-work, RTTs and jitter are identical across modes; only the documented
-single-site queueing approximations differ.  The control plane is fully
-per-site: each site's adaptive model observes only the requests that site
-served and its autoscaler re-shapes only that site's fleet, at the same slot
-boundaries in both modes.
+Both executors consult the same broker object through one shared
+slot-boundary step (:func:`run_slot_brokering`): static policies keep their
+plan-time pre-partition (served slot by slot through a
+:class:`~repro.multisite.broker.StaticSlotBroker` adapter) while the
+``dynamic-load`` policy re-brokers every slot from live per-site state and
+optionally spills overflow across sites mid-slot
+(:class:`~repro.multisite.broker.DynamicBroker`).  Either way site
+assignment, arrivals, work, RTTs and jitter are identical across modes;
+only the documented single-site queueing approximations differ.  The
+control plane is fully per-site: each site's adaptive model observes only
+the requests that site served and its autoscaler re-shapes only that site's
+fleet, at the same slot boundaries in both modes.
 
 Requests that arrive while no site is available (federation-wide outage) are
 dropped at the broker: they fail back to the device immediately at arrival
@@ -37,7 +43,13 @@ import numpy as np
 from repro.mobile.device import DEVICE_PROFILES, MobileDevice
 from repro.mobile.moderator import Moderator
 from repro.mobile.tasks import DEFAULT_TASK_POOL
-from repro.multisite.broker import UNROUTED, BrokeredPlan, broker_assign
+from repro.multisite.broker import (
+    UNROUTED,
+    BrokeredPlan,
+    DynamicBroker,
+    StaticSlotBroker,
+    broker_assign,
+)
 from repro.multisite.federation import Federation, SiteRuntime, build_federation
 from repro.scenarios.batched import (
     DRAIN_MARGIN_MS,
@@ -113,6 +125,54 @@ def sample_network_for_sites(
     return plan.with_network(t1, t2)
 
 
+def run_slot_brokering(
+    slot_broker,
+    *,
+    plan: RequestPlan,
+    federation: Federation,
+    start_ms: float,
+    end_ms: float,
+) -> "tuple[int, int]":
+    """The single slot-boundary brokering step both executors call.
+
+    For the static policies this merely locates the slot window (assignment
+    happened at plan time).  For the dynamic broker it publishes the live
+    per-site state — the serving rate and remaining instance headroom of the
+    fleets as the autoscalers left them at the previous boundary — lets the
+    broker assign the slot's requests (including mid-slot spillover), and
+    then samples each routed request's T1/T2 from its *serving* site's
+    channel, WAN penalty applied on top.  Sampling happens here, in slot
+    order and per site in federation order, so both execution modes consume
+    exactly the same draws from the same named streams.
+    """
+    if slot_broker.is_dynamic:
+        i0, i1 = slot_broker.broker_slot(
+            start_ms,
+            end_ms,
+            capacity_work_per_ms=federation.capacity_snapshot(),
+            remaining_instance_cap=np.asarray(
+                [site.remaining_instance_cap() for site in federation],
+                dtype=np.int64,
+            ),
+            admission_capacity=federation.admission_snapshot(),
+        )
+    else:
+        i0, i1 = slot_broker.broker_slot(start_ms, end_ms)
+    if slot_broker.samples_network and i1 > i0:
+        hours = (plan.arrival_ms[i0:i1] / 3_600_000.0) % 24.0
+        window_sites = slot_broker.site_ids[i0:i1]
+        for site in federation:
+            picks = np.flatnonzero(window_sites == site.index)
+            if picks.size == 0:
+                continue
+            plan.t1_ms[i0 + picks] = site.channel.sample_t1_many(hours[picks])
+            plan.t2_ms[i0 + picks] = site.channel.sample_t2_many(hours[picks])
+        routed = np.flatnonzero(window_sites >= 0)
+        if routed.size:
+            plan.t1_ms[i0 + routed] += slot_broker.extra_rtt_ms[i0 + routed]
+    return i0, i1
+
+
 # ---------------------------------------------------------------------------
 # Event executor
 # ---------------------------------------------------------------------------
@@ -122,7 +182,7 @@ def execute_event_multisite(
     *,
     spec: ScenarioSpec,
     plan: RequestPlan,
-    brokered: BrokeredPlan,
+    slot_broker,
     engine: SimulationEngine,
     federation: Federation,
     devices: Dict[int, MobileDevice],
@@ -152,7 +212,43 @@ def execute_event_multisite(
         return callback
 
     task_name = task.name
-    site_ids = brokered.site_ids
+    site_ids = slot_broker.site_ids
+
+    # --- slot-boundary brokering + per-site provisioning control loops ------
+    # Scheduling order matters at equal timestamps (the engine heap is FIFO
+    # per timestamp): the brokering step for slot k+1 must observe the fleet
+    # *after* slot k's scaling actions, and every arrival inside a slot must
+    # find its window already brokered.  Interleaving broker(k) / scale(k)
+    # per period and scheduling submissions afterwards yields exactly the
+    # batched executor's boundary ordering: scale(k) → broker(k+1) →
+    # arrivals of slot k+1.
+    for period in range(1, spec.periods + 1):
+        period_start = (period - 1) * slot_ms
+        period_end = min(period * slot_ms, duration_ms)
+
+        def _broker(start: float = period_start, end: float = period_end) -> None:
+            run_slot_brokering(
+                slot_broker,
+                plan=plan,
+                federation=federation,
+                start_ms=start,
+                end_ms=end,
+            )
+
+        engine.schedule_at(period_start, _broker, label=f"multisite:broker-{period}")
+        for site in federation:
+
+            def _scale(
+                site: SiteRuntime = site,
+                start: float = period_start,
+                end: float = period_end,
+            ) -> None:
+                site.autoscaler.run_period_end(site.accelerator.trace_log, start, end)
+
+            engine.schedule_at(
+                period_end, _scale, label=f"multisite:scale-{site.name}-{period}"
+            )
+
     for index in range(len(plan)):
 
         def _submit(index: int = index) -> None:
@@ -182,23 +278,6 @@ def execute_event_multisite(
             )
 
         engine.schedule_at(float(plan.arrival_ms[index]), _submit, label="multisite:request")
-
-    # --- per-site provisioning control loops --------------------------------
-    for period in range(1, spec.periods + 1):
-        period_start = (period - 1) * slot_ms
-        period_end = min(period * slot_ms, duration_ms)
-        for site in federation:
-
-            def _scale(
-                site: SiteRuntime = site,
-                start: float = period_start,
-                end: float = period_end,
-            ) -> None:
-                site.autoscaler.run_period_end(site.accelerator.trace_log, start, end)
-
-            engine.schedule_at(
-                period_end, _scale, label=f"multisite:scale-{site.name}-{period}"
-            )
 
     # --- utilization sampling (federation-wide and per site) ----------------
     utilization_samples: List[float] = []
@@ -262,7 +341,7 @@ def execute_batched_multisite(
     *,
     spec: ScenarioSpec,
     plan: RequestPlan,
-    brokered: BrokeredPlan,
+    slot_broker,
     engine: SimulationEngine,
     federation: Federation,
     devices: Dict[int, MobileDevice],
@@ -322,9 +401,7 @@ def execute_batched_multisite(
             utilization_samples.append(busy / cores_total)
 
     arrival = plan.arrival_ms
-    uplink = plan.uplink_ms
-    downlink = plan.downlink_ms
-    site_ids = brokered.site_ids
+    site_ids = slot_broker.site_ids
 
     requests_total = 0
     dropped_total = 0
@@ -335,14 +412,24 @@ def execute_batched_multisite(
     for period in range(1, spec.periods + 1):
         start = (period - 1) * slot_ms
         end = min(period * slot_ms, duration_ms)
-        i0, i1 = np.searchsorted(arrival, [start, end], side="left")
+        # The slot-boundary brokering step runs first, against the fleet the
+        # previous boundary's scaling actions left behind — the dynamic
+        # broker assigns this window (and samples its network draws) here,
+        # between slot-sized Lindley passes.
+        i0, i1 = run_slot_brokering(
+            slot_broker, plan=plan, federation=federation, start_ms=start, end_ms=end
+        )
         count = int(i1 - i0)
         uids = plan.user_ids[i0:i1]
         t1 = plan.t1_ms[i0:i1]
         t2 = plan.t2_ms[i0:i1]
         routing = plan.routing_ms[i0:i1]
-        dispatch = arrival[i0:i1] + uplink[i0:i1]
-        dlink = downlink[i0:i1]
+        # Uplink/downlink derive from T1/T2, which the dynamic broker only
+        # fills at this slot's boundary — compute them per window, not from
+        # the whole-plan properties.
+        half_hops = (t1 + t2) / 2.0
+        dispatch = arrival[i0:i1] + half_hops + routing
+        dlink = half_hops
         work = plan.work_units[i0:i1]
         jitter = plan.jitter_z[i0:i1]
         window_sites = site_ids[i0:i1]
@@ -510,17 +597,31 @@ def run_multisite_scenario(spec: ScenarioSpec, *, seed: int = 0) -> ScenarioResu
         rng_routing=rng_routing,
         rng_jitter=streams.stream("scenario-jitter"),
     )
-    brokered = broker_assign(
-        arrival_ms=plan.arrival_ms,
-        user_ids=plan.user_ids,
-        users=spec.users,
-        federation=spec.sites,
-        duration_ms=duration_ms,
-        access_rtt_ms=federation.mean_access_rtt_ms(),
-    )
-    plan = sample_network_for_sites(
-        plan=plan, brokered=brokered, federation=federation
-    )
+    if spec.sites.policy == "dynamic-load":
+        # Brokering (and per-site network sampling) happens inside the slot
+        # loop: the executors call run_slot_brokering at every boundary.
+        slot_broker = DynamicBroker(
+            plan=plan,
+            users=spec.users,
+            federation=spec.sites,
+            duration_ms=duration_ms,
+            access_rtt_ms=federation.mean_access_rtt_ms(),
+        )
+    else:
+        brokered = broker_assign(
+            arrival_ms=plan.arrival_ms,
+            user_ids=plan.user_ids,
+            users=spec.users,
+            federation=spec.sites,
+            duration_ms=duration_ms,
+            access_rtt_ms=federation.mean_access_rtt_ms(),
+        )
+        plan = sample_network_for_sites(
+            plan=plan, brokered=brokered, federation=federation
+        )
+        slot_broker = StaticSlotBroker(
+            plan=plan, brokered=brokered, site_count=len(spec.sites.sites)
+        )
 
     # --- devices (homed per site, shared moderators) -------------------------
     profile_names = sorted(spec.devices.weights)
@@ -536,7 +637,7 @@ def run_multisite_scenario(spec: ScenarioSpec, *, seed: int = 0) -> ScenarioResu
         chosen = profile_names[
             int(rng_devices.choice(len(profile_names), p=probabilities))
         ]
-        home = federation.site(int(brokered.home_site_of_user[user_id]))
+        home = federation.site(int(slot_broker.home_site_of_user[user_id]))
         devices[user_id] = MobileDevice(
             user_id=user_id,
             profile=DEVICE_PROFILES[chosen],
@@ -552,7 +653,7 @@ def run_multisite_scenario(spec: ScenarioSpec, *, seed: int = 0) -> ScenarioResu
         metrics = execute_batched_multisite(
             spec=spec,
             plan=plan,
-            brokered=brokered,
+            slot_broker=slot_broker,
             engine=engine,
             federation=federation,
             devices=devices,
@@ -564,7 +665,7 @@ def run_multisite_scenario(spec: ScenarioSpec, *, seed: int = 0) -> ScenarioResu
         metrics = execute_event_multisite(
             spec=spec,
             plan=plan,
-            brokered=brokered,
+            slot_broker=slot_broker,
             engine=engine,
             federation=federation,
             devices=devices,
@@ -583,6 +684,14 @@ def run_multisite_scenario(spec: ScenarioSpec, *, seed: int = 0) -> ScenarioResu
         )
     else:
         mean_ms = p50 = p95 = p99 = float("nan")
+
+    site_count = len(spec.sites.sites)
+    spilled_mask = slot_broker.spilled
+    spilled_in = (
+        np.bincount(slot_broker.site_ids[spilled_mask], minlength=site_count)
+        if np.any(spilled_mask)
+        else np.zeros(site_count, dtype=np.int64)
+    )
 
     accuracies: List[float] = []
     predictions_total = 0
@@ -616,6 +725,7 @@ def run_multisite_scenario(spec: ScenarioSpec, *, seed: int = 0) -> ScenarioResu
                     if site.utilization_samples
                     else 0.0
                 ),
+                requests_spilled_in=int(spilled_in[site.index]),
             )
         )
 
@@ -645,5 +755,10 @@ def run_multisite_scenario(spec: ScenarioSpec, *, seed: int = 0) -> ScenarioResu
         promoted_users=sum(1 for device in devices.values() if device.promotions),
         promotions=sum(len(device.promotions) for device in devices.values()),
         requests_unrouted=metrics.requests_unrouted,
+        requests_spilled=int(slot_broker.requests_spilled),
+        slot_site_requests=tuple(
+            tuple(int(count) for count in row)
+            for row in slot_broker.slot_site_requests
+        ),
         sites=tuple(site_results),
     )

@@ -45,7 +45,21 @@ from repro.scenarios.spec import CloudSpec, NetworkSpec
 #:   round-robin (weights default to each site's instance cap).
 #: * ``failover`` — all requests go to the first available site in declaration
 #:   order (primary/secondary/... with automatic failover).
-BROKER_POLICIES = ("nearest-rtt", "cheapest", "weighted-load", "failover")
+#: * ``dynamic-load`` — weighted round-robin whose weights are recomputed at
+#:   every control-slot boundary from live per-site state (queue backlog,
+#:   serving capacity of the current fleet, outage status), optionally with
+#:   mid-slot spillover (:class:`SpilloverSpec`).  Brokering happens inside
+#:   the slot loop instead of as a pre-partition of the whole plan.
+BROKER_POLICIES = (
+    "nearest-rtt",
+    "cheapest",
+    "weighted-load",
+    "failover",
+    "dynamic-load",
+)
+
+#: Spillover target preferences (see :class:`SpilloverSpec`).
+SPILLOVER_PREFERENCES = ("nearest-rtt", "cheapest")
 
 
 @dataclass(frozen=True)
@@ -68,6 +82,37 @@ class OutageWindow:
     def contains(self, t_ms: float, duration_ms: float) -> bool:
         """Whether simulated time ``t_ms`` falls inside the window."""
         return self.start * duration_ms <= t_ms < self.end * duration_ms
+
+
+@dataclass(frozen=True)
+class SpilloverSpec:
+    """Cross-site spillover knobs of the ``dynamic-load`` broker.
+
+    A site *saturates* once the broker's live in-flight estimate — queued
+    plus in-service requests, drained continuously at the fleet's serving
+    rate — would exceed ``queue_limit_fraction`` of the site's admission
+    capacity (the summed per-instance admission limits of its running
+    fleet, i.e. the level at which the site starts rejecting).  Requests
+    the weighted round-robin would have sent there are re-brokered mid-slot
+    to the ``prefer``-ranked available site whose own queue still has room,
+    with the WAN penalty re-applied for the new serving site.  When no
+    other site has room the request stays at its original site
+    (federation-wide overload spills nowhere).
+    """
+
+    queue_limit_fraction: float = 0.8
+    prefer: str = "nearest-rtt"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.queue_limit_fraction <= 1.0:
+            raise ValueError(
+                "queue_limit_fraction must be in (0, 1], got "
+                f"{self.queue_limit_fraction}"
+            )
+        if self.prefer not in SPILLOVER_PREFERENCES:
+            raise ValueError(
+                f"prefer must be one of {SPILLOVER_PREFERENCES}, got {self.prefer!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -116,10 +161,17 @@ class SiteSpec:
 
 @dataclass(frozen=True)
 class MultiSiteSpec:
-    """The federation: the sites plus the global broker policy."""
+    """The federation: the sites, the global broker policy, spillover knobs.
+
+    ``spillover`` only takes effect under the ``dynamic-load`` policy (the
+    static pre-partitioning policies never see live backlog, so they have no
+    saturation signal to spill on); setting it with any other policy is
+    rejected at construction time.
+    """
 
     sites: Tuple[SiteSpec, ...]
     policy: str = "nearest-rtt"
+    spillover: Optional[SpilloverSpec] = None
 
     def __post_init__(self) -> None:
         sites = tuple(
@@ -137,6 +189,15 @@ class MultiSiteSpec:
             )
         if all(site.population_share == 0 for site in sites):
             raise ValueError("at least one site needs a positive population_share")
+        spillover = self.spillover
+        if spillover is not None and not isinstance(spillover, SpilloverSpec):
+            spillover = SpilloverSpec(**spillover)
+        if spillover is not None and self.policy != "dynamic-load":
+            raise ValueError(
+                "spillover requires the dynamic-load policy, "
+                f"got policy {self.policy!r}"
+            )
+        object.__setattr__(self, "spillover", spillover)
         object.__setattr__(self, "sites", sites)
 
     def __len__(self) -> int:
@@ -179,4 +240,5 @@ class MultiSiteSpec:
                 )
             sites.append(SiteSpec(**site))
         data["sites"] = tuple(sites)
+        # spillover dicts are coerced by MultiSiteSpec.__post_init__.
         return cls(**data)

@@ -32,7 +32,7 @@ failure mode of the edit-distance predictor / ILP allocator pipeline:
     barely) reaches prediction and the autoscaler falls back to reactive
     provisioning — the paper's "bootstrap time" caveat, isolated.
 
-Four **multi-site federation** scenarios exercise the global broker
+Six **multi-site federation** scenarios exercise the global broker
 (:mod:`repro.multisite`) on top of per-site adaptive models:
 
 ``region-outage-failover``
@@ -47,6 +47,14 @@ Four **multi-site federation** scenarios exercise the global broker
 ``edge-vs-core``
     A small edge site in front of a big core site under ``nearest-rtt``:
     edge-homed users stay local, the rest backhaul to the core.
+``hotspot-spillover``
+    A misweighted tiny site receives 4× its fair share under static
+    weights; ``dynamic-load`` brokering with mid-slot spillover drains the
+    overflow to the big site before admission control starts dropping.
+``load-chase``
+    A mid-run outage forces all traffic onto a small standby site;
+    ``dynamic-load`` re-weighting (no spillover) shifts traffic back to the
+    recovered primary while the standby's backlog drains.
 
 Scenarios registered here (or via :func:`register_scenario`) are addressable
 by name from the CLI (``repro-accel scenario run <name>``) and the campaign
@@ -57,7 +65,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.multisite.spec import MultiSiteSpec, OutageWindow, SiteSpec
+from repro.multisite.spec import MultiSiteSpec, OutageWindow, SiteSpec, SpilloverSpec
 from repro.scenarios.spec import (
     CloudSpec,
     DeviceMixSpec,
@@ -362,6 +370,74 @@ register_scenario(
                 ),
             ),
             policy="nearest-rtt",
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="hotspot-spillover",
+        description="4x-misweighted tiny hotspot site: dynamic-load brokering "
+        "plus mid-slot spillover drains the overflow before admission drops",
+        users=60,
+        duration_hours=0.25,
+        slot_minutes=7.5,
+        task_name="bubblesort",
+        workload=WorkloadSpec(pattern="uniform", target_requests=14_000),
+        # Single-group sites keep the broker's fleet-capacity signal exact:
+        # every request is eligible for every instance of its site.
+        sites=MultiSiteSpec(
+            sites=(
+                SiteSpec(
+                    name="hotspot",
+                    cloud=CloudSpec(group_types={1: "t2.nano"}, instance_cap=2),
+                    wan_rtt_ms=5.0,
+                    weight=4.0,
+                    population_share=2.0,
+                ),
+                SiteSpec(
+                    name="overflow",
+                    cloud=CloudSpec(group_types={1: "t2.medium"}, instance_cap=12),
+                    wan_rtt_ms=30.0,
+                    weight=1.0,
+                    population_share=1.0,
+                ),
+            ),
+            policy="dynamic-load",
+            spillover=SpilloverSpec(queue_limit_fraction=0.8, prefer="nearest-rtt"),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="load-chase",
+        description="mid-run primary outage under dynamic-load re-weighting: "
+        "traffic chases the recovered fleet while the standby's backlog drains",
+        users=50,
+        duration_hours=0.5,
+        slot_minutes=7.5,
+        task_name="bubblesort",
+        workload=WorkloadSpec(pattern="uniform", target_requests=24_000),
+        sites=MultiSiteSpec(
+            sites=(
+                SiteSpec(
+                    name="primary",
+                    cloud=CloudSpec(group_types={1: "t2.medium"}, instance_cap=12),
+                    wan_rtt_ms=8.0,
+                    weight=3.0,
+                    population_share=2.0,
+                    outages=(OutageWindow(start=0.25, end=0.5),),
+                ),
+                SiteSpec(
+                    name="standby",
+                    cloud=CloudSpec(group_types={1: "t2.nano"}, instance_cap=1),
+                    wan_rtt_ms=25.0,
+                    weight=1.0,
+                    population_share=1.0,
+                ),
+            ),
+            policy="dynamic-load",
         ),
     )
 )

@@ -72,6 +72,29 @@ class SiteResult:
     scaling_actions: int
     predictions: int
     mean_utilization: float
+    requests_spilled_in: int = 0
+
+    @classmethod
+    def zero(cls, name: str) -> "SiteResult":
+        """An explicit all-zero result for a site that served no request.
+
+        The multi-site runner itself always emits one (fully populated) row
+        per federation site, including sites the broker never picked; this
+        constructor is for callers assembling their own row lists for
+        :func:`repro.analysis.metrics.federation_rollup`, which requires an
+        explicit row per site rather than silently dropped empties.
+        """
+        return cls(
+            name=name,
+            requests_total=0,
+            requests_dropped=0,
+            mean_response_ms=float("nan"),
+            p95_response_ms=float("nan"),
+            allocation_cost_usd=0.0,
+            scaling_actions=0,
+            predictions=0,
+            mean_utilization=0.0,
+        )
 
     @property
     def drop_rate(self) -> float:
@@ -89,6 +112,7 @@ class SiteResult:
             "site": self.name,
             "requests": self.requests_total,
             "drop_rate_pct": round(100.0 * self.drop_rate, 2),
+            "spilled_in": self.requests_spilled_in,
             "mean_ms": cell(self.mean_response_ms, 1),
             "p95_ms": cell(self.p95_response_ms, 1),
             "cost_usd": round(self.allocation_cost_usd, 3),
@@ -127,10 +151,32 @@ class ScenarioResult:
     promoted_users: int
     promotions: int
     requests_unrouted: int = 0
+    requests_spilled: int = 0
+    slot_site_requests: Tuple[Tuple[int, ...], ...] = ()
     sites: Tuple[SiteResult, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sites", tuple(self.sites))
+        object.__setattr__(
+            self,
+            "slot_site_requests",
+            tuple(tuple(row) for row in self.slot_site_requests),
+        )
+
+    def slot_routing_shares(self) -> Tuple[Tuple[float, ...], ...]:
+        """Per-slot fraction of routed requests each site received.
+
+        Empty slots yield all-zero rows; single-site runs yield ``()``.
+        The dynamic-broker parity suite compares these across execution
+        modes — they must match exactly under a shared seed.
+        """
+        shares = []
+        for row in self.slot_site_requests:
+            total = sum(row)
+            shares.append(
+                tuple(count / total for count in row) if total else tuple(0.0 for _ in row)
+            )
+        return tuple(shares)
 
     @property
     def drop_rate(self) -> float:
@@ -182,6 +228,7 @@ class ScenarioResult:
             "cost_usd": round(self.allocation_cost_usd, 3),
             "utilization_pct": round(100.0 * self.mean_utilization, 1),
             "promoted_users": self.promoted_users,
+            "spilled": self.requests_spilled,
         }
 
     def rows(self) -> List[Dict[str, object]]:

@@ -359,11 +359,27 @@ class ScenarioSpec:
         target_requests: Optional[int] = None,
         seed: Optional[int] = None,
         execution: Optional[str] = None,
+        broker: Optional[str] = None,
     ) -> "ScenarioSpec":
-        """A copy with the common CLI-level knobs replaced."""
+        """A copy with the common CLI-level knobs replaced.
+
+        ``broker`` replaces the federation's routing policy (the CLI's
+        ``--broker`` flag) and is only valid for multi-site scenarios.
+        Overriding a spillover-enabled federation to a non-dynamic policy
+        drops the spillover knobs (static policies cannot spill).
+        """
         workload = self.workload
         if target_requests is not None:
             workload = dataclasses.replace(workload, target_requests=target_requests)
+        sites = self.sites
+        if broker is not None:
+            if sites is None:
+                raise ValueError(
+                    f"scenario {self.name!r} is single-site: --broker only "
+                    "applies to scenarios with a sites: section"
+                )
+            spillover = sites.spillover if broker == "dynamic-load" else None
+            sites = dataclasses.replace(sites, policy=broker, spillover=spillover)
         return dataclasses.replace(
             self,
             users=users if users is not None else self.users,
@@ -373,6 +389,7 @@ class ScenarioSpec:
             seed=seed if seed is not None else self.seed,
             execution=execution if execution is not None else self.execution,
             workload=workload,
+            sites=sites,
         )
 
     def to_dict(self) -> Dict[str, Any]:

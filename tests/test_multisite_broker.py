@@ -11,7 +11,7 @@ from repro.multisite.broker import (
     site_price_scores,
     wan_penalty_matrix,
 )
-from repro.multisite.spec import MultiSiteSpec, OutageWindow, SiteSpec
+from repro.multisite.spec import MultiSiteSpec, OutageWindow, SiteSpec, SpilloverSpec
 from repro.scenarios.spec import CloudSpec
 
 
@@ -201,3 +201,116 @@ class TestWanPenalty:
         federation = make_sites()
         with pytest.raises(ValueError, match="one access RTT per site"):
             assign(federation, access=[40.0])
+
+
+class TestDynamicBroker:
+    """Unit tests for the slot-loop broker against synthetic live state."""
+
+    def make_broker(self, *, spillover=None, weights=(1.0, 1.0), outages=((), ())):
+        from repro.multisite.broker import DynamicBroker
+        from repro.scenarios.plan import RequestPlan
+
+        federation = MultiSiteSpec(
+            sites=(
+                SiteSpec(name="a", cloud=CloudSpec(group_types={1: "t2.nano"}),
+                         wan_rtt_ms=5.0, weight=weights[0], outages=outages[0]),
+                SiteSpec(name="b", cloud=CloudSpec(group_types={1: "t2.nano"}),
+                         wan_rtt_ms=30.0, weight=weights[1], outages=outages[1]),
+            ),
+            policy="dynamic-load",
+            spillover=spillover,
+        )
+        count = 200
+        plan = RequestPlan(
+            arrival_ms=np.linspace(0.0, 100_000.0, count, endpoint=False),
+            user_ids=np.arange(count) % 10,
+            work_units=np.full(count, 350.0),
+            jitter_z=np.zeros(count),
+            t1_ms=np.zeros(count),
+            t2_ms=np.zeros(count),
+            routing_ms=np.zeros(count),
+        )
+        broker = DynamicBroker(
+            plan=plan,
+            users=10,
+            federation=federation,
+            duration_ms=100_000.0,
+            access_rtt_ms=[40.0, 40.0],
+        )
+        return plan, broker
+
+    def slot(self, broker, start, end, capacity, admission=(1000, 1000)):
+        return broker.broker_slot(
+            start, end,
+            capacity_work_per_ms=np.asarray(capacity, dtype=float),
+            remaining_instance_cap=np.zeros(2, dtype=np.int64),
+            admission_capacity=np.asarray(admission, dtype=np.int64),
+        )
+
+    def test_requires_capacity_snapshot(self):
+        _, broker = self.make_broker()
+        with pytest.raises(ValueError, match="capacity snapshot"):
+            broker.broker_slot(0.0, 50_000.0)
+
+    def test_equal_weights_equal_capacity_split_evenly(self):
+        _, broker = self.make_broker()
+        self.slot(broker, 0.0, 100_000.0, (2.0, 2.0))
+        counts = broker.slot_site_requests[0]
+        assert abs(int(counts[0]) - int(counts[1])) <= 1
+
+    def test_reweighting_follows_backlog(self):
+        # Slot 1 loads both sites evenly; before slot 2, site a's capacity
+        # collapses so its backlog persists and its weight shrinks.
+        _, broker = self.make_broker()
+        self.slot(broker, 0.0, 50_000.0, (0.2, 2.0))
+        first = broker.slot_site_requests[0]
+        self.slot(broker, 50_000.0, 100_000.0, (0.2, 2.0))
+        second = broker.slot_site_requests[1]
+        # a's fluid backlog exceeds what 0.2 wu/ms clears, so its share drops.
+        assert second[0] < first[0]
+        assert second[1] > first[1]
+        states = broker.load_history[1]
+        assert states[0].backlog_work_units > 0.0
+        assert states[0].in_flight_requests > 0.0
+
+    def test_spillover_diverts_overflow_to_site_with_room(self):
+        _, broker = self.make_broker(
+            spillover=SpilloverSpec(queue_limit_fraction=0.5), weights=(10.0, 1.0)
+        )
+        # Site a keeps its declared 10:1 weight (no backlog yet) but only
+        # admits 20 concurrent requests -> queue limit 10; site b has room.
+        self.slot(broker, 0.0, 100_000.0, (0.5, 5.0), admission=(20, 1000))
+        counts = broker.slot_site_requests[0]
+        assert broker.requests_spilled > 0
+        # Site a keeps at most its queue limit plus what its fleet drains
+        # over the slot (0.5 wu/ms × 100 s / 350 wu ≈ 143 requests).
+        assert int(counts[0]) <= 10 + int(0.5 * 100_000.0 / 350.0) + 1
+        spilled_sites = broker.site_ids[broker.spilled]
+        assert np.all(spilled_sites == 1)
+        # Spilled requests pay the WAN penalty of their new serving site.
+        homes = broker.home_site_of_user[
+            np.asarray([uid % 10 for uid in np.flatnonzero(broker.spilled)])
+        ]
+        assert np.all(broker.extra_rtt_ms[broker.spilled][homes == 0] == 35.0)
+
+    def test_no_spill_when_every_site_is_saturated(self):
+        _, broker = self.make_broker(spillover=SpilloverSpec(queue_limit_fraction=0.5))
+        self.slot(broker, 0.0, 100_000.0, (0.0, 0.0), admission=(4, 4))
+        # Nowhere has room: requests stay at their proposed site, unspilled.
+        assert broker.requests_spilled == 0
+        assert int(broker.slot_site_requests[0].sum()) == 200
+
+    def test_outage_segments_respected_inside_slot(self):
+        outage = (OutageWindow(start=0.5, end=1.0),)
+        plan, broker = self.make_broker(outages=(outage, ()))
+        self.slot(broker, 0.0, 100_000.0, (2.0, 2.0))
+        late = plan.arrival_ms >= 50_000.0
+        assert np.all(broker.site_ids[late] == 1)
+        assert np.any(broker.site_ids[~late] == 0)
+
+    def test_as_brokered_plan_round_trips(self):
+        plan, broker = self.make_broker()
+        self.slot(broker, 0.0, 100_000.0, (2.0, 2.0))
+        view = broker.as_brokered_plan()
+        assert view.indices_for_site(0).size + view.indices_for_site(1).size \
+            + view.unrouted.size == len(plan)

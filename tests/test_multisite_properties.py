@@ -1,0 +1,261 @@
+"""Property-based broker invariants (hypothesis + seeded scenario grid).
+
+Three contracts of the federation broker are pinned here over randomly
+generated federations, plans and capacity sequences:
+
+1. **Conservation** — every request is routed to exactly one site or marked
+   unrouted; spilled requests are routed requests (they count against their
+   final serving site), never a third state.
+2. **Outage safety** — no request is ever routed to a site whose outage
+   window covers its arrival time; requests arriving while no site is
+   available are unrouted.
+3. **Spill discipline** — a spilled request's target site is never over its
+   admission-derived queue limit: replaying the broker's fluid queue over
+   the realised assignment shows room for every spill at its admission
+   instant.
+
+The unit-level properties drive :class:`DynamicBroker` directly with
+synthetic plans and capacity snapshots; the scenario-level grid runs whole
+federations through the batched executor and checks the same conservation
+laws on the reported metrics.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multisite.broker import UNROUTED, DynamicBroker
+from repro.multisite.spec import MultiSiteSpec, OutageWindow, SiteSpec, SpilloverSpec
+from repro.scenarios import run_scenario
+from repro.scenarios.plan import RequestPlan
+from repro.scenarios.spec import CloudSpec, PolicySpec, ScenarioSpec, WorkloadSpec
+
+DURATION_MS = 400_000.0
+SLOT_MS = 100_000.0
+USERS = 12
+
+
+def build_plan(rng: np.random.Generator, count: int) -> RequestPlan:
+    arrivals = np.sort(rng.uniform(0.0, DURATION_MS, size=count))
+    return RequestPlan(
+        arrival_ms=arrivals,
+        user_ids=rng.integers(0, USERS, size=count),
+        work_units=rng.uniform(100.0, 600.0, size=count),
+        jitter_z=np.zeros(count),
+        t1_ms=np.zeros(count),
+        t2_ms=np.zeros(count),
+        routing_ms=np.zeros(count),
+    )
+
+
+@st.composite
+def federations(draw):
+    site_count = draw(st.integers(min_value=2, max_value=4))
+    spill = draw(st.booleans())
+    sites = []
+    for index in range(site_count):
+        outages = ()
+        if draw(st.booleans()):
+            # Quarter-aligned windows so availability edges are exact.
+            start = draw(st.sampled_from([0.25, 0.5]))
+            end = draw(st.sampled_from([0.75, 1.0]))
+            outages = (OutageWindow(start=start, end=end),)
+        sites.append(
+            SiteSpec(
+                name=f"s{index}",
+                cloud=CloudSpec(group_types={1: "t2.nano"}, instance_cap=4),
+                wan_rtt_ms=float(draw(st.integers(min_value=0, max_value=60))),
+                weight=float(draw(st.integers(min_value=1, max_value=8))),
+                population_share=float(draw(st.integers(min_value=1, max_value=4))),
+                outages=outages,
+            )
+        )
+    spillover = None
+    if spill:
+        spillover = SpilloverSpec(
+            queue_limit_fraction=draw(st.sampled_from([0.25, 0.5, 0.8, 1.0])),
+            prefer=draw(st.sampled_from(["nearest-rtt", "cheapest"])),
+        )
+    return MultiSiteSpec(sites=tuple(sites), policy="dynamic-load", spillover=spillover)
+
+
+def drive_broker(federation: MultiSiteSpec, seed: int, count: int):
+    """Run a synthetic plan through the dynamic broker, returning everything."""
+    rng = np.random.default_rng(seed)
+    plan = build_plan(rng, count)
+    site_count = len(federation.sites)
+    broker = DynamicBroker(
+        plan=plan,
+        users=USERS,
+        federation=federation,
+        duration_ms=DURATION_MS,
+        access_rtt_ms=[40.0] * site_count,
+    )
+    capacities = []
+    admissions = []
+    boundaries = np.arange(0.0, DURATION_MS, SLOT_MS)
+    for start in boundaries:
+        capacity = rng.uniform(0.5, 8.0, size=site_count)
+        admission = rng.integers(50, 240, size=site_count)
+        broker.broker_slot(
+            float(start),
+            float(start + SLOT_MS),
+            capacity_work_per_ms=capacity,
+            remaining_instance_cap=np.zeros(site_count, dtype=np.int64),
+            admission_capacity=admission,
+        )
+        capacities.append(capacity)
+        admissions.append(admission)
+    return plan, broker, capacities, admissions
+
+
+class TestBrokerInvariants:
+    @settings(max_examples=30, deadline=None, derandomize=True)
+    @given(federation=federations(), seed=st.integers(min_value=0, max_value=2**31))
+    def test_every_request_routed_once_or_unrouted(self, federation, seed):
+        plan, broker, _, _ = drive_broker(federation, seed, count=180)
+        site_count = len(federation.sites)
+        assert np.all(broker.site_ids >= UNROUTED)
+        assert np.all(broker.site_ids < site_count)
+        routed = int(np.count_nonzero(broker.site_ids >= 0))
+        unrouted = int(np.count_nonzero(broker.site_ids == UNROUTED))
+        assert routed + unrouted == len(plan)
+        # Per-slot routing shares account for exactly the routed requests.
+        assert sum(int(row.sum()) for row in broker.slot_site_requests) == routed
+        # Spilled requests are routed requests, counted once.
+        assert broker.requests_spilled == int(broker.spilled.sum())
+        assert np.all(broker.site_ids[broker.spilled] >= 0)
+        if federation.spillover is None:
+            assert broker.requests_spilled == 0
+
+    @settings(max_examples=30, deadline=None, derandomize=True)
+    @given(federation=federations(), seed=st.integers(min_value=0, max_value=2**31))
+    def test_no_routing_into_an_outage_window(self, federation, seed):
+        plan, broker, _, _ = drive_broker(federation, seed, count=180)
+        for index in range(len(plan)):
+            site_id = int(broker.site_ids[index])
+            arrival = float(plan.arrival_ms[index])
+            if site_id == UNROUTED:
+                assert not any(
+                    site.available_at(arrival, DURATION_MS)
+                    for site in federation.sites
+                ), f"request {index} unrouted although a site was available"
+            else:
+                assert federation.sites[site_id].available_at(arrival, DURATION_MS), (
+                    f"request {index} routed into an outage of site {site_id}"
+                )
+
+    @settings(max_examples=30, deadline=None, derandomize=True)
+    @given(federation=federations(), seed=st.integers(min_value=0, max_value=2**31))
+    def test_spillover_never_targets_a_site_over_cap(self, federation, seed):
+        if federation.spillover is None:
+            federation = dataclasses.replace(
+                federation, spillover=SpilloverSpec(queue_limit_fraction=0.5)
+            )
+        plan, broker, capacities, admissions = drive_broker(federation, seed, count=180)
+        fraction = federation.spillover.queue_limit_fraction
+        site_count = len(federation.sites)
+        mean_work = float(np.mean(plan.work_units))
+        # Shadow replay of the broker's fluid queues over the realised
+        # assignment: every spilled request must have found room at its
+        # target at its own admission instant.
+        backlog = np.zeros(site_count)
+        for slot, start in enumerate(np.arange(0.0, DURATION_MS, SLOT_MS)):
+            capacity = capacities[slot]
+            drain_rate = capacity / mean_work
+            limit = fraction * admissions[slot]
+            if slot > 0:
+                backlog = np.maximum(
+                    backlog - capacities[slot - 1] * SLOT_MS / mean_work, 0.0
+                )
+            lo, hi = np.searchsorted(plan.arrival_ms, [start, start + SLOT_MS])
+            used = np.zeros(site_count)
+            for k in range(int(lo), int(hi)):
+                site = int(broker.site_ids[k])
+                if site < 0:
+                    continue
+                t_rel = float(plan.arrival_ms[k] - start)
+                if broker.spilled[k]:
+                    queue = max(0.0, backlog[site] + used[site] - drain_rate[site] * t_rel)
+                    assert queue + 1.0 <= limit[site] + 1e-9, (
+                        f"spill into site {site} at request {k} exceeded its "
+                        f"queue limit ({queue + 1.0} > {limit[site]})"
+                    )
+                used[site] += 1.0
+            backlog = backlog + used
+
+
+def grid_spec(policy_spillover, execution="batched") -> ScenarioSpec:
+    policy, spillover = policy_spillover
+    sites = MultiSiteSpec(
+        sites=(
+            SiteSpec(
+                name="small",
+                cloud=CloudSpec(group_types={1: "t2.nano"}, instance_cap=2),
+                wan_rtt_ms=5.0,
+                weight=3.0,
+                population_share=2.0,
+            ),
+            SiteSpec(
+                name="large",
+                cloud=CloudSpec(group_types={1: "t2.medium"}, instance_cap=8),
+                wan_rtt_ms=30.0,
+                weight=1.0,
+                population_share=1.0,
+            ),
+        ),
+        policy=policy,
+        spillover=spillover,
+    )
+    return ScenarioSpec(
+        name="property-grid",
+        users=20,
+        duration_hours=0.25,
+        slot_minutes=7.5,
+        task_name="bubblesort",
+        execution=execution,
+        workload=WorkloadSpec(pattern="uniform", target_requests=6000),
+        policy=PolicySpec(promotion="static", promotion_probability=0.0),
+        sites=sites,
+    )
+
+
+class TestScenarioGridInvariants:
+    """The same conservation laws, end to end through the batched executor."""
+
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    @pytest.mark.parametrize(
+        "policy_spillover",
+        [
+            ("dynamic-load", None),
+            ("dynamic-load", SpilloverSpec(queue_limit_fraction=0.5)),
+            ("weighted-load", None),
+        ],
+        ids=["dynamic", "dynamic-spill", "static"],
+    )
+    def test_request_conservation(self, seed, policy_spillover):
+        result = run_scenario(grid_spec(policy_spillover), seed=seed)
+        assert (
+            sum(site.requests_total for site in result.sites)
+            + result.requests_unrouted
+            == result.requests_total
+        )
+        assert sum(site.requests_spilled_in for site in result.sites) == (
+            result.requests_spilled
+        )
+        # The broker saw at least every recorded request.
+        brokered = sum(sum(row) for row in result.slot_site_requests)
+        assert brokered >= sum(site.requests_total for site in result.sites)
+        if policy_spillover[1] is None and policy_spillover[0] != "dynamic-load":
+            assert result.requests_spilled == 0
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_slot_shares_normalise(self, seed):
+        result = run_scenario(grid_spec(("dynamic-load", None)), seed=seed)
+        shares = result.slot_routing_shares()
+        assert len(shares) == len(result.slot_site_requests)
+        for row in shares:
+            assert sum(row) == pytest.approx(1.0) or sum(row) == 0.0

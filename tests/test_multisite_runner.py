@@ -14,8 +14,9 @@ import math
 import pytest
 
 from repro.analysis.metrics import federation_rollup
-from repro.multisite.spec import MultiSiteSpec, OutageWindow, SiteSpec
+from repro.multisite.spec import MultiSiteSpec, OutageWindow, SiteSpec, SpilloverSpec
 from repro.scenarios import get_scenario, run_scenario
+from repro.scenarios.runner import SiteResult
 from repro.scenarios.spec import (
     CloudSpec,
     NetworkSpec,
@@ -29,6 +30,8 @@ MULTISITE_BUILTINS = (
     "cross-region-flash-crowd",
     "price-arbitrage",
     "edge-vs-core",
+    "hotspot-spillover",
+    "load-chase",
 )
 
 
@@ -255,6 +258,135 @@ class TestBuiltinMultisiteScenarios:
         assert result.site("edge").requests_total > result.site("core").requests_total > 0
 
 
+def dynamic_spec(spillover=None, **overrides) -> ScenarioSpec:
+    """A saturating two-site federation under the dynamic-load broker."""
+    sites = MultiSiteSpec(
+        sites=(
+            SiteSpec(
+                name="hot",
+                cloud=CloudSpec(group_types={1: "t2.nano"}, instance_cap=2),
+                wan_rtt_ms=5.0,
+                weight=4.0,
+                population_share=2.0,
+            ),
+            SiteSpec(
+                name="cold",
+                cloud=CloudSpec(group_types={1: "t2.medium"}, instance_cap=12),
+                wan_rtt_ms=30.0,
+                weight=1.0,
+            ),
+        ),
+        policy="dynamic-load",
+        spillover=spillover,
+    )
+    defaults = dict(
+        name="ms-dynamic",
+        users=30,
+        duration_hours=0.25,
+        slot_minutes=7.5,
+        task_name="bubblesort",
+        workload=WorkloadSpec(pattern="uniform", target_requests=14_000),
+        policy=PolicySpec(promotion="static", promotion_probability=0.0),
+        sites=sites,
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestDynamicBrokerParity:
+    """Event-vs-batched agreement for the slot-loop broker.
+
+    The dynamic broker's decisions depend only on the plan and the capacity
+    snapshots both executors publish at the same boundaries, so per-slot
+    routing (and spill) must match *exactly* under a shared seed; response
+    times carry the usual FCFS-vs-processor-sharing tolerances (mirrors
+    ``TestSaturationParity``).
+    """
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    @pytest.mark.parametrize(
+        "spillover",
+        [None, SpilloverSpec(queue_limit_fraction=0.8)],
+        ids=["reweight-only", "with-spillover"],
+    )
+    def test_per_slot_routing_identical(self, seed, spillover):
+        event, batched = run_both(dynamic_spec(spillover), seed)
+        assert event.slot_site_requests == batched.slot_site_requests
+        assert event.slot_routing_shares() == batched.slot_routing_shares()
+        assert event.requests_spilled == batched.requests_spilled
+        assert event.requests_total == batched.requests_total
+        assert [s.requests_total for s in event.sites] == [
+            s.requests_total for s in batched.sites
+        ]
+        assert [s.requests_spilled_in for s in event.sites] == [
+            s.requests_spilled_in for s in batched.sites
+        ]
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_response_metrics_within_tolerance(self, seed):
+        event, batched = run_both(
+            dynamic_spec(SpilloverSpec(queue_limit_fraction=0.8)), seed
+        )
+        assert abs(event.drop_rate - batched.drop_rate) <= 0.02
+        assert batched.mean_response_ms == pytest.approx(
+            event.mean_response_ms, rel=0.10
+        )
+        assert batched.p95_response_ms == pytest.approx(
+            event.p95_response_ms, rel=0.15
+        )
+        assert event.scaling_actions == batched.scaling_actions
+
+    def test_spillover_actually_fires_under_saturation(self):
+        result = run_scenario(
+            dynamic_spec(SpilloverSpec(queue_limit_fraction=0.8), execution="batched"),
+            seed=0,
+        )
+        assert result.requests_spilled > 0
+        assert result.site("cold").requests_spilled_in == result.requests_spilled
+        assert result.site("hot").requests_spilled_in == 0
+
+    def test_hotspot_spillover_acceptance_criterion(self):
+        """``--broker dynamic-load`` halves the saturated site's drop rate.
+
+        The registered hotspot-spillover scenario against the same spec
+        overridden to static weighted-load brokering (equal total capacity,
+        spillover knobs dropped by the override), verified in both
+        execution modes.
+        """
+        spec = get_scenario("hotspot-spillover")
+        static_spec = spec.with_overrides(broker="weighted-load")
+        for execution in ("event", "batched"):
+            dynamic = run_scenario(
+                spec.with_overrides(execution=execution), seed=0
+            )
+            static = run_scenario(
+                static_spec.with_overrides(execution=execution), seed=0
+            )
+            hot_static = static.site("hotspot").drop_rate
+            hot_dynamic = dynamic.site("hotspot").drop_rate
+            assert hot_static > 0.05, "hotspot must actually saturate"
+            assert hot_dynamic <= 0.5 * hot_static, (
+                f"{execution}: dynamic {hot_dynamic:.3f} vs static {hot_static:.3f}"
+            )
+            assert dynamic.requests_spilled > 0
+            assert static.requests_spilled == 0
+
+    def test_load_chase_reweights_after_outage(self):
+        """Re-weighting shifts traffic off the congested standby post-outage."""
+        result = run_scenario(
+            get_scenario("load-chase").with_overrides(execution="batched"), seed=0
+        )
+        shares = result.slot_routing_shares()
+        assert len(shares) == 4
+        before, outage, after, recovered = (row[0] for row in shares)
+        assert before == pytest.approx(0.75, abs=0.02)
+        assert outage == 0.0  # primary dark
+        # The standby is congested after the outage, so the primary's share
+        # exceeds its declared 3:1 weight until the backlog drains.
+        assert after > before + 0.05
+        assert recovered == pytest.approx(0.75, abs=0.05)
+
+
 class TestFederationRollup:
     def test_rollup_matches_headline_metrics(self):
         result = run_scenario(stochastic_spec(execution="batched"), seed=0)
@@ -267,6 +399,48 @@ class TestFederationRollup:
     def test_rollup_rejects_empty(self):
         with pytest.raises(ValueError):
             federation_rollup([])
+
+    def test_zero_request_site_keeps_an_explicit_row(self):
+        # Regression: a site the broker never picks must still appear as an
+        # explicit zero row, so federation_rollup and
+        # BrokeredPlan.indices_for_site agree on totals — with the zero row
+        # silently dropped, rollup["sites"] undercounts and per-site sums no
+        # longer reach requests_total.
+        spec = get_scenario("price-arbitrage").with_overrides(
+            users=10, duration_hours=0.5, target_requests=150, execution="batched"
+        )
+        result = run_scenario(spec, seed=0)
+        empty = result.site("premium-near")
+        assert empty.requests_total == 0
+        assert len(result.sites) == 2
+        rollup = federation_rollup(result.sites)
+        assert rollup["sites"] == 2.0
+        assert rollup["requests"] == result.requests_total - result.requests_unrouted
+        # The zero row renders as n/a, not NaN, and never skews the mean.
+        assert empty.as_row()["mean_ms"] == "n/a"
+        assert rollup["mean_ms"] == pytest.approx(result.mean_response_ms, rel=0.01)
+
+    def test_site_result_zero_constructor_matches_rollup_contract(self):
+        zero = SiteResult.zero("idle")
+        served = SiteResult(
+            name="busy",
+            requests_total=100,
+            requests_dropped=10,
+            mean_response_ms=500.0,
+            p95_response_ms=900.0,
+            allocation_cost_usd=1.5,
+            scaling_actions=2,
+            predictions=1,
+            mean_utilization=0.4,
+            requests_spilled_in=7,
+        )
+        rollup = federation_rollup([served, zero])
+        assert rollup["sites"] == 2.0
+        assert rollup["requests"] == 100.0
+        assert rollup["spilled"] == 7.0
+        assert rollup["mean_ms"] == pytest.approx(500.0)
+        assert zero.drop_rate == 0.0
+        assert zero.as_row()["requests"] == 0
 
 
 class TestDeterminism:

@@ -9,6 +9,7 @@ from repro.multisite.spec import (
     MultiSiteSpec,
     OutageWindow,
     SiteSpec,
+    SpilloverSpec,
 )
 from repro.scenarios.spec import CloudSpec, NetworkSpec, ScenarioSpec, WorkloadSpec
 
@@ -145,3 +146,83 @@ class TestScenarioSpecIntegration:
     def test_scenario_pickles_with_sites(self):
         spec = self.scenario()
         assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestSpilloverSpec:
+    def dynamic(self, spillover) -> MultiSiteSpec:
+        return MultiSiteSpec(
+            sites=(SiteSpec(name="a"), SiteSpec(name="b")),
+            policy="dynamic-load",
+            spillover=spillover,
+        )
+
+    def test_defaults_validate(self):
+        spec = SpilloverSpec()
+        assert spec.queue_limit_fraction == 0.8
+        assert spec.prefer == "nearest-rtt"
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="queue_limit_fraction"):
+            SpilloverSpec(queue_limit_fraction=0.0)
+        with pytest.raises(ValueError, match="queue_limit_fraction"):
+            SpilloverSpec(queue_limit_fraction=1.5)
+        with pytest.raises(ValueError, match="prefer"):
+            SpilloverSpec(prefer="fastest")
+
+    def test_requires_dynamic_load_policy(self):
+        with pytest.raises(ValueError, match="dynamic-load"):
+            MultiSiteSpec(
+                sites=(SiteSpec(name="a"), SiteSpec(name="b")),
+                policy="weighted-load",
+                spillover=SpilloverSpec(),
+            )
+
+    def test_dict_form_spillover_is_coerced(self):
+        spec = self.dynamic({"queue_limit_fraction": 0.5, "prefer": "cheapest"})
+        assert isinstance(spec.spillover, SpilloverSpec)
+        assert spec.spillover.prefer == "cheapest"
+
+    def test_round_trips_and_pickles(self):
+        spec = self.dynamic(SpilloverSpec(queue_limit_fraction=0.4))
+        rebuilt = MultiSiteSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.spillover.queue_limit_fraction == 0.4
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_dynamic_load_without_spillover_is_valid(self):
+        assert self.dynamic(None).spillover is None
+
+
+class TestBrokerOverride:
+    def test_with_overrides_replaces_policy(self):
+        spec = ScenarioSpec(
+            name="ms",
+            users=10,
+            duration_hours=0.5,
+            workload=WorkloadSpec(pattern="uniform", target_requests=100),
+            sites=two_sites(policy="nearest-rtt"),
+        )
+        assert spec.with_overrides(broker="failover").sites.policy == "failover"
+
+    def test_single_site_scenario_rejects_broker(self):
+        with pytest.raises(ValueError, match="single-site"):
+            ScenarioSpec(name="plain").with_overrides(broker="failover")
+
+    def test_override_to_static_policy_drops_spillover(self):
+        sites = MultiSiteSpec(
+            sites=(SiteSpec(name="a"), SiteSpec(name="b")),
+            policy="dynamic-load",
+            spillover=SpilloverSpec(),
+        )
+        spec = ScenarioSpec(
+            name="ms",
+            users=10,
+            duration_hours=0.5,
+            workload=WorkloadSpec(pattern="uniform", target_requests=100),
+            sites=sites,
+        )
+        overridden = spec.with_overrides(broker="weighted-load")
+        assert overridden.sites.policy == "weighted-load"
+        assert overridden.sites.spillover is None
+        # Re-overriding back to dynamic keeps the original spillover knobs.
+        assert spec.with_overrides(broker="dynamic-load").sites.spillover is not None

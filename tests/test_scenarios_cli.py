@@ -111,3 +111,124 @@ class TestScenarioExecution:
         output = capsys.readouterr().out
         assert "2:failover" in output
         assert "2:nearest-rtt" in output
+
+
+class TestBrokerFlag:
+    def test_unknown_broker_lists_valid_policies(self, capsys):
+        code = main(["scenario", "run", "hotspot-spillover", "--broker", "teleport"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown broker policy 'teleport'" in err
+        assert "dynamic-load" in err and "weighted-load" in err
+
+    def test_broker_on_single_site_scenario_errors(self, capsys):
+        code = main(["scenario", "run", "paper-baseline", "--broker", "dynamic-load"])
+        assert code == 2
+        assert "single-site" in capsys.readouterr().err
+
+    def test_broker_override_runs_multisite_scenario(self, capsys):
+        code = main(
+            [
+                "scenario", "run", "hotspot-spillover",
+                "--broker", "weighted-load",
+                "--users", "8", "--hours", "0.1", "--requests", "300",
+                "--execution", "batched",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "hotspot" in output and "overflow" in output
+        # Multi-site runs print the per-slot routing-share table.
+        assert "share_hotspot" in output and "share_overflow" in output
+
+    def test_campaign_broker_validation(self, capsys):
+        code = main(
+            ["scenario", "campaign", "--only", "load-chase", "--broker", "nope"]
+        )
+        assert code == 2
+        assert "unknown broker policy" in capsys.readouterr().err
+
+    def test_campaign_broker_on_single_site_scenario_errors(self, capsys):
+        code = main(
+            ["scenario", "campaign", "--only", "cold-history",
+             "--broker", "dynamic-load"]
+        )
+        assert code == 2
+        assert "single-site" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    def test_json_includes_spillover_fields(self, capsys):
+        import json as json_module
+
+        code = main(
+            [
+                "scenario", "run", "hotspot-spillover",
+                "--users", "8", "--hours", "0.1", "--requests", "900",
+                "--execution", "batched", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["name"] == "hotspot-spillover"
+        assert "requests_spilled" in payload
+        assert "slot_site_requests" in payload
+        assert isinstance(payload["slot_site_requests"], list)
+        assert {site["name"] for site in payload["sites"]} == {"hotspot", "overflow"}
+        for site in payload["sites"]:
+            assert "requests_spilled_in" in site
+
+    def test_json_is_strict_even_with_nan_metrics(self, capsys):
+        import json as json_module
+
+        # 100 requests over 0.1 h never yields a prediction, so
+        # prediction_accuracy is NaN — the JSON must still be RFC-8259
+        # strict (null, never a bare NaN token).
+        code = main(
+            [
+                "scenario", "run", "paper-baseline",
+                "--users", "5", "--hours", "0.1", "--requests", "100",
+                "--execution", "batched", "--json",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        payload = json_module.loads(output, parse_constant=lambda token: pytest.fail(
+            f"non-strict JSON token {token!r} in --json output"
+        ))
+        assert payload["prediction_accuracy"] is None
+
+    def test_json_round_trips_request_conservation(self, capsys):
+        import json as json_module
+
+        code = main(
+            [
+                "scenario", "run", "load-chase",
+                "--users", "8", "--hours", "0.25", "--requests", "400",
+                "--execution", "batched", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert (
+            sum(site["requests_total"] for site in payload["sites"])
+            + payload["requests_unrouted"]
+            == payload["requests_total"]
+        )
+
+
+class TestCampaignNewScenarios:
+    def test_campaign_covers_dynamic_scenarios_batched(self, capsys):
+        code = main(
+            [
+                "scenario", "campaign",
+                "--only", "hotspot-spillover,load-chase",
+                "--workers", "1",
+                "--execution", "batched",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "hotspot-spillover" in output
+        assert "load-chase" in output
+        assert "spilled" in output
