@@ -112,6 +112,54 @@ def federation_rollup(sites: Sequence[object]) -> Dict[str, float]:
     }
 
 
+def group_rollup_rows(sites: Sequence[object]) -> "list[Dict[str, object]]":
+    """Per-(site, group) request/drop rows plus federation-wide group totals.
+
+    Accepts any objects exposing ``name`` and a ``groups`` sequence of
+    :class:`~repro.scenarios.runner.SiteGroupResult`-shaped entries
+    (``group``, ``requests_total``, ``requests_dropped``).  One row per
+    site and requesting acceleration group, in (site, group) order,
+    followed by one ``site="*"`` summary row per group — the cohort-level
+    view that shows a broker starving one promotion level even when the
+    fleet-wide drop rate looks healthy.  Sites without per-group data
+    (single-group legacy results) contribute no rows.
+    """
+    rows: "list[Dict[str, object]]" = []
+    totals: Dict[int, "list[int]"] = {}
+    for site in sites:
+        for entry in getattr(site, "groups", ()) or ():
+            rows.append(
+                {
+                    "site": site.name,
+                    "group": entry.group,
+                    "requests": entry.requests_total,
+                    "dropped": entry.requests_dropped,
+                    "drop_rate_pct": (
+                        round(100.0 * entry.requests_dropped / entry.requests_total, 2)
+                        if entry.requests_total
+                        else 0.0
+                    ),
+                }
+            )
+            bucket = totals.setdefault(entry.group, [0, 0])
+            bucket[0] += entry.requests_total
+            bucket[1] += entry.requests_dropped
+    for group in sorted(totals):
+        requests, dropped = totals[group]
+        rows.append(
+            {
+                "site": "*",
+                "group": group,
+                "requests": requests,
+                "dropped": dropped,
+                "drop_rate_pct": (
+                    round(100.0 * dropped / requests, 2) if requests else 0.0
+                ),
+            }
+        )
+    return rows
+
+
 def routing_share_rows(
     slot_site_requests: Sequence[Sequence[int]], site_names: Sequence[str]
 ) -> "list[Dict[str, object]]":

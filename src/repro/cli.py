@@ -30,7 +30,7 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Sequence
 
 from repro import __version__
-from repro.analysis.metrics import routing_share_rows
+from repro.analysis.metrics import group_rollup_rows, routing_share_rows
 from repro.analysis.reporting import format_table, write_csv
 from repro.experiments import (
     build_reproduction_summary,
@@ -226,6 +226,7 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
             target_requests=args.requests,
             execution=args.execution,
             broker=args.broker,
+            capacity_signal=args.capacity_signal,
         )
         result = run_scenario(spec, seed=args.seed)
     except ValueError as error:
@@ -239,6 +240,10 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
     if result.is_multisite:
         print()
         print(format_table(result.site_rows()))
+        group_rows = group_rollup_rows(result.sites)
+        if group_rows:
+            print()
+            print(format_table(group_rows))
         if result.slot_site_requests:
             print()
             print(format_table(routing_share_rows(
@@ -437,9 +442,15 @@ def build_parser() -> argparse.ArgumentParser:
         "only; e.g. dynamic-load)",
     )
     scenario_run.add_argument(
+        "--capacity-signal", default=None, choices=("per-group", "fleet"),
+        dest="capacity_signal",
+        help="override the dynamic broker's live-state resolution "
+        "(multi-site scenarios only; fleet = legacy scalar signal)",
+    )
+    scenario_run.add_argument(
         "--json", action="store_true",
-        help="print the full result as JSON (per-site rows, spillover and "
-        "per-slot routing fields included)",
+        help="print the full result as JSON (per-site and per-group rows, "
+        "spillover and per-slot routing fields included)",
     )
     scenario_run.set_defaults(handler=_cmd_scenario_run)
 

@@ -54,6 +54,30 @@ class PerformanceProfile:
         """Work units processed per millisecond by one job running alone."""
         return self.speed_factor
 
+    @property
+    def fluid_cores(self) -> float:
+        """The exact (possibly fractional) parallelism, for fluid models.
+
+        Every continuous capacity computation — the federation broker's
+        serving-rate signal, utilisation sampling, price-per-capacity
+        scores — uses this float form, so fractional-core types (t2.small
+        at 3.2, t2.large at 6.5) contribute their calibrated capacity
+        instead of a rounded one.  This is the single definition; do not
+        re-derive core counts from ``effective_cores`` at call sites.
+        """
+        return max(float(self.effective_cores), 1.0)
+
+    @property
+    def service_lanes(self) -> int:
+        """Discrete service lanes for the queueing models.
+
+        The processor-sharing server and the batched executor's per-core
+        Lindley recursion need an integer lane count; both round the same
+        way here so the two execution modes always agree on the discrete
+        service structure even for fractional-core types.
+        """
+        return max(int(round(self.effective_cores)), 1)
+
     def service_time_ms(self, work_units: float, concurrency: int = 1) -> float:
         """Expected execution time of one request under a fixed concurrency.
 

@@ -52,12 +52,16 @@ class Provisioner:
         *,
         instance_cap: int = DEFAULT_INSTANCE_CAP,
         rng: Optional[np.random.Generator] = None,
+        boot_delay_ms: float = 0.0,
     ) -> None:
         if instance_cap < 1:
             raise ValueError(f"instance_cap must be >= 1, got {instance_cap}")
+        if boot_delay_ms < 0:
+            raise ValueError(f"boot_delay_ms must be >= 0, got {boot_delay_ms}")
         self.engine = engine
         self.catalog = catalog
         self.instance_cap = instance_cap
+        self.boot_delay_ms = boot_delay_ms
         self._rng = rng
         self._running: Dict[str, CloudInstance] = {}
         self._billing: List[BillingRecord] = []
@@ -69,6 +73,20 @@ class Provisioner:
 
     @property
     def running_count(self) -> int:
+        """Instances past their boot window (launched and actually serving)."""
+        return sum(
+            1 for instance in self._running.values() if not instance.is_booting
+        )
+
+    @property
+    def launched_count(self) -> int:
+        """Every non-terminated instance, booting ones included.
+
+        This is the number the account cap is enforced against — an instance
+        in its boot window already occupies a cap slot (and bills), so any
+        headroom signal derived from the cap must subtract it too, or
+        in-flight launches get double-counted as free capacity.
+        """
         return len(self._running)
 
     @property
@@ -89,7 +107,12 @@ class Provisioner:
                 f"account cap of {self.instance_cap} running instances reached"
             )
         instance_type = self.catalog.get(type_name)
-        instance = CloudInstance(self.engine, instance_type, rng=self._rng)
+        instance = CloudInstance(
+            self.engine,
+            instance_type,
+            rng=self._rng,
+            ready_at_ms=self.engine.now_ms + self.boot_delay_ms,
+        )
         self._running[instance.instance_id] = instance
         return instance
 

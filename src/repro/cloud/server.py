@@ -59,6 +59,7 @@ class CloudInstance:
         rng: Optional[np.random.Generator] = None,
         admission_limit: Optional[int] = None,
         instance_id: Optional[str] = None,
+        ready_at_ms: Optional[float] = None,
     ) -> None:
         self.engine = engine
         self.instance_type = instance_type
@@ -72,12 +73,23 @@ class CloudInstance:
         self._server = ProcessorSharingServer(
             engine,
             service_rate_per_core=profile.speed_factor,
-            cores=max(int(round(profile.effective_cores)), 1),
+            cores=profile.service_lanes,
             max_concurrency=None,
             name=self.instance_id,
         )
         self.admission_limit = admission_limit
         self.launched_at_ms = engine.now_ms
+        # Boot delay: the window where the instance is billed and counted
+        # against the account cap but not yet advertising serving capacity
+        # (see Provisioner.boot_delay_ms).  Defaults to "ready at launch".
+        self.ready_at_ms = (
+            float(ready_at_ms) if ready_at_ms is not None else self.launched_at_ms
+        )
+        if self.ready_at_ms < self.launched_at_ms:
+            raise ValueError(
+                f"ready_at_ms ({self.ready_at_ms}) must not precede the launch "
+                f"time ({self.launched_at_ms})"
+            )
         self.terminated_at_ms: Optional[float] = None
         self.accepted_requests = 0
         self.dropped_requests = 0
@@ -89,6 +101,20 @@ class CloudInstance:
     def is_running(self) -> bool:
         """Whether the instance has not been terminated."""
         return self.terminated_at_ms is None
+
+    @property
+    def is_booting(self) -> bool:
+        """Whether the instance is still inside its boot window.
+
+        A booting instance is already billed and held against the account
+        cap, but it advertises nothing to the federation broker's live-state
+        protocol: the capacity and admission signals exclude it until
+        ``ready_at_ms`` while the cap accounting includes it.  Intra-site
+        dispatch is *not* gated on the boot window (the paper's single-site
+        model launches instantly); the boot delay models how long a launch
+        takes to show up as usable capacity in cross-site routing.
+        """
+        return self.is_running and self.engine.now_ms < self.ready_at_ms
 
     @property
     def in_service(self) -> int:

@@ -21,14 +21,18 @@ the policy picks among the available sites:
 
 **Slot-loop dynamic brokering** (``dynamic-load``): the
 :class:`DynamicBroker` defers assignment to the control-slot boundaries of
-the run.  At every boundary it reads each site's *live* state — the serving
-rate of the fleet the autoscaler actually built, the broker's fluid backlog
-estimate, outage status — and re-weights the round-robin for the next slot
-(declared weight × free-capacity fraction).  With a
+the run.  At every boundary it reads each site's *live* state — the (site ×
+acceleration group) serving-rate matrix of the fleets the autoscalers
+actually built, the broker's per-group fluid backlog estimate, outage
+status — and re-weights the round-robin for the next slot per requesting
+user group (declared weight × free-capacity fraction of the group that
+would serve the request there).  With a
 :class:`~repro.multisite.spec.SpilloverSpec` it additionally re-brokers
-mid-slot: once a site's queued work exceeds its spill budget, overflow
-requests divert to the cheapest/nearest available site that still has room,
-with the WAN penalty re-applied for the new serving site.
+mid-slot: once a (site, group) queue exceeds its spill budget, overflow
+requests divert to the cheapest/nearest available site whose eligible group
+still has room, with the WAN penalty re-applied for the new serving site.
+Single-group federations (and the spec's ``capacity_signal: "fleet"``
+override) degenerate to the historical fleet-scalar protocol.
 
 Both executors drive the same broker object through the same
 slot-boundary step, so site assignment is identical across execution modes
@@ -40,7 +44,7 @@ and dropped at the broker.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -116,8 +120,9 @@ def site_price_scores(sites: Sequence[SiteSpec]) -> np.ndarray:
     for site in sites:
         per_type = []
         for instance_type in build_site_catalog(site):
-            cores = max(float(instance_type.profile.effective_cores), 1.0)
-            per_type.append(instance_type.price_per_hour / cores)
+            per_type.append(
+                instance_type.price_per_hour / instance_type.profile.fluid_cores
+            )
         scores.append(float(np.mean(per_type)))
     return np.asarray(scores, dtype=float)
 
@@ -249,6 +254,14 @@ class SiteLoadState:
     fluid estimates (offered work minus fleet drain), which keeps the two
     execution modes byte-identical: both consume the same snapshots in the
     same order, so routing can never diverge through queueing noise.
+
+    Under the (default) ``per-group`` capacity signal the record is
+    acceleration-group-resolved: ``groups`` lists the broker's operating
+    group axis and the ``*_by_group`` tuples align with it, while the
+    legacy scalar fields carry the fleet sums.  Under the ``fleet`` signal
+    the per-group fields stay empty — the protocol genuinely exchanges one
+    aggregate number per site, which is exactly the mis-weighting the
+    group-resolved signal exists to fix.
     """
 
     site_index: int
@@ -258,6 +271,11 @@ class SiteLoadState:
     in_flight_requests: float
     remaining_instance_cap: int
     admission_capacity_requests: int = 0
+    groups: Tuple[int, ...] = ()
+    capacity_by_group: Tuple[float, ...] = ()
+    backlog_by_group: Tuple[float, ...] = ()
+    in_flight_by_group: Tuple[float, ...] = ()
+    admission_by_group: Tuple[int, ...] = ()
 
 
 class StaticSlotBroker:
@@ -313,31 +331,77 @@ class StaticSlotBroker:
         )
 
 
+def clamp_column_table(
+    sites: Sequence[SiteSpec], group_axis: Sequence[int]
+) -> np.ndarray:
+    """``table[s, g]``: group-axis column serving user group ``g`` at site ``s``.
+
+    Mirrors the data plane's clamp semantics
+    (:func:`repro.scenarios.batched.clamp_table`) over each site's *declared*
+    groups: a user group the site serves maps to itself, otherwise to the
+    lowest higher declared group, otherwise to the highest declared group.
+    Declared groups (not the live backend levels) keep the table constant
+    over the run, so routing stays deterministic across execution modes.
+    """
+    axis = [int(group) for group in group_axis]
+    if not axis:
+        raise ValueError("group axis must be non-empty")
+    column = {group: index for index, group in enumerate(axis)}
+    table = np.zeros((len(sites), max(axis) + 1), dtype=np.int64)
+    for index, site in enumerate(sites):
+        declared = sorted(int(group) for group in site.cloud.group_types)
+        for group in range(max(axis) + 1):
+            if group in declared:
+                serving = group
+            else:
+                higher = [level for level in declared if level > group]
+                serving = higher[0] if higher else declared[-1]
+            table[index, group] = column[serving]
+    return table
+
+
 class DynamicBroker:
     """Load-aware in-slot broker with cross-site spillover (``dynamic-load``).
 
     Unlike the plan-time policies this broker assigns requests slot by slot:
-    at each control-slot boundary the executors hand it the live per-site
-    serving rates (the fleets the autoscalers actually built) and it
+    at each control-slot boundary the executors hand it the live (site ×
+    acceleration group) serving-rate matrix of the fleets the autoscalers
+    actually built, and it
 
-    1. drains its fluid backlog estimate by what each fleet could serve
-       since the previous boundary,
-    2. re-weights the round-robin for the upcoming slot — each site's
-       declared broker weight is scaled by its free-capacity fraction
-       ``max(slot_capacity − backlog, 0) / slot_capacity`` — so congested
-       sites shed traffic proportionally to how far behind they are, and
+    1. drains its per-(site, group) fluid backlog estimate by what each
+       group's fleet could serve since the previous boundary,
+    2. re-weights the round-robin for the upcoming slot **per acceleration
+       group of the requesting user's promotion level** — each site's
+       declared broker weight is scaled by the free-capacity fraction
+       ``max(slot_capacity − backlog, 0) / slot_capacity`` of the group
+       that would actually serve the request there (the site's clamp of the
+       user's group) — so a site holding mostly high-tier instances no
+       longer looks huge to un-promoted traffic that can only use its
+       low-tier slice, and
     3. (with spillover enabled) walks the slot's requests in arrival order
-       against a continuously draining fluid queue per site and re-brokers
-       every request that would push a site's projected in-flight count past
-       ``queue_limit_fraction`` of its live admission capacity — the level
-       at which the site would start rejecting — to the cheapest/nearest
-       available site whose queue still has room, re-applying the WAN
-       penalty for the new serving site.
+       against a continuously draining fluid queue per (site, group) and
+       re-brokers every request that would push its serving group's
+       projected in-flight count past ``queue_limit_fraction`` of that
+       group's live admission capacity — the level at which the group would
+       start rejecting — to the cheapest/nearest available site whose
+       eligible group still has room, re-applying the WAN penalty for the
+       new serving site.
 
-    Assignment depends only on the spec, the plan and the capacity
-    snapshots — never on an RNG draw — and both executors call
-    ``broker_slot`` exactly once per slot in the same order, so the event
-    and batched modes produce identical per-slot routing by construction.
+    Single-group federations degenerate to the historical fleet-scalar
+    behaviour exactly (one column, every user in it); the spec's
+    ``capacity_signal: "fleet"`` knob forces that degenerate path even for
+    multi-group fleets, for A/B comparison of the mis-weighting.
+
+    Assignment depends only on the spec, the plan, the capacity snapshots
+    and the user-group views published at the boundaries — never on an RNG
+    draw — and both executors call ``broker_slot`` exactly once per slot in
+    the same order, so given identical published views the event and
+    batched modes produce identical per-slot routing by construction.
+    With promotions *enabled* the two executors' boundary group views can
+    differ by the long-documented promotion-timing approximation (batched
+    applies a slot's promotions when it processes the slot, event at each
+    delivery), so exact routing parity is pinned for promotion-off
+    scenarios and the stochastic tolerances cover the rest.
     """
 
     samples_network = True
@@ -384,12 +448,34 @@ class DynamicBroker:
             self._spill_rank = np.argsort(rtt, axis=1, kind="stable").astype(np.int64)
         self._segments = availability_segments(sites, self.duration_ms)
         self._mean_work = float(np.mean(plan.work_units)) if count else 1.0
-        # Fluid live-state: queued work and queued request count per site,
-        # drained by the capacity that was current during the elapsed
-        # interval.
-        self.backlog_work = np.zeros(len(sites), dtype=float)
-        self.backlog_requests = np.zeros(len(sites), dtype=float)
-        self._drain_capacity = np.zeros(len(sites), dtype=float)
+        # Group resolution of the live-state protocol: under "per-group" the
+        # operating columns are the federation-wide group axis and requests
+        # are keyed by their user's promotion level; under "fleet" there is
+        # one aggregate column and every request shares it (the historical
+        # scalar signal, kept as the degenerate case).
+        self.signal = federation.capacity_signal
+        self.group_axis: Tuple[int, ...] = federation.group_axis
+        if self.signal == "per-group":
+            self.groups: Tuple[int, ...] = self.group_axis
+            self._clamp_col = clamp_column_table(sites, self.groups)
+        else:
+            self.groups = ()
+            self._clamp_col = np.zeros(
+                (len(sites), max(self.group_axis) + 1), dtype=np.int64
+            )
+        self._columns = max(len(self.groups), 1)
+        # Un-promoted default: every user starts in its home site's lowest
+        # declared group; executors override this view at each boundary.
+        lowest = np.asarray(
+            [min(site.cloud.group_types) for site in sites], dtype=np.int64
+        )
+        self._default_user_group = lowest[self.home_site_of_user]
+        # Fluid live-state: queued work and queued request count per
+        # (site, group) column, drained by the capacity that was current
+        # during the elapsed interval.
+        self.backlog_work = np.zeros((len(sites), self._columns), dtype=float)
+        self.backlog_requests = np.zeros((len(sites), self._columns), dtype=float)
+        self._drain_capacity = np.zeros((len(sites), self._columns), dtype=float)
         self._last_boundary_ms = 0.0
         self.requests_spilled = 0
         self.slot_site_requests: List[np.ndarray] = []
@@ -398,6 +484,31 @@ class DynamicBroker:
 
     # -- live-state protocol -------------------------------------------------
 
+    def _normalize_snapshot(self, values, dtype, name: str) -> np.ndarray:
+        """Coerce a live-state snapshot to the broker's (site × column) shape.
+
+        Accepts the federation's (site × group-axis) matrices and, for the
+        degenerate single-column case, plain per-site vectors.  Under the
+        ``fleet`` signal a matrix is collapsed to its row sums — the scalar
+        protocol by construction.
+        """
+        matrix = np.asarray(values, dtype=dtype)
+        if matrix.ndim == 1:
+            matrix = matrix[:, None]
+        if matrix.ndim != 2 or matrix.shape[0] != len(self.sites):
+            raise ValueError(
+                f"{name} must carry one row per site "
+                f"({len(self.sites)}), got shape {matrix.shape}"
+            )
+        if self.signal == "fleet" and matrix.shape[1] != 1:
+            matrix = matrix.sum(axis=1, keepdims=True).astype(dtype)
+        if matrix.shape[1] != self._columns:
+            raise ValueError(
+                f"{name} must have one column per operating group "
+                f"{self.groups or ('fleet',)}, got shape {matrix.shape}"
+            )
+        return matrix
+
     def _snapshot(
         self,
         available: np.ndarray,
@@ -405,35 +516,61 @@ class DynamicBroker:
         remaining_cap: np.ndarray,
         admission_capacity: np.ndarray,
     ) -> Tuple[SiteLoadState, ...]:
-        states = tuple(
-            SiteLoadState(
-                site_index=index,
-                available=bool(available[index]),
-                capacity_work_per_ms=float(capacity[index]),
-                backlog_work_units=float(self.backlog_work[index]),
-                in_flight_requests=float(self.backlog_requests[index]),
-                remaining_instance_cap=int(remaining_cap[index]),
-                admission_capacity_requests=int(admission_capacity[index]),
+        states = []
+        for index in range(len(self.sites)):
+            per_group = {}
+            if self.groups:
+                per_group = dict(
+                    groups=self.groups,
+                    capacity_by_group=tuple(float(v) for v in capacity[index]),
+                    backlog_by_group=tuple(float(v) for v in self.backlog_work[index]),
+                    in_flight_by_group=tuple(
+                        float(v) for v in self.backlog_requests[index]
+                    ),
+                    admission_by_group=tuple(
+                        int(v) for v in admission_capacity[index]
+                    ),
+                )
+            states.append(
+                SiteLoadState(
+                    site_index=index,
+                    available=bool(available[index]),
+                    capacity_work_per_ms=float(capacity[index].sum()),
+                    backlog_work_units=float(self.backlog_work[index].sum()),
+                    in_flight_requests=float(self.backlog_requests[index].sum()),
+                    remaining_instance_cap=int(remaining_cap[index]),
+                    admission_capacity_requests=int(admission_capacity[index].sum()),
+                    **per_group,
+                )
             )
-            for index in range(len(self.sites))
-        )
+        states = tuple(states)
         self.load_history.append(states)
         return states
 
     def _slot_weights(
-        self, available: np.ndarray, slot_capacity_work: np.ndarray
+        self, available: np.ndarray, slot_capacity_work: np.ndarray, group: int
     ) -> np.ndarray:
-        """Round-robin weights for one slot: declared weight × free fraction."""
-        free = np.maximum(slot_capacity_work - self.backlog_work, 0.0)
+        """Round-robin weights for one slot and one requesting user group.
+
+        Declared weight × free fraction of the capacity *eligible* for the
+        group — each site contributes the column its clamp would serve the
+        group with, so a site's idle high-tier slice never inflates the
+        weight un-promoted traffic sees.
+        """
+        rows = np.arange(len(self.sites))
+        cols = self._clamp_col[:, group]
+        eligible_capacity = slot_capacity_work[rows, cols]
+        eligible_backlog = self.backlog_work[rows, cols]
+        free = np.maximum(eligible_capacity - eligible_backlog, 0.0)
         congestion = np.divide(
             free,
-            slot_capacity_work,
+            eligible_capacity,
             out=np.zeros_like(free),
-            where=slot_capacity_work > 0,
+            where=eligible_capacity > 0,
         )
         for candidate in (
             self.declared_weights * congestion,
-            slot_capacity_work,
+            eligible_capacity,
             self.declared_weights,
         ):
             weights = np.where(available, candidate, 0.0)
@@ -451,20 +588,49 @@ class DynamicBroker:
         capacity_work_per_ms: Optional[np.ndarray] = None,
         remaining_instance_cap: Optional[np.ndarray] = None,
         admission_capacity: Optional[np.ndarray] = None,
+        group_of_user: Optional[np.ndarray] = None,
     ) -> Tuple[int, int]:
-        """Assign the requests arriving in ``[start_ms, end_ms)`` to sites."""
+        """Assign the requests arriving in ``[start_ms, end_ms)`` to sites.
+
+        ``capacity_work_per_ms`` and ``admission_capacity`` are (site ×
+        group-axis) matrices (per-site vectors are accepted in the
+        degenerate single-column case); ``group_of_user`` is the executors'
+        per-user promotion-level view at this boundary, defaulting to the
+        un-promoted home-site groups.
+        """
         if capacity_work_per_ms is None:
             raise ValueError("the dynamic broker needs a live capacity snapshot")
         site_count = len(self.sites)
-        capacity = np.asarray(capacity_work_per_ms, dtype=float)
+        capacity = self._normalize_snapshot(
+            capacity_work_per_ms, float, "capacity_work_per_ms"
+        )
         if remaining_instance_cap is None:
             remaining_cap = np.zeros(site_count, dtype=np.int64)
         else:
             remaining_cap = np.asarray(remaining_instance_cap, dtype=np.int64)
         if admission_capacity is None:
-            admission = np.zeros(site_count, dtype=np.int64)
+            admission = np.zeros((site_count, self._columns), dtype=np.int64)
         else:
-            admission = np.asarray(admission_capacity, dtype=np.int64)
+            admission = self._normalize_snapshot(
+                admission_capacity, np.int64, "admission_capacity"
+            )
+        if group_of_user is None:
+            user_groups = self._default_user_group
+        else:
+            user_groups = np.asarray(group_of_user, dtype=np.int64)
+            if user_groups.size != self._default_user_group.size:
+                raise ValueError(
+                    f"group_of_user must carry one group per user "
+                    f"({self._default_user_group.size}), got {user_groups.size}"
+                )
+            user_groups = np.clip(user_groups, 0, self._clamp_col.shape[1] - 1)
+        # The request key the broker resolves routing by: the user's own
+        # promotion level under the per-group signal, one shared key under
+        # the fleet signal (every request sees the same aggregate column).
+        if self.signal == "per-group":
+            user_keys = user_groups
+        else:
+            user_keys = np.zeros_like(user_groups)
         arrival = self.plan.arrival_ms
         i0, i1 = np.searchsorted(arrival, [start_ms, end_ms], side="left")
         i0, i1 = int(i0), int(i1)
@@ -493,14 +659,14 @@ class DynamicBroker:
         )
         self._snapshot(slot_available, capacity, remaining_cap, admission)
 
-        # 2. re-weight the round-robin for this slot.
+        # 2. re-weight the round-robin for this slot, per requesting group.
         spilled_this_slot = 0
-        counts = np.zeros(site_count, dtype=float)
-        used_work = np.zeros(site_count, dtype=float)
-        used_requests = np.zeros(site_count, dtype=float)
+        counts_for: Dict[int, np.ndarray] = {}
+        used_work = np.zeros((site_count, self._columns), dtype=float)
+        used_requests = np.zeros((site_count, self._columns), dtype=float)
         if self.spillover is not None:
             queue_limit = self.spillover.queue_limit_fraction * admission.astype(float)
-            drain_rate = capacity / self._mean_work  # requests per ms
+            drain_rate = capacity / self._mean_work  # requests per ms, per column
         else:
             queue_limit = None
             drain_rate = None
@@ -512,59 +678,85 @@ class DynamicBroker:
                 continue
             if not available.any():
                 continue  # stays UNROUTED
-            weights = self._slot_weights(available, slot_capacity_work)
-            routable = available & (weights > 0)
-            if not routable.any():
-                continue
-            proposals = _weighted_round_robin(counts, weights, routable, hi - lo)
+            request_keys = user_keys[self.plan.user_ids[lo:hi]]
+            proposals = np.full(hi - lo, UNROUTED, dtype=np.int64)
+            # One weighted round-robin stream per requesting user group, so
+            # shares stay proportional to each group's *eligible* capacity;
+            # counters live per group but reset per slot, as before.
+            for group in np.unique(request_keys):
+                group = int(group)
+                weights = self._slot_weights(available, slot_capacity_work, group)
+                routable = available & (weights > 0)
+                if not routable.any():
+                    continue
+                counts = counts_for.setdefault(
+                    group, np.zeros(site_count, dtype=float)
+                )
+                positions = np.flatnonzero(request_keys == group)
+                proposals[positions] = _weighted_round_robin(
+                    counts, weights, routable, positions.size
+                )
 
-            # 3. mid-slot spillover: divert overflow off saturated sites.
-            # Each site runs a fluid queue that drains continuously at the
-            # fleet's serving rate; a request that would push its site's
-            # projected in-flight count past the admission-derived limit is
-            # re-brokered to the preferred site whose queue has room.
+            # 3. mid-slot spillover: divert overflow off saturated groups.
+            # Each (site, group) column runs a fluid queue that drains
+            # continuously at that group's serving rate; a request that
+            # would push its serving group's projected in-flight count past
+            # the admission-derived limit is re-brokered to the preferred
+            # site whose eligible group has room.
             if queue_limit is not None:
                 work = self.plan.work_units[lo:hi]
                 homes = self.home_site_of_user[self.plan.user_ids[lo:hi]]
                 elapsed_in_slot = arrival[lo:hi] - start_ms
 
-                def projected_queue(site: int, t_rel: float) -> float:
+                def projected_queue(site: int, col: int, t_rel: float) -> float:
                     return max(
                         0.0,
-                        self.backlog_requests[site]
-                        + used_requests[site]
-                        - drain_rate[site] * t_rel,
+                        self.backlog_requests[site, col]
+                        + used_requests[site, col]
+                        - drain_rate[site, col] * t_rel,
                     )
 
                 for k in range(proposals.size):
                     site = int(proposals[k])
+                    if site == UNROUTED:
+                        continue
+                    group = int(request_keys[k])
+                    col = int(self._clamp_col[site, group])
                     t_rel = float(elapsed_in_slot[k])
-                    if projected_queue(site, t_rel) + 1.0 <= queue_limit[site]:
-                        used_requests[site] += 1.0
-                        used_work[site] += float(work[k])
+                    if projected_queue(site, col, t_rel) + 1.0 <= queue_limit[site, col]:
+                        used_requests[site, col] += 1.0
+                        used_work[site, col] += float(work[k])
                         continue
                     for candidate in self._spill_rank[int(homes[k])]:
                         candidate = int(candidate)
                         if candidate == site or not available[candidate]:
                             continue
-                        if projected_queue(candidate, t_rel) + 1.0 <= queue_limit[candidate]:
+                        ccol = int(self._clamp_col[candidate, group])
+                        if (
+                            projected_queue(candidate, ccol, t_rel) + 1.0
+                            <= queue_limit[candidate, ccol]
+                        ):
                             proposals[k] = candidate
-                            used_requests[candidate] += 1.0
-                            used_work[candidate] += float(work[k])
+                            used_requests[candidate, ccol] += 1.0
+                            used_work[candidate, ccol] += float(work[k])
                             self.spilled[lo + k] = True
                             spilled_this_slot += 1
                             break
                     else:
                         # Federation-wide overload: nowhere to spill to.
-                        used_requests[site] += 1.0
-                        used_work[site] += float(work[k])
+                        used_requests[site, col] += 1.0
+                        used_work[site, col] += float(work[k])
             else:
-                used_requests += np.bincount(proposals, minlength=site_count)
-                used_work += np.bincount(
-                    proposals,
-                    weights=self.plan.work_units[lo:hi],
-                    minlength=site_count,
-                )
+                routed_mask = proposals >= 0
+                if np.any(routed_mask):
+                    sites_r = proposals[routed_mask]
+                    cols_r = self._clamp_col[sites_r, request_keys[routed_mask]]
+                    np.add.at(used_requests, (sites_r, cols_r), 1.0)
+                    np.add.at(
+                        used_work,
+                        (sites_r, cols_r),
+                        self.plan.work_units[lo:hi][routed_mask],
+                    )
             self.site_ids[lo:hi] = proposals
 
         # 4. settle the window: WAN penalties, backlog, routing shares.

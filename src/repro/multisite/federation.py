@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -85,45 +85,76 @@ class SiteRuntime:
     def highest_group(self) -> int:
         return max(self.spec.cloud.group_types)
 
+    def serving_groups(self) -> "tuple[int, ...]":
+        """The acceleration groups this site declares, sorted."""
+        return tuple(sorted(self.spec.cloud.group_types))
+
     def total_cost(self) -> float:
         """The site's provisioning bill so far (running instances included)."""
         return self.provisioner.total_cost(include_running=True)
 
-    def capacity_work_per_ms(self) -> float:
-        """Serving rate of the currently running fleet, in work units per ms.
+    def capacity_by_group(self, group_axis: "Sequence[int]") -> np.ndarray:
+        """Serving rate per acceleration group, in work units per ms.
 
-        One core of an instance retires ``speed_factor`` work units per
-        millisecond (the batched executor's service model); summing over the
-        fleet gives the site's fluid-limit capacity — the live signal the
-        ``dynamic-load`` broker re-weights routing with at slot boundaries.
+        One fluid core of an instance retires ``speed_factor`` work units
+        per millisecond; summing per group over the running (and booted —
+        instances still inside their boot window serve nothing yet) fleet
+        gives the site's per-group fluid-limit capacity, laid out over the
+        federation-wide ``group_axis``.  This is the live signal the
+        ``dynamic-load`` broker re-weights routing with at slot boundaries:
+        a request only ever executes on the group that serves its user's
+        promotion level, so the eligible capacity is the group's column, not
+        the fleet total.  Groups the site does not serve stay zero.
         """
-        rate = 0.0
-        for instances in self.backend.groups.values():
+        column = {int(group): index for index, group in enumerate(group_axis)}
+        rate = np.zeros(len(column), dtype=float)
+        for group, instances in self.backend.groups.items():
+            index = column.get(int(group))
+            if index is None:
+                continue
             for instance in instances:
-                if not instance.is_running:
+                if not instance.is_running or instance.is_booting:
                     continue
                 profile = instance.instance_type.profile
-                cores = max(int(round(profile.effective_cores)), 1)
-                rate += cores * profile.speed_factor
+                rate[index] += profile.fluid_cores * profile.speed_factor
         return rate
 
+    def capacity_work_per_ms(self) -> float:
+        """Fleet-total serving rate — the degenerate single-group signal."""
+        return float(self.capacity_by_group(self.serving_groups()).sum())
+
     def remaining_instance_cap(self) -> int:
-        """How many more instances this site's account cap still allows."""
-        return max(self.spec.cloud.instance_cap - self.provisioner.running_count, 0)
+        """How many more instances this site's account cap still allows.
+
+        Counts every *launched* instance against the cap, booting ones
+        included: an instance inside its boot window already occupies a cap
+        slot even though it advertises no capacity yet, so counting only
+        ready instances would let the broker see the same in-flight launch
+        twice — once as booked headroom, once as a free slot.
+        """
+        return max(self.spec.cloud.instance_cap - self.provisioner.launched_count, 0)
+
+    def admission_by_group(self, group_axis: "Sequence[int]") -> np.ndarray:
+        """Concurrent-request admission ceiling per group over ``group_axis``.
+
+        The per-group sum of the running (non-booting) instances' admission
+        limits — the saturation ceiling the dynamic broker's spillover guard
+        keeps its per-group in-flight estimate below.
+        """
+        column = {int(group): index for index, group in enumerate(group_axis)}
+        total = np.zeros(len(column), dtype=np.int64)
+        for group, instances in self.backend.groups.items():
+            index = column.get(int(group))
+            if index is None:
+                continue
+            for instance in instances:
+                if instance.is_running and not instance.is_booting:
+                    total[index] += int(instance.admission_limit)
+        return total
 
     def admission_capacity_requests(self) -> int:
-        """Concurrent requests the running fleet admits before rejecting.
-
-        The sum of the per-instance admission limits — the live saturation
-        ceiling the dynamic broker's spillover guard keeps its in-flight
-        estimate below.
-        """
-        total = 0
-        for instances in self.backend.groups.values():
-            for instance in instances:
-                if instance.is_running:
-                    total += int(instance.admission_limit)
-        return total
+        """Fleet-total admission ceiling — the degenerate single-group signal."""
+        return int(self.admission_by_group(self.serving_groups()).sum())
 
     def sample_utilization(self, in_service_at) -> "tuple[float, float]":
         """Record one core-occupancy sample over the site's running fleet.
@@ -139,9 +170,7 @@ class SiteRuntime:
             for instance in instances:
                 if not instance.is_running:
                     continue
-                instance_cores = max(
-                    float(instance.instance_type.profile.effective_cores), 1.0
-                )
+                instance_cores = instance.instance_type.profile.fluid_cores
                 busy += min(float(in_service_at(instance)), instance_cores)
                 cores += instance_cores
         if cores > 0:
@@ -170,7 +199,11 @@ def build_site_runtime(
     catalog = build_site_catalog(site)
     backend = BackendPool()
     provisioner = Provisioner(
-        engine, catalog, instance_cap=site.cloud.instance_cap, rng=rng_cloud
+        engine,
+        catalog,
+        instance_cap=site.cloud.instance_cap,
+        rng=rng_cloud,
+        boot_delay_ms=site.cloud.boot_delay_ms,
     )
     level_for_type = {name: group for group, name in site.cloud.group_types.items()}
     for group, type_name in site.cloud.group_types.items():
@@ -252,6 +285,14 @@ class Federation:
         """The highest acceleration group declared anywhere in the federation."""
         return max(site.highest_group() for site in self.sites)
 
+    def group_axis(self) -> "tuple[int, ...]":
+        """The federation-wide group axis (the snapshot matrix columns).
+
+        Delegates to :attr:`MultiSiteSpec.group_axis` so the runtimes, the
+        broker and the snapshots all share one definition of the columns.
+        """
+        return self.spec.group_axis
+
     def total_cost(self) -> float:
         """Federation-wide provisioning bill."""
         return sum(site.total_cost() for site in self.sites)
@@ -267,23 +308,23 @@ class Federation:
         )
 
     def capacity_snapshot(self) -> np.ndarray:
-        """Live per-site serving rate (work units per ms) of the current fleets.
+        """Live (site × group) serving-rate matrix of the current fleets.
 
-        Both executors hand this to the dynamic broker at every slot
-        boundary, *after* the previous boundary's autoscaling actions — the
-        broker therefore chases the fleet the autoscalers actually built,
-        not the forecast the plan-time partition would have used.
+        Rows follow site declaration order, columns the federation-wide
+        :meth:`group_axis`.  Both executors hand this to the dynamic broker
+        at every slot boundary, *after* the previous boundary's autoscaling
+        actions — the broker therefore chases the fleet the autoscalers
+        actually built, not the forecast the plan-time partition would have
+        used.  Summing each row recovers the legacy fleet-scalar signal
+        (the degenerate single-group case).
         """
-        return np.asarray(
-            [site.capacity_work_per_ms() for site in self.sites], dtype=float
-        )
+        axis = self.group_axis()
+        return np.stack([site.capacity_by_group(axis) for site in self.sites])
 
     def admission_snapshot(self) -> np.ndarray:
-        """Live per-site admission capacity (concurrent requests before drops)."""
-        return np.asarray(
-            [site.admission_capacity_requests() for site in self.sites],
-            dtype=np.int64,
-        )
+        """Live (site × group) admission-capacity matrix (requests before drops)."""
+        axis = self.group_axis()
+        return np.stack([site.admission_by_group(axis) for site in self.sites])
 
 
 def build_federation(

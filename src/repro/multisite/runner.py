@@ -60,6 +60,7 @@ from repro.scenarios.batched import (
 from repro.scenarios.plan import RequestPlan, build_request_plan
 from repro.scenarios.runner import (
     ScenarioResult,
+    SiteGroupResult,
     SiteResult,
     _build_promotion_policy,
     build_arrival_process,
@@ -79,6 +80,18 @@ class SiteExecutionStats:
     requests_total: int = 0
     requests_dropped: int = 0
     success_chunks: List[np.ndarray] = field(default_factory=list)
+    #: Per requesting-user acceleration group: requests seen / dropped at
+    #: this site (the group of the *user's promotion level* at routing
+    #: time, not the post-clamp serving group — the breakdown the
+    #: group-aware broker is judged by).
+    group_requests: Dict[int, int] = field(default_factory=dict)
+    group_dropped: Dict[int, int] = field(default_factory=dict)
+
+    def tally_group(self, group: int, total: int, dropped: int) -> None:
+        if total:
+            self.group_requests[group] = self.group_requests.get(group, 0) + total
+        if dropped:
+            self.group_dropped[group] = self.group_dropped.get(group, 0) + dropped
 
     @property
     def success_response_ms(self) -> np.ndarray:
@@ -132,18 +145,21 @@ def run_slot_brokering(
     federation: Federation,
     start_ms: float,
     end_ms: float,
+    group_of_user: "np.ndarray | None" = None,
 ) -> "tuple[int, int]":
     """The single slot-boundary brokering step both executors call.
 
     For the static policies this merely locates the slot window (assignment
     happened at plan time).  For the dynamic broker it publishes the live
-    per-site state — the serving rate and remaining instance headroom of the
-    fleets as the autoscalers left them at the previous boundary — lets the
-    broker assign the slot's requests (including mid-slot spillover), and
-    then samples each routed request's T1/T2 from its *serving* site's
-    channel, WAN penalty applied on top.  Sampling happens here, in slot
-    order and per site in federation order, so both execution modes consume
-    exactly the same draws from the same named streams.
+    (site × acceleration group) state — the serving-rate and admission
+    matrices and the remaining instance headroom of the fleets as the
+    autoscalers left them at the previous boundary — plus the executor's
+    current per-user promotion-level view (``group_of_user``), lets the
+    broker assign the slot's requests per group (including mid-slot
+    spillover), and then samples each routed request's T1/T2 from its
+    *serving* site's channel, WAN penalty applied on top.  Sampling happens
+    here, in slot order and per site in federation order, so both execution
+    modes consume exactly the same draws from the same named streams.
     """
     if slot_broker.is_dynamic:
         i0, i1 = slot_broker.broker_slot(
@@ -155,6 +171,7 @@ def run_slot_brokering(
                 dtype=np.int64,
             ),
             admission_capacity=federation.admission_snapshot(),
+            group_of_user=group_of_user,
         )
     else:
         i0, i1 = slot_broker.broker_slot(start_ms, end_ms)
@@ -193,6 +210,7 @@ def execute_event_multisite(
 ) -> FederationMetrics:
     """Drive the brokered plan through per-site SDN front-ends on one engine."""
     completion_callbacks: Dict[int, Callable[[RequestRecord], None]] = {}
+    per_site: List[SiteExecutionStats] = [SiteExecutionStats() for _ in federation]
     unrouted = 0
 
     def _completion_for(user_id: int):
@@ -233,6 +251,13 @@ def execute_event_multisite(
                 federation=federation,
                 start_ms=start,
                 end_ms=end,
+                # The live promotion-level view at this boundary: promotions
+                # from requests delivered before it have already been applied
+                # (completion events precede the boundary event on the heap).
+                group_of_user=np.asarray(
+                    [devices[user].acceleration_group for user in range(spec.users)],
+                    dtype=np.int64,
+                ),
             )
 
         engine.schedule_at(period_start, _broker, label=f"multisite:broker-{period}")
@@ -264,9 +289,25 @@ def execute_event_multisite(
                 device.record_failure()
                 return
             site = federation.site(site_index)
+            # Per-group site tallies key on the *requesting* group — the
+            # user's promotion level as routed, not the post-clamp serving
+            # group the record carries — so both executors report the same
+            # cohort breakdown.  Tallied at delivery, when success is known.
+            requested_group = device.acceleration_group
+            stats = per_site[site_index]
+            user_callback = _completion_for(user_id)
+
+            def _on_complete(
+                record: RequestRecord,
+                stats: SiteExecutionStats = stats,
+                group: int = requested_group,
+            ) -> None:
+                stats.tally_group(group, 1, 0 if record.success else 1)
+                user_callback(record)
+
             site.accelerator.submit_planned(
                 user_id=user_id,
-                acceleration_group=device.acceleration_group,
+                acceleration_group=requested_group,
                 work_units=float(plan.work_units[index]),
                 t1_ms=float(plan.t1_ms[index]),
                 t2_ms=float(plan.t2_ms[index]),
@@ -274,7 +315,7 @@ def execute_event_multisite(
                 jitter_z=float(plan.jitter_z[index]),
                 task_name=task_name,
                 battery_level=device.battery.level,
-                on_complete=_completion_for(user_id),
+                on_complete=_on_complete,
             )
 
         engine.schedule_at(float(plan.arrival_ms[index]), _submit, label="multisite:request")
@@ -303,19 +344,16 @@ def execute_event_multisite(
 
     engine.run(until_ms=duration_ms + DRAIN_MARGIN_MS)
 
-    per_site: List[SiteExecutionStats] = []
     for site in federation:
         records = site.accelerator.records
-        stats = SiteExecutionStats(
-            requests_total=len(records),
-            requests_dropped=sum(1 for record in records if not record.success),
-        )
+        stats = per_site[site.index]
+        stats.requests_total = len(records)
+        stats.requests_dropped = sum(1 for record in records if not record.success)
         stats.success_chunks.append(
             np.asarray(
                 [r.response_time_ms for r in records if r.success], dtype=float
             )
         )
-        per_site.append(stats)
 
     successes = (
         np.concatenate([stats.success_response_ms for stats in per_site])
@@ -368,8 +406,7 @@ def execute_batched_multisite(
         def state_for(instance) -> InstanceState:
             state = states.get(instance.instance_id)
             if state is None:
-                cores = max(int(round(instance.instance_type.profile.effective_cores)), 1)
-                state = InstanceState(instance=instance, core_free_ms=np.zeros(cores))
+                state = InstanceState.for_instance(instance)
                 states[instance.instance_id] = state
             return state
 
@@ -417,10 +454,19 @@ def execute_batched_multisite(
         # broker assigns this window (and samples its network draws) here,
         # between slot-sized Lindley passes.
         i0, i1 = run_slot_brokering(
-            slot_broker, plan=plan, federation=federation, start_ms=start, end_ms=end
+            slot_broker,
+            plan=plan,
+            federation=federation,
+            start_ms=start,
+            end_ms=end,
+            group_of_user=group_of_user,
         )
         count = int(i1 - i0)
         uids = plan.user_ids[i0:i1]
+        # Snapshot the promotion levels the broker routed by, before this
+        # slot's deliveries mutate them: the per-group site tallies must
+        # reflect the groups as requested, in both execution modes.
+        window_user_groups = group_of_user[uids]
         t1 = plan.t1_ms[i0:i1]
         t2 = plan.t2_ms[i0:i1]
         routing = plan.routing_ms[i0:i1]
@@ -500,6 +546,14 @@ def execute_batched_multisite(
             stats.requests_total += int(np.count_nonzero(mask))
             stats.requests_dropped += int(np.count_nonzero(mask & ~ok))
             stats.success_chunks.append(response[mask & succeeded])
+            if np.any(mask):
+                for group in np.unique(window_user_groups[mask]):
+                    picks = mask & (window_user_groups == group)
+                    stats.tally_group(
+                        int(group),
+                        int(np.count_nonzero(picks)),
+                        int(np.count_nonzero(picks & ~ok)),
+                    )
 
         while sample_cursor < len(sample_times) and sample_times[sample_cursor] < end:
             append_utilization(sample_times[sample_cursor])
@@ -726,6 +780,14 @@ def run_multisite_scenario(spec: ScenarioSpec, *, seed: int = 0) -> ScenarioResu
                     else 0.0
                 ),
                 requests_spilled_in=int(spilled_in[site.index]),
+                groups=tuple(
+                    SiteGroupResult(
+                        group=group,
+                        requests_total=stats.group_requests.get(group, 0),
+                        requests_dropped=stats.group_dropped.get(group, 0),
+                    )
+                    for group in sorted(stats.group_requests)
+                ),
             )
         )
 

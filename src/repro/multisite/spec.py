@@ -61,6 +61,20 @@ BROKER_POLICIES = (
 #: Spillover target preferences (see :class:`SpilloverSpec`).
 SPILLOVER_PREFERENCES = ("nearest-rtt", "cheapest")
 
+#: Capacity-signal resolutions of the ``dynamic-load`` broker's live-state
+#: protocol (see :class:`MultiSiteSpec.capacity_signal`).
+#:
+#: * ``per-group`` — capacity, admission limits and the broker's fluid
+#:   backlog are resolved per (site, acceleration group): a request only
+#:   sees the capacity of the group that would actually serve it at each
+#:   site.  This is the default and the correct signal for multi-group
+#:   fleets.
+#: * ``fleet`` — the historical fleet-scalar signal: every site advertises
+#:   one aggregate number summed over all its groups.  Exact for
+#:   single-group sites, but overstates what un-promoted traffic can use on
+#:   sites holding mostly high-tier instances; kept for A/B comparison.
+CAPACITY_SIGNALS = ("per-group", "fleet")
+
 
 @dataclass(frozen=True)
 class OutageWindow:
@@ -166,12 +180,16 @@ class MultiSiteSpec:
     ``spillover`` only takes effect under the ``dynamic-load`` policy (the
     static pre-partitioning policies never see live backlog, so they have no
     saturation signal to spill on); setting it with any other policy is
-    rejected at construction time.
+    rejected at construction time.  ``capacity_signal`` picks the resolution
+    of that policy's live-state protocol (:data:`CAPACITY_SIGNALS`):
+    acceleration-group-resolved by default, or the legacy ``fleet`` scalars
+    for A/B comparison against the mis-weighting they cause.
     """
 
     sites: Tuple[SiteSpec, ...]
     policy: str = "nearest-rtt"
     spillover: Optional[SpilloverSpec] = None
+    capacity_signal: str = "per-group"
 
     def __post_init__(self) -> None:
         sites = tuple(
@@ -197,6 +215,11 @@ class MultiSiteSpec:
                 "spillover requires the dynamic-load policy, "
                 f"got policy {self.policy!r}"
             )
+        if self.capacity_signal not in CAPACITY_SIGNALS:
+            raise ValueError(
+                f"capacity_signal must be one of {CAPACITY_SIGNALS}, "
+                f"got {self.capacity_signal!r}"
+            )
         object.__setattr__(self, "spillover", spillover)
         object.__setattr__(self, "sites", sites)
 
@@ -206,6 +229,19 @@ class MultiSiteSpec:
     @property
     def site_names(self) -> Tuple[str, ...]:
         return tuple(site.name for site in self.sites)
+
+    @property
+    def group_axis(self) -> Tuple[int, ...]:
+        """Every acceleration group declared anywhere in the federation, sorted.
+
+        This is the shared column axis of the federation's (site × group)
+        capacity and admission matrices: sites that do not declare a group
+        simply carry zero capacity in its column.
+        """
+        groups = set()
+        for site in self.sites:
+            groups.update(int(group) for group in site.cloud.group_types)
+        return tuple(sorted(groups))
 
     def site(self, name: str) -> SiteSpec:
         """Look up one site by name."""

@@ -12,6 +12,9 @@ Each benchmark times one primitive in isolation and reports its throughput:
 * ``server.processor_sharing`` — a saturated (ρ≈0.9) processor-sharing
   server on the event engine: the submit/complete reschedule path whose heap
   churn the lazy-cancellation scheme targets.
+* ``broker.slot_state`` — the dynamic federation broker consuming
+  matrix-valued (site × acceleration group) live-state snapshots: per-group
+  re-weighting, fluid queues and the spillover guard, per slot boundary.
 
 Budgets: ``smoke`` keeps every benchmark under ~100 ms for CI; ``full`` is
 the default for real measurements.
@@ -25,8 +28,12 @@ import numpy as np
 
 from repro.core.distance import SlotDistanceIndex
 from repro.core.timeslots import TimeSlot
+from repro.multisite.broker import DynamicBroker
+from repro.multisite.spec import MultiSiteSpec, SiteSpec, SpilloverSpec
 from repro.network.latency import lte_latency_model
 from repro.perf.harness import BenchRecord, timed
+from repro.scenarios.plan import RequestPlan
+from repro.scenarios.spec import CloudSpec
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.queues import ProcessorSharingServer
 from repro.simulation.stats import OnlineStatistics
@@ -43,6 +50,8 @@ BUDGETS: Dict[str, Dict[str, int]] = {
         "arrival_seconds": 50,
         "stats_values": 50_000,
         "server_jobs": 5_000,
+        "broker_slots": 8,
+        "broker_requests": 4_000,
     },
     "full": {
         "engine_events": 200_000,
@@ -53,6 +62,8 @@ BUDGETS: Dict[str, Dict[str, int]] = {
         "arrival_seconds": 1_000,
         "stats_values": 2_000_000,
         "server_jobs": 100_000,
+        "broker_slots": 48,
+        "broker_requests": 60_000,
     },
 }
 
@@ -167,6 +178,79 @@ def bench_processor_sharing(jobs: int, seed: int) -> BenchRecord:
     return timed("server.processor_sharing", run)
 
 
+def bench_broker_slot_state(slots: int, requests: int, seed: int) -> BenchRecord:
+    """Dynamic brokering over matrix-valued (site × group) live state.
+
+    A three-site, two-group federation with spillover under the per-group
+    capacity signal: every slot boundary consumes one fresh capacity and
+    admission matrix (pre-drawn, so only the broker's own cost is timed)
+    through ``broker_slot`` — per-group re-weighting, fluid-queue updates
+    and the spillover guard walk.  Ops = requests brokered.
+    """
+    users = 30
+    federation = MultiSiteSpec(
+        sites=tuple(
+            SiteSpec(
+                name=f"site-{index}",
+                cloud=CloudSpec(
+                    group_types={1: low, 2: high}, instance_cap=8
+                ),
+                wan_rtt_ms=5.0 + 10.0 * index,
+                weight=1.0 + index,
+            )
+            for index, (low, high) in enumerate(
+                [("t2.nano", "t2.medium"), ("t2.small", "t2.large"), ("t2.micro", "m4.4xlarge")]
+            )
+        ),
+        policy="dynamic-load",
+        spillover=SpilloverSpec(queue_limit_fraction=0.5),
+    )
+    site_count = len(federation.sites)
+    group_count = len(federation.group_axis)
+    rng = np.random.default_rng(seed)
+    slot_ms = 60_000.0
+    duration_ms = slots * slot_ms
+    arrivals = np.sort(rng.uniform(0.0, duration_ms, size=requests))
+    plan = RequestPlan(
+        arrival_ms=arrivals,
+        user_ids=rng.integers(0, users, size=requests),
+        work_units=rng.uniform(100.0, 600.0, size=requests),
+        jitter_z=np.zeros(requests),
+        t1_ms=np.zeros(requests),
+        t2_ms=np.zeros(requests),
+        routing_ms=np.zeros(requests),
+    )
+    capacities = rng.uniform(0.5, 8.0, size=(slots, site_count, group_count))
+    admissions = rng.integers(40, 200, size=(slots, site_count, group_count))
+    remaining = np.zeros(site_count, dtype=np.int64)
+    user_groups = rng.integers(1, 3, size=users)
+
+    def run() -> float:
+        broker = DynamicBroker(
+            plan=plan,
+            users=users,
+            federation=federation,
+            duration_ms=duration_ms,
+            access_rtt_ms=[40.0] * site_count,
+        )
+        for index in range(slots):
+            broker.broker_slot(
+                index * slot_ms,
+                (index + 1) * slot_ms,
+                capacity_work_per_ms=capacities[index],
+                remaining_instance_cap=remaining,
+                admission_capacity=admissions[index],
+                group_of_user=user_groups,
+            )
+        return float(np.count_nonzero(broker.site_ids >= 0))
+
+    # One untimed pass first: the broker path crosses several modules whose
+    # first call pays import/JIT-ish warmup noise a 10 ms smoke budget would
+    # otherwise amplify into false CI regressions.
+    run()
+    return timed("broker.slot_state", run, slots=float(slots))
+
+
 def run_micro_suite(budget: str = "full", seed: int = 0) -> List[BenchRecord]:
     """Run every micro-benchmark at the given budget."""
     if budget not in BUDGETS:
@@ -181,4 +265,5 @@ def run_micro_suite(budget: str = "full", seed: int = 0) -> List[BenchRecord]:
         ),
         bench_stats_extend(sizes["stats_values"], seed),
         bench_processor_sharing(sizes["server_jobs"], seed),
+        bench_broker_slot_state(sizes["broker_slots"], sizes["broker_requests"], seed),
     ]

@@ -99,6 +99,17 @@ class InstanceState:
         default_factory=lambda: np.empty(0, dtype=float)
     )
 
+    @classmethod
+    def for_instance(cls, instance: CloudInstance) -> "InstanceState":
+        """Fresh state with one Lindley lane per service lane of the instance.
+
+        Lane counts come from :attr:`PerformanceProfile.service_lanes` — the
+        same rounding the event executor's processor-sharing server applies —
+        so both executors agree on the discrete service structure.
+        """
+        lanes = instance.instance_type.profile.service_lanes
+        return cls(instance=instance, core_free_ms=np.zeros(lanes))
+
     @staticmethod
     def _merge(into: np.ndarray, fresh_sorted: np.ndarray) -> np.ndarray:
         positions = np.searchsorted(into, fresh_sorted)
@@ -348,8 +359,7 @@ def execute_batched(
     def state_for(instance: CloudInstance) -> InstanceState:
         state = states.get(instance.instance_id)
         if state is None:
-            cores = max(int(round(instance.instance_type.profile.effective_cores)), 1)
-            state = InstanceState(instance=instance, core_free_ms=np.zeros(cores))
+            state = InstanceState.for_instance(instance)
             states[instance.instance_id] = state
         return state
 
@@ -362,9 +372,7 @@ def execute_batched(
             for instance in instances:
                 if not instance.is_running:
                     continue
-                instance_cores = max(
-                    float(instance.instance_type.profile.effective_cores), 1.0
-                )
+                instance_cores = instance.instance_type.profile.fluid_cores
                 state = states.get(instance.instance_id)
                 in_service = float(state.in_service_at(t_ms)) if state else 0.0
                 busy += min(in_service, instance_cores)

@@ -32,7 +32,7 @@ failure mode of the edit-distance predictor / ILP allocator pipeline:
     barely) reaches prediction and the autoscaler falls back to reactive
     provisioning — the paper's "bootstrap time" caveat, isolated.
 
-Six **multi-site federation** scenarios exercise the global broker
+Seven **multi-site federation** scenarios exercise the global broker
 (:mod:`repro.multisite`) on top of per-site adaptive models:
 
 ``region-outage-failover``
@@ -55,6 +55,13 @@ Six **multi-site federation** scenarios exercise the global broker
     A mid-run outage forces all traffic onto a small standby site;
     ``dynamic-load`` re-weighting (no spillover) shifts traffic back to the
     recovered primary while the standby's backlog drains.
+``mixed-fleet-miscount``
+    Two sites with (roughly) equal fleet-total capacity but inverted
+    acceleration-group mixes, under an entirely un-promoted user
+    population: the legacy fleet-scalar capacity signal splits traffic
+    ~50/50 and drowns the low-tier-starved site's tiny low-tier slice,
+    while the (default) group-resolved signal routes and spills by the
+    capacity each request can actually use.
 
 Scenarios registered here (or via :func:`register_scenario`) are addressable
 by name from the CLI (``repro-accel scenario run <name>``) and the campaign
@@ -438,6 +445,60 @@ register_scenario(
                 ),
             ),
             policy="dynamic-load",
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="mixed-fleet-miscount",
+        description="inverted group mixes at equal fleet capacity: the "
+        "group-resolved signal keeps un-promoted traffic off the "
+        "low-tier-starved site that fleet scalars mis-weight",
+        users=40,
+        duration_hours=0.25,
+        slot_minutes=3.75,
+        task_name="bubblesort",
+        workload=WorkloadSpec(pattern="uniform", target_requests=30_000),
+        # Promotions off: the whole population stays un-promoted (group 1),
+        # which keeps dynamic routing bit-identical across execution modes
+        # and makes the miscount maximal - fleet totals are dominated by
+        # high-tier capacity none of these users can touch.
+        policy=PolicySpec(promotion="static", promotion_probability=0.0),
+        sites=MultiSiteSpec(
+            sites=(
+                # `lean` caps out at one t2.nano (3 wu/ms for group 1) plus
+                # one m4.4xlarge (41.5 wu/ms locked in group 2): ~93 % of
+                # its fleet signal is capacity un-promoted traffic can
+                # never use.
+                SiteSpec(
+                    name="lean",
+                    cloud=CloudSpec(
+                        group_types={1: "t2.nano", 2: "m4.4xlarge"},
+                        instance_cap=2,
+                    ),
+                    wan_rtt_ms=5.0,
+                    weight=1.0,
+                    population_share=3.0,
+                ),
+                # `roomy` inverts the mix: its cap fills with t2.mediums
+                # serving group 1 (~37.5 wu/ms) next to a single group-2
+                # nano - roughly the same fleet total, almost all of it
+                # usable by un-promoted traffic.
+                SiteSpec(
+                    name="roomy",
+                    cloud=CloudSpec(
+                        group_types={1: "t2.medium", 2: "t2.nano"},
+                        instance_cap=6,
+                        initial_instances_per_group=2,
+                    ),
+                    wan_rtt_ms=30.0,
+                    weight=1.0,
+                    population_share=1.0,
+                ),
+            ),
+            policy="dynamic-load",
+            spillover=SpilloverSpec(queue_limit_fraction=0.8, prefer="nearest-rtt"),
         ),
     )
 )

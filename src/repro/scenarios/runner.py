@@ -60,6 +60,30 @@ from repro.workload.arrival import (
 
 
 @dataclass(frozen=True)
+class SiteGroupResult:
+    """One site's request tally for one requesting acceleration group.
+
+    The group is the *user's promotion level* at routing time (un-promoted
+    users sit in their home site's lowest group), not the post-clamp serving
+    group — this is the per-cohort breakdown the group-aware broker signal
+    is judged by.  "Routing time" is request submission in event mode and
+    the slot boundary in batched mode; the two coincide exactly whenever
+    promotions are off (every pinned parity scenario) and differ only by
+    the documented promotion-timing approximation otherwise.
+    """
+
+    group: int
+    requests_total: int
+    requests_dropped: int
+
+    @property
+    def drop_rate(self) -> float:
+        if self.requests_total == 0:
+            return 0.0
+        return self.requests_dropped / self.requests_total
+
+
+@dataclass(frozen=True)
 class SiteResult:
     """Per-site metrics of one multi-site scenario run (picklable scalars)."""
 
@@ -73,6 +97,10 @@ class SiteResult:
     predictions: int
     mean_utilization: float
     requests_spilled_in: int = 0
+    groups: Tuple[SiteGroupResult, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "groups", tuple(self.groups))
 
     @classmethod
     def zero(cls, name: str) -> "SiteResult":
@@ -101,6 +129,23 @@ class SiteResult:
         if self.requests_total == 0:
             return 0.0
         return self.requests_dropped / self.requests_total
+
+    def group(self, group_id: int) -> SiteGroupResult:
+        """The tally for one requesting acceleration group at this site."""
+        for entry in self.groups:
+            if entry.group == group_id:
+                return entry
+        raise KeyError(
+            f"site {self.name!r} saw no group-{group_id} requests; "
+            f"have {[entry.group for entry in self.groups]}"
+        )
+
+    def drop_rate_for_group(self, group_id: int) -> float:
+        """Drop rate among one group's requests (0.0 if the group never hit)."""
+        for entry in self.groups:
+            if entry.group == group_id:
+                return entry.drop_rate
+        return 0.0
 
     def as_row(self) -> Dict[str, object]:
         """One per-site comparison row (the multisite CLI/CSV schema)."""
@@ -475,9 +520,7 @@ def _execute_event(
         for instances in backend.groups.values():
             for instance in instances:
                 if instance.is_running:
-                    instance_cores = max(
-                        float(instance.instance_type.profile.effective_cores), 1.0
-                    )
+                    instance_cores = instance.instance_type.profile.fluid_cores
                     busy += min(float(instance.in_service), instance_cores)
                     cores += instance_cores
         if cores > 0:
@@ -542,7 +585,11 @@ def run_scenario(spec: ScenarioSpec, *, seed: Optional[int] = None) -> ScenarioR
     catalog = build_catalog(spec)
     backend = BackendPool()
     provisioner = Provisioner(
-        engine, catalog, instance_cap=spec.cloud.instance_cap, rng=rng_cloud
+        engine,
+        catalog,
+        instance_cap=spec.cloud.instance_cap,
+        rng=rng_cloud,
+        boot_delay_ms=spec.cloud.boot_delay_ms,
     )
     level_for_type = {name: group for group, name in spec.cloud.group_types.items()}
     for group, type_name in spec.cloud.group_types.items():

@@ -151,6 +151,14 @@ class CloudSpec:
     ``price_multipliers`` scales the catalog's hourly prices per instance
     type, which lets a scenario model a price spike (the allocator then
     re-optimises the instance mix) without a separate catalog.
+
+    ``boot_delay_ms`` models the window between launching an instance and
+    the instance becoming ready: a booting instance is billed and occupies a
+    cap slot immediately, but advertises no serving capacity (and no
+    admission headroom) to the federation broker's live-state protocol
+    until the delay elapses.  It is an accounting/routing-signal concept
+    only — intra-site dispatch still serves from launch, matching the
+    paper's instant-launch single-site model.
     """
 
     group_types: Mapping[int, str] = field(
@@ -160,6 +168,7 @@ class CloudSpec:
     initial_instances_per_group: int = 1
     response_threshold_ms: float = 5000.0
     price_multipliers: Mapping[str, float] = field(default_factory=dict)
+    boot_delay_ms: float = 0.0
 
     def __post_init__(self) -> None:
         group_types = {int(group): name for group, name in dict(self.group_types).items()}
@@ -191,6 +200,10 @@ class CloudSpec:
         if self.response_threshold_ms <= 0:
             raise ValueError(
                 f"response_threshold_ms must be positive, got {self.response_threshold_ms}"
+            )
+        if self.boot_delay_ms < 0:
+            raise ValueError(
+                f"boot_delay_ms must be >= 0, got {self.boot_delay_ms}"
             )
         multipliers = dict(self.price_multipliers)
         for type_name, multiplier in multipliers.items():
@@ -360,6 +373,7 @@ class ScenarioSpec:
         seed: Optional[int] = None,
         execution: Optional[str] = None,
         broker: Optional[str] = None,
+        capacity_signal: Optional[str] = None,
     ) -> "ScenarioSpec":
         """A copy with the common CLI-level knobs replaced.
 
@@ -367,6 +381,9 @@ class ScenarioSpec:
         ``--broker`` flag) and is only valid for multi-site scenarios.
         Overriding a spillover-enabled federation to a non-dynamic policy
         drops the spillover knobs (static policies cannot spill).
+        ``capacity_signal`` replaces the federation's live-state resolution
+        (``per-group`` | ``fleet``; the CLI's ``--capacity-signal`` flag),
+        equally multi-site-only.
         """
         workload = self.workload
         if target_requests is not None:
@@ -380,6 +397,13 @@ class ScenarioSpec:
                 )
             spillover = sites.spillover if broker == "dynamic-load" else None
             sites = dataclasses.replace(sites, policy=broker, spillover=spillover)
+        if capacity_signal is not None:
+            if sites is None:
+                raise ValueError(
+                    f"scenario {self.name!r} is single-site: --capacity-signal "
+                    "only applies to scenarios with a sites: section"
+                )
+            sites = dataclasses.replace(sites, capacity_signal=capacity_signal)
         return dataclasses.replace(
             self,
             users=users if users is not None else self.users,

@@ -64,3 +64,56 @@ class TestKeyedReductions:
 
     def test_empty_entries_skipped(self):
         assert mean_by_key({1: [], 2: [5.0]}) == {2: 5.0}
+
+
+class TestGroupRollupRows:
+    def make_site(self, name, groups):
+        from repro.scenarios.runner import SiteGroupResult, SiteResult
+
+        return SiteResult(
+            name=name,
+            requests_total=sum(total for _, total, _ in groups),
+            requests_dropped=sum(dropped for _, _, dropped in groups),
+            mean_response_ms=100.0,
+            p95_response_ms=200.0,
+            allocation_cost_usd=1.0,
+            scaling_actions=1,
+            predictions=0,
+            mean_utilization=0.5,
+            groups=tuple(
+                SiteGroupResult(
+                    group=group, requests_total=total, requests_dropped=dropped
+                )
+                for group, total, dropped in groups
+            ),
+        )
+
+    def test_rows_per_site_group_plus_federation_totals(self):
+        from repro.analysis.metrics import group_rollup_rows
+
+        sites = [
+            self.make_site("lean", [(1, 100, 40), (2, 10, 0)]),
+            self.make_site("roomy", [(1, 200, 10)]),
+        ]
+        rows = group_rollup_rows(sites)
+        assert [(row["site"], row["group"]) for row in rows] == [
+            ("lean", 1), ("lean", 2), ("roomy", 1), ("*", 1), ("*", 2),
+        ]
+        assert rows[0]["drop_rate_pct"] == 40.0
+        federation_g1 = rows[3]
+        assert federation_g1["requests"] == 300
+        assert federation_g1["dropped"] == 50
+        assert federation_g1["drop_rate_pct"] == pytest.approx(16.67, abs=0.01)
+
+    def test_sites_without_group_data_contribute_nothing(self):
+        from repro.analysis.metrics import group_rollup_rows
+        from repro.scenarios.runner import SiteResult
+
+        assert group_rollup_rows([SiteResult.zero("idle")]) == []
+
+    def test_zero_request_group_reports_zero_rate(self):
+        from repro.analysis.metrics import group_rollup_rows
+
+        rows = group_rollup_rows([self.make_site("empty", [(1, 0, 0)])])
+        assert rows[0]["drop_rate_pct"] == 0.0
+        assert rows[-1]["site"] == "*"

@@ -105,3 +105,27 @@ class TestSampling:
     def test_samples_never_below_overhead(self, profile, rng):
         samples = [profile.sample_service_time_ms(10.0, 1, rng) for _ in range(200)]
         assert min(samples) >= profile.base_overhead_ms
+
+
+class TestCoreForms:
+    """The single definitions of the float (fluid) and int (lane) core forms."""
+
+    def test_fluid_cores_keeps_fractions(self):
+        profile = PerformanceProfile(speed_factor=1.0, effective_cores=3.2)
+        assert profile.fluid_cores == 3.2
+        assert PerformanceProfile(speed_factor=1.0, effective_cores=0.5).fluid_cores == 1.0
+
+    def test_service_lanes_round_half_up_like_the_ps_server(self):
+        assert PerformanceProfile(speed_factor=1.0, effective_cores=3.2).service_lanes == 3
+        assert PerformanceProfile(speed_factor=1.0, effective_cores=6.5).service_lanes == 6
+        assert PerformanceProfile(speed_factor=1.0, effective_cores=0.4).service_lanes == 1
+
+    def test_fractional_catalog_types_disagree_between_forms(self):
+        # t2.small (3.2) and t2.large (6.5): the broker's fluid capacity
+        # signal must use the float form even though the discrete queueing
+        # models run on the rounded lanes.
+        small = PerformanceProfile(speed_factor=1.0, effective_cores=3.2)
+        large = PerformanceProfile(speed_factor=1.25, effective_cores=6.5)
+        assert small.fluid_cores * small.speed_factor == pytest.approx(3.2)
+        assert large.fluid_cores * large.speed_factor == pytest.approx(8.125)
+        assert (small.service_lanes, large.service_lanes) == (3, 6)

@@ -91,3 +91,38 @@ class TestBilling:
     def test_invalid_cap_rejected(self, engine, catalog):
         with pytest.raises(ValueError):
             Provisioner(engine, catalog, instance_cap=0)
+
+
+class TestBootDelay:
+    def test_zero_delay_instances_are_ready_at_launch(self, provisioner):
+        instance = provisioner.launch("t2.nano")
+        assert instance.ready_at_ms == instance.launched_at_ms
+        assert not instance.is_booting
+        assert provisioner.running_count == provisioner.launched_count == 1
+
+    def test_booting_instances_count_as_launched_not_running(self, engine, catalog):
+        provisioner = Provisioner(
+            engine, catalog, instance_cap=5, boot_delay_ms=60_000.0
+        )
+        instance = provisioner.launch("t2.nano")
+        assert instance.is_booting
+        assert instance.ready_at_ms == 60_000.0
+        # The cap slot is taken (launched) even though nothing serves yet.
+        assert provisioner.launched_count == 1
+        assert provisioner.running_count == 0
+        engine.clock.advance_to(60_000.0)
+        assert not instance.is_booting
+        assert provisioner.running_count == 1
+
+    def test_negative_boot_delay_rejected(self, engine, catalog):
+        with pytest.raises(ValueError, match="boot_delay_ms"):
+            Provisioner(engine, catalog, boot_delay_ms=-5.0)
+
+    def test_cap_enforced_over_booting_instances(self, engine, catalog):
+        provisioner = Provisioner(
+            engine, catalog, instance_cap=2, boot_delay_ms=60_000.0
+        )
+        provisioner.launch("t2.nano")
+        provisioner.launch("t2.nano")
+        with pytest.raises(ProvisioningError):
+            provisioner.launch("t2.nano")

@@ -314,3 +314,203 @@ class TestDynamicBroker:
         view = broker.as_brokered_plan()
         assert view.indices_for_site(0).size + view.indices_for_site(1).size \
             + view.unrouted.size == len(plan)
+
+
+class TestGroupAwareBroker:
+    """The acceleration-group-resolved live-state protocol (and its
+    ``fleet`` degenerate mode)."""
+
+    def make_broker(self, *, signal="per-group", spillover=None, count=200,
+                    group_types=None):
+        from repro.multisite.broker import DynamicBroker
+        from repro.scenarios.plan import RequestPlan
+
+        if group_types is None:
+            group_types = (
+                {1: "t2.nano", 2: "m4.4xlarge"},   # lean low tier, big high tier
+                {1: "t2.medium", 2: "t2.nano"},    # inverted mix
+            )
+        federation = MultiSiteSpec(
+            sites=(
+                SiteSpec(name="lean", cloud=CloudSpec(group_types=group_types[0]),
+                         wan_rtt_ms=5.0, weight=1.0),
+                SiteSpec(name="roomy", cloud=CloudSpec(group_types=group_types[1]),
+                         wan_rtt_ms=30.0, weight=1.0),
+            ),
+            policy="dynamic-load",
+            spillover=spillover,
+            capacity_signal=signal,
+        )
+        plan = RequestPlan(
+            arrival_ms=np.linspace(0.0, 100_000.0, count, endpoint=False),
+            user_ids=np.arange(count) % 10,
+            work_units=np.full(count, 350.0),
+            jitter_z=np.zeros(count),
+            t1_ms=np.zeros(count),
+            t2_ms=np.zeros(count),
+            routing_ms=np.zeros(count),
+        )
+        broker = DynamicBroker(
+            plan=plan,
+            users=10,
+            federation=federation,
+            duration_ms=100_000.0,
+            access_rtt_ms=[40.0, 40.0],
+        )
+        return plan, broker
+
+    def slot(self, broker, start, end, capacity, admission=None):
+        capacity = np.asarray(capacity, dtype=float)
+        if admission is None:
+            admission = np.full_like(capacity, 10_000, dtype=np.int64)
+        return broker.broker_slot(
+            start, end,
+            capacity_work_per_ms=capacity,
+            remaining_instance_cap=np.zeros(2, dtype=np.int64),
+            admission_capacity=np.asarray(admission, dtype=np.int64),
+        )
+
+    def test_group_axis_and_clamp_columns(self):
+        from repro.multisite.broker import clamp_column_table
+
+        _, broker = self.make_broker()
+        assert broker.groups == (1, 2)
+        table = clamp_column_table(broker.sites, broker.groups)
+        # User group 1 serves at group 1 (column 0) on both sites, group 2 at
+        # column 1; group 0 clamps up to the lowest declared group.
+        np.testing.assert_array_equal(table[:, 0], [0, 0])
+        np.testing.assert_array_equal(table[:, 1], [0, 0])
+        np.testing.assert_array_equal(table[:, 2], [1, 1])
+
+    def test_clamp_column_table_on_high_tier_only_site(self):
+        from repro.multisite.broker import clamp_column_table
+
+        sites = (
+            SiteSpec(name="full", cloud=CloudSpec(group_types={1: "t2.nano", 2: "t2.medium"})),
+            SiteSpec(name="high", cloud=CloudSpec(group_types={2: "t2.large"})),
+        )
+        table = clamp_column_table(sites, (1, 2))
+        # Un-promoted traffic clamps *up* on the high-tier-only site: its
+        # group-2 column is what group-1 requests would actually use there.
+        assert table[1, 1] == 1
+        assert table[0, 1] == 0
+
+    def test_reweighting_follows_eligible_group_capacity(self):
+        # All users are un-promoted (group 1).  Site `lean` has a huge
+        # group-2 column that group-1 traffic cannot touch; its group-1
+        # column is tiny, so its backlog persists and its share collapses —
+        # while the fleet-scalar signal (same matrices, summed) drains the
+        # backlog at the fleet rate and keeps splitting evenly.
+        capacity = [[0.2, 50.0], [5.0, 0.2]]
+        _, grouped = self.make_broker()
+        self.slot(grouped, 0.0, 50_000.0, capacity)
+        self.slot(grouped, 50_000.0, 100_000.0, capacity)
+        _, fleet = self.make_broker(signal="fleet")
+        self.slot(fleet, 0.0, 50_000.0, capacity)
+        self.slot(fleet, 50_000.0, 100_000.0, capacity)
+        grouped_second = grouped.slot_site_requests[1]
+        fleet_second = fleet.slot_site_requests[1]
+        assert int(fleet_second[0]) == pytest.approx(int(fleet_second[1]), abs=1)
+        assert int(grouped_second[0]) < int(fleet_second[0])
+        states = grouped.load_history[1]
+        assert states[0].backlog_by_group[0] > 0.0
+        assert states[0].backlog_by_group[1] == 0.0
+
+    def test_per_group_snapshot_fields(self):
+        _, broker = self.make_broker()
+        capacity = np.asarray([[1.0, 40.0], [7.5, 3.0]])
+        admission = np.asarray([[120, 960], [240, 120]])
+        broker.broker_slot(
+            0.0, 50_000.0,
+            capacity_work_per_ms=capacity,
+            remaining_instance_cap=np.asarray([3, 1], dtype=np.int64),
+            admission_capacity=admission,
+        )
+        states = broker.load_history[0]
+        for index, state in enumerate(states):
+            assert state.groups == (1, 2)
+            assert state.capacity_by_group == tuple(capacity[index])
+            assert state.admission_by_group == tuple(int(v) for v in admission[index])
+            assert state.capacity_work_per_ms == pytest.approx(capacity[index].sum())
+            assert state.admission_capacity_requests == int(admission[index].sum())
+            assert state.backlog_work_units == pytest.approx(
+                sum(state.backlog_by_group)
+            )
+            assert state.in_flight_requests == pytest.approx(
+                sum(state.in_flight_by_group)
+            )
+
+    def test_fleet_signal_collapses_snapshot_to_scalars(self):
+        _, broker = self.make_broker(signal="fleet")
+        capacity = np.asarray([[1.0, 40.0], [7.5, 3.0]])
+        self.slot(broker, 0.0, 50_000.0, capacity)
+        states = broker.load_history[0]
+        assert states[0].groups == ()
+        assert states[0].capacity_by_group == ()
+        assert states[0].capacity_work_per_ms == pytest.approx(41.0)
+        assert states[1].capacity_work_per_ms == pytest.approx(10.5)
+
+    def test_per_group_spillover_guard(self):
+        # Site lean's group-1 column saturates immediately (admission 20,
+        # queue limit 10) while its group-2 column is huge; under the
+        # group-resolved guard the overflow spills to roomy's group-1
+        # column, which has room.
+        spillover = SpilloverSpec(queue_limit_fraction=0.5)
+        _, grouped = self.make_broker(spillover=spillover)
+        capacity = [[0.01, 50.0], [5.0, 5.0]]
+        admission = [[20, 100_000], [100_000, 100_000]]
+        self.slot(grouped, 0.0, 100_000.0, capacity, admission)
+        assert grouped.requests_spilled > 0
+        assert np.all(grouped.site_ids[grouped.spilled] == 1)
+        # The fleet guard sums the admission row (100 020) and never trips.
+        _, fleet = self.make_broker(signal="fleet", spillover=spillover)
+        self.slot(fleet, 0.0, 100_000.0, capacity, admission)
+        assert fleet.requests_spilled == 0
+
+    def test_matrix_shape_validation(self):
+        _, broker = self.make_broker()
+        with pytest.raises(ValueError, match="one column per operating group"):
+            self.slot(broker, 0.0, 50_000.0, [1.0, 2.0])  # 1-D on a 2-group axis
+        with pytest.raises(ValueError, match="one row per site"):
+            self.slot(broker, 0.0, 50_000.0, [[1.0, 2.0]])
+
+    def test_group_of_user_length_validated(self):
+        _, broker = self.make_broker()
+        with pytest.raises(ValueError, match="one group per user"):
+            broker.broker_slot(
+                0.0, 50_000.0,
+                capacity_work_per_ms=np.ones((2, 2)),
+                admission_capacity=np.ones((2, 2), dtype=np.int64),
+                group_of_user=np.zeros(3, dtype=np.int64),
+            )
+
+    def test_promoted_users_weighted_by_their_own_group(self):
+        # Group-2 users route by the group-2 columns: lean's huge high tier
+        # attracts them even while its group-1 column is starved.
+        _, broker = self.make_broker()
+        capacity = [[0.2, 50.0], [5.0, 0.2]]
+        groups = np.full(10, 2, dtype=np.int64)  # everyone promoted
+        broker.broker_slot(
+            0.0, 50_000.0,
+            capacity_work_per_ms=np.asarray(capacity, dtype=float),
+            admission_capacity=np.full((2, 2), 10_000, dtype=np.int64),
+            group_of_user=groups,
+        )
+        broker.broker_slot(
+            50_000.0, 100_000.0,
+            capacity_work_per_ms=np.asarray(capacity, dtype=float),
+            admission_capacity=np.full((2, 2), 10_000, dtype=np.int64),
+            group_of_user=groups,
+        )
+        second = broker.slot_site_requests[1]
+        # lean's group-2 backlog cleared (50 wu/ms), roomy's group-2 lags.
+        assert int(second[0]) > int(second[1])
+
+    def test_fleet_signal_on_single_group_matches_per_group(self):
+        single = ({1: "t2.nano"}, {1: "t2.medium"})
+        _, grouped = self.make_broker(group_types=single)
+        _, fleet = self.make_broker(group_types=single, signal="fleet")
+        for broker in (grouped, fleet):
+            self.slot(broker, 0.0, 50_000.0, [[0.5], [5.0]])
+            self.slot(broker, 50_000.0, 100_000.0, [[0.5], [5.0]])
+        np.testing.assert_array_equal(grouped.site_ids, fleet.site_ids)

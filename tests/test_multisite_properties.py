@@ -1,7 +1,8 @@
 """Property-based broker invariants (hypothesis + seeded scenario grid).
 
 Three contracts of the federation broker are pinned here over randomly
-generated federations, plans and capacity sequences:
+generated federations (single- and multi-group sites, fractional-core
+instance types), plans, user promotion levels and capacity sequences:
 
 1. **Conservation** — every request is routed to exactly one site or marked
    unrouted; spilled requests are routed requests (they count against their
@@ -9,15 +10,15 @@ generated federations, plans and capacity sequences:
 2. **Outage safety** — no request is ever routed to a site whose outage
    window covers its arrival time; requests arriving while no site is
    available are unrouted.
-3. **Spill discipline** — a spilled request's target site is never over its
-   admission-derived queue limit: replaying the broker's fluid queue over
-   the realised assignment shows room for every spill at its admission
-   instant.
+3. **Spill discipline** — a spilled request's target is never over its
+   admission-derived queue limit *for the group that serves it there*:
+   replaying the broker's per-(site, group) fluid queues over the realised
+   assignment shows room for every spill at its admission instant.
 
 The unit-level properties drive :class:`DynamicBroker` directly with
-synthetic plans and capacity snapshots; the scenario-level grid runs whole
-federations through the batched executor and checks the same conservation
-laws on the reported metrics.
+synthetic plans and (site × group) capacity matrices; the scenario-level
+grid runs whole federations through the batched executor and checks the
+same conservation laws on the reported metrics.
 """
 
 import dataclasses
@@ -27,7 +28,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.multisite.broker import UNROUTED, DynamicBroker
+from repro.multisite.broker import UNROUTED, DynamicBroker, clamp_column_table
 from repro.multisite.spec import MultiSiteSpec, OutageWindow, SiteSpec, SpilloverSpec
 from repro.scenarios import run_scenario
 from repro.scenarios.plan import RequestPlan
@@ -36,6 +37,17 @@ from repro.scenarios.spec import CloudSpec, PolicySpec, ScenarioSpec, WorkloadSp
 DURATION_MS = 400_000.0
 SLOT_MS = 100_000.0
 USERS = 12
+
+#: Site fleet menus: single-group, multi-group and fractional-core
+#: (t2.small 3.2 / t2.large 6.5 effective cores) mixes.
+GROUP_TYPE_MENU = (
+    {1: "t2.nano"},
+    {1: "t2.small"},
+    {1: "t2.nano", 2: "t2.medium"},
+    {1: "t2.small", 2: "t2.large"},
+    {2: "t2.large"},
+    {1: "t2.medium", 3: "m4.4xlarge"},
+)
 
 
 def build_plan(rng: np.random.Generator, count: int) -> RequestPlan:
@@ -55,6 +67,7 @@ def build_plan(rng: np.random.Generator, count: int) -> RequestPlan:
 def federations(draw):
     site_count = draw(st.integers(min_value=2, max_value=4))
     spill = draw(st.booleans())
+    signal = draw(st.sampled_from(["per-group", "fleet"]))
     sites = []
     for index in range(site_count):
         outages = ()
@@ -66,7 +79,10 @@ def federations(draw):
         sites.append(
             SiteSpec(
                 name=f"s{index}",
-                cloud=CloudSpec(group_types={1: "t2.nano"}, instance_cap=4),
+                cloud=CloudSpec(
+                    group_types=draw(st.sampled_from(GROUP_TYPE_MENU)),
+                    instance_cap=4,
+                ),
                 wan_rtt_ms=float(draw(st.integers(min_value=0, max_value=60))),
                 weight=float(draw(st.integers(min_value=1, max_value=8))),
                 population_share=float(draw(st.integers(min_value=1, max_value=4))),
@@ -79,7 +95,12 @@ def federations(draw):
             queue_limit_fraction=draw(st.sampled_from([0.25, 0.5, 0.8, 1.0])),
             prefer=draw(st.sampled_from(["nearest-rtt", "cheapest"])),
         )
-    return MultiSiteSpec(sites=tuple(sites), policy="dynamic-load", spillover=spillover)
+    return MultiSiteSpec(
+        sites=tuple(sites),
+        policy="dynamic-load",
+        spillover=spillover,
+        capacity_signal=signal,
+    )
 
 
 def drive_broker(federation: MultiSiteSpec, seed: int, count: int):
@@ -87,6 +108,7 @@ def drive_broker(federation: MultiSiteSpec, seed: int, count: int):
     rng = np.random.default_rng(seed)
     plan = build_plan(rng, count)
     site_count = len(federation.sites)
+    axis = federation.group_axis
     broker = DynamicBroker(
         plan=plan,
         users=USERS,
@@ -94,29 +116,33 @@ def drive_broker(federation: MultiSiteSpec, seed: int, count: int):
         duration_ms=DURATION_MS,
         access_rtt_ms=[40.0] * site_count,
     )
+    # A fixed promotion-level view per user, anywhere on the group axis —
+    # the broker must keep its invariants for every cohort mix.
+    user_groups = rng.integers(min(axis), max(axis) + 1, size=USERS)
     capacities = []
     admissions = []
     boundaries = np.arange(0.0, DURATION_MS, SLOT_MS)
     for start in boundaries:
-        capacity = rng.uniform(0.5, 8.0, size=site_count)
-        admission = rng.integers(50, 240, size=site_count)
+        capacity = rng.uniform(0.5, 8.0, size=(site_count, len(axis)))
+        admission = rng.integers(50, 240, size=(site_count, len(axis)))
         broker.broker_slot(
             float(start),
             float(start + SLOT_MS),
             capacity_work_per_ms=capacity,
             remaining_instance_cap=np.zeros(site_count, dtype=np.int64),
             admission_capacity=admission,
+            group_of_user=user_groups,
         )
         capacities.append(capacity)
         admissions.append(admission)
-    return plan, broker, capacities, admissions
+    return plan, broker, capacities, admissions, user_groups
 
 
 class TestBrokerInvariants:
     @settings(max_examples=30, deadline=None, derandomize=True)
     @given(federation=federations(), seed=st.integers(min_value=0, max_value=2**31))
     def test_every_request_routed_once_or_unrouted(self, federation, seed):
-        plan, broker, _, _ = drive_broker(federation, seed, count=180)
+        plan, broker, _, _, _ = drive_broker(federation, seed, count=180)
         site_count = len(federation.sites)
         assert np.all(broker.site_ids >= UNROUTED)
         assert np.all(broker.site_ids < site_count)
@@ -134,7 +160,7 @@ class TestBrokerInvariants:
     @settings(max_examples=30, deadline=None, derandomize=True)
     @given(federation=federations(), seed=st.integers(min_value=0, max_value=2**31))
     def test_no_routing_into_an_outage_window(self, federation, seed):
-        plan, broker, _, _ = drive_broker(federation, seed, count=180)
+        plan, broker, _, _, _ = drive_broker(federation, seed, count=180)
         for index in range(len(plan)):
             site_id = int(broker.site_ids[index])
             arrival = float(plan.arrival_ms[index])
@@ -150,58 +176,90 @@ class TestBrokerInvariants:
 
     @settings(max_examples=30, deadline=None, derandomize=True)
     @given(federation=federations(), seed=st.integers(min_value=0, max_value=2**31))
-    def test_spillover_never_targets_a_site_over_cap(self, federation, seed):
+    def test_spillover_never_targets_a_group_over_cap(self, federation, seed):
         if federation.spillover is None:
             federation = dataclasses.replace(
                 federation, spillover=SpilloverSpec(queue_limit_fraction=0.5)
             )
-        plan, broker, capacities, admissions = drive_broker(federation, seed, count=180)
+        plan, broker, capacities, admissions, user_groups = drive_broker(
+            federation, seed, count=180
+        )
         fraction = federation.spillover.queue_limit_fraction
         site_count = len(federation.sites)
+        axis = federation.group_axis
         mean_work = float(np.mean(plan.work_units))
-        # Shadow replay of the broker's fluid queues over the realised
-        # assignment: every spilled request must have found room at its
-        # target at its own admission instant.
-        backlog = np.zeros(site_count)
+        # The guard operates on the broker's own operating columns: the
+        # group axis under the per-group signal, one fleet column otherwise.
+        if federation.capacity_signal == "per-group":
+            columns = len(axis)
+            clamp = clamp_column_table(federation.sites, axis)
+            group_of = user_groups
+        else:
+            columns = 1
+            clamp = np.zeros((site_count, max(axis) + 1), dtype=np.int64)
+            group_of = np.zeros_like(user_groups)
+
+        def operating(matrix):
+            matrix = np.asarray(matrix, dtype=float)
+            return matrix.sum(axis=1, keepdims=True) if columns == 1 else matrix
+
+        # Shadow replay of the broker's per-(site, group) fluid queues over
+        # the realised assignment: every spilled request must have found
+        # room at its target's serving group at its own admission instant.
+        backlog = np.zeros((site_count, columns))
         for slot, start in enumerate(np.arange(0.0, DURATION_MS, SLOT_MS)):
-            capacity = capacities[slot]
+            capacity = operating(capacities[slot])
             drain_rate = capacity / mean_work
-            limit = fraction * admissions[slot]
+            limit = fraction * operating(admissions[slot])
             if slot > 0:
                 backlog = np.maximum(
-                    backlog - capacities[slot - 1] * SLOT_MS / mean_work, 0.0
+                    backlog - operating(capacities[slot - 1]) * SLOT_MS / mean_work,
+                    0.0,
                 )
             lo, hi = np.searchsorted(plan.arrival_ms, [start, start + SLOT_MS])
-            used = np.zeros(site_count)
+            used = np.zeros((site_count, columns))
             for k in range(int(lo), int(hi)):
                 site = int(broker.site_ids[k])
                 if site < 0:
                     continue
+                group = int(group_of[int(plan.user_ids[k])])
+                col = int(clamp[site, group])
                 t_rel = float(plan.arrival_ms[k] - start)
                 if broker.spilled[k]:
-                    queue = max(0.0, backlog[site] + used[site] - drain_rate[site] * t_rel)
-                    assert queue + 1.0 <= limit[site] + 1e-9, (
-                        f"spill into site {site} at request {k} exceeded its "
-                        f"queue limit ({queue + 1.0} > {limit[site]})"
+                    queue = max(
+                        0.0,
+                        backlog[site, col]
+                        + used[site, col]
+                        - drain_rate[site, col] * t_rel,
                     )
-                used[site] += 1.0
+                    assert queue + 1.0 <= limit[site, col] + 1e-9, (
+                        f"spill into site {site} group column {col} at request "
+                        f"{k} exceeded its queue limit "
+                        f"({queue + 1.0} > {limit[site, col]})"
+                    )
+                used[site, col] += 1.0
             backlog = backlog + used
 
 
 def grid_spec(policy_spillover, execution="batched") -> ScenarioSpec:
-    policy, spillover = policy_spillover
+    policy, spillover, signal = policy_spillover
     sites = MultiSiteSpec(
         sites=(
+            # Fractional cores (t2.small 3.2) on the small site; an inverted
+            # two-group mix (fractional t2.large 6.5 in the low tier) on the
+            # large one.
             SiteSpec(
                 name="small",
-                cloud=CloudSpec(group_types={1: "t2.nano"}, instance_cap=2),
+                cloud=CloudSpec(group_types={1: "t2.small"}, instance_cap=2),
                 wan_rtt_ms=5.0,
                 weight=3.0,
                 population_share=2.0,
             ),
             SiteSpec(
                 name="large",
-                cloud=CloudSpec(group_types={1: "t2.medium"}, instance_cap=8),
+                cloud=CloudSpec(
+                    group_types={1: "t2.large", 2: "t2.medium"}, instance_cap=8
+                ),
                 wan_rtt_ms=30.0,
                 weight=1.0,
                 population_share=1.0,
@@ -209,6 +267,7 @@ def grid_spec(policy_spillover, execution="batched") -> ScenarioSpec:
         ),
         policy=policy,
         spillover=spillover,
+        capacity_signal=signal,
     )
     return ScenarioSpec(
         name="property-grid",
@@ -230,11 +289,12 @@ class TestScenarioGridInvariants:
     @pytest.mark.parametrize(
         "policy_spillover",
         [
-            ("dynamic-load", None),
-            ("dynamic-load", SpilloverSpec(queue_limit_fraction=0.5)),
-            ("weighted-load", None),
+            ("dynamic-load", None, "per-group"),
+            ("dynamic-load", SpilloverSpec(queue_limit_fraction=0.5), "per-group"),
+            ("dynamic-load", SpilloverSpec(queue_limit_fraction=0.5), "fleet"),
+            ("weighted-load", None, "per-group"),
         ],
-        ids=["dynamic", "dynamic-spill", "static"],
+        ids=["dynamic", "dynamic-spill", "dynamic-spill-fleet", "static"],
     )
     def test_request_conservation(self, seed, policy_spillover):
         result = run_scenario(grid_spec(policy_spillover), seed=seed)
@@ -251,10 +311,21 @@ class TestScenarioGridInvariants:
         assert brokered >= sum(site.requests_total for site in result.sites)
         if policy_spillover[1] is None and policy_spillover[0] != "dynamic-load":
             assert result.requests_spilled == 0
+        # The per-group site tallies partition each site's totals.
+        for site in result.sites:
+            if site.groups:
+                assert sum(g.requests_total for g in site.groups) == (
+                    site.requests_total
+                )
+                assert sum(g.requests_dropped for g in site.groups) == (
+                    site.requests_dropped
+                )
 
     @pytest.mark.parametrize("seed", [0, 7])
     def test_slot_shares_normalise(self, seed):
-        result = run_scenario(grid_spec(("dynamic-load", None)), seed=seed)
+        result = run_scenario(
+            grid_spec(("dynamic-load", None, "per-group")), seed=seed
+        )
         shares = result.slot_routing_shares()
         assert len(shares) == len(result.slot_site_requests)
         for row in shares:

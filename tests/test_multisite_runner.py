@@ -32,7 +32,15 @@ MULTISITE_BUILTINS = (
     "edge-vs-core",
     "hotspot-spillover",
     "load-chase",
+    "mixed-fleet-miscount",
 )
+
+
+def with_capacity_signal(spec: ScenarioSpec, signal: str) -> ScenarioSpec:
+    """A copy of a multi-site spec under a different live-state resolution."""
+    return dataclasses.replace(
+        spec, sites=dataclasses.replace(spec.sites, capacity_signal=signal)
+    )
 
 
 def deterministic_spec(**overrides) -> ScenarioSpec:
@@ -454,3 +462,262 @@ class TestDeterminism:
     def test_different_seeds_differ(self):
         spec = stochastic_spec(execution="batched")
         assert run_scenario(spec, seed=1).as_row() != run_scenario(spec, seed=2).as_row()
+
+
+class TestGroupAwareCapacityAccounting:
+    """`mixed-fleet-miscount`: the group-resolved live-state signal vs the
+    legacy fleet scalars, pinned in both execution modes."""
+
+    @pytest.mark.parametrize("signal", ["per-group", "fleet"])
+    def test_routing_identical_across_modes(self, signal):
+        spec = with_capacity_signal(get_scenario("mixed-fleet-miscount"), signal)
+        event, batched = run_both(spec, 0)
+        assert event.slot_site_requests == batched.slot_site_requests
+        assert event.slot_routing_shares() == batched.slot_routing_shares()
+        assert event.requests_spilled == batched.requests_spilled
+        assert [s.requests_total for s in event.sites] == [
+            s.requests_total for s in batched.sites
+        ]
+        # Per-group *request* totals are part of the routing contract; the
+        # per-group drop tallies carry the usual FCFS-vs-PS tolerances.
+        for site_event, site_batched in zip(event.sites, batched.sites):
+            assert [(g.group, g.requests_total) for g in site_event.groups] == [
+                (g.group, g.requests_total) for g in site_batched.groups
+            ]
+            for g_event, g_batched in zip(site_event.groups, site_batched.groups):
+                assert abs(g_event.drop_rate - g_batched.drop_rate) <= 0.02
+
+    def test_acceptance_criterion_unpromoted_drop_rate_halved(self):
+        """The group-aware signal cuts `lean`'s un-promoted (group-1) drop
+        rate by >=50 % against the fleet-scalar signal, in both modes."""
+        spec = get_scenario("mixed-fleet-miscount")
+        fleet_spec = with_capacity_signal(spec, "fleet")
+        for execution in ("event", "batched"):
+            grouped = run_scenario(
+                dataclasses.replace(spec, execution=execution), seed=0
+            )
+            fleet = run_scenario(
+                dataclasses.replace(fleet_spec, execution=execution), seed=0
+            )
+            drop_fleet = fleet.site("lean").drop_rate_for_group(1)
+            drop_grouped = grouped.site("lean").drop_rate_for_group(1)
+            assert drop_fleet > 0.05, "the starved site must actually saturate"
+            assert drop_grouped <= 0.5 * drop_fleet, (
+                f"{execution}: per-group {drop_grouped:.3f} "
+                f"vs fleet {drop_fleet:.3f}"
+            )
+            # The fleet scalars split the load ~50/50 (equal weights, backlog
+            # drained at the phantom fleet rate); the group signal diverts
+            # un-promoted traffic and spills the remainder.
+            routed = fleet.requests_total - fleet.requests_unrouted
+            assert fleet.site("lean").requests_total == pytest.approx(
+                0.5 * routed, rel=0.02
+            )
+            assert grouped.site("lean").requests_total < (
+                0.8 * fleet.site("lean").requests_total
+            )
+            assert grouped.requests_spilled > 0
+            # Summed over groups, lean's admission looks bottomless to the
+            # fleet guard: it never trips.
+            assert fleet.requests_spilled == 0
+
+    def test_group_rows_cover_all_requests(self):
+        result = run_scenario(
+            dataclasses.replace(
+                get_scenario("mixed-fleet-miscount"), execution="batched"
+            ),
+            seed=0,
+        )
+        for site in result.sites:
+            assert sum(g.requests_total for g in site.groups) == site.requests_total
+            assert sum(g.requests_dropped for g in site.groups) == site.requests_dropped
+            # The population is entirely un-promoted.
+            assert [g.group for g in site.groups] == [1]
+
+
+def fractional_core_spec(**overrides) -> ScenarioSpec:
+    """A dynamic-load federation built entirely from fractional-core types."""
+    sites = MultiSiteSpec(
+        sites=(
+            SiteSpec(
+                name="small-cores",
+                cloud=CloudSpec(group_types={1: "t2.small"}, instance_cap=2),
+                wan_rtt_ms=5.0,
+                weight=1.0,
+                population_share=2.0,
+            ),
+            SiteSpec(
+                name="large-cores",
+                cloud=CloudSpec(group_types={1: "t2.large"}, instance_cap=4),
+                wan_rtt_ms=30.0,
+                weight=1.0,
+            ),
+        ),
+        policy="dynamic-load",
+        spillover=SpilloverSpec(queue_limit_fraction=0.8),
+    )
+    defaults = dict(
+        name="ms-fractional",
+        users=20,
+        duration_hours=0.25,
+        slot_minutes=7.5,
+        task_name="bubblesort",
+        workload=WorkloadSpec(pattern="uniform", target_requests=6000),
+        policy=PolicySpec(promotion="static", promotion_probability=0.0),
+        sites=sites,
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestFractionalCoreParity:
+    """The capacity signal and the fluid model agree on fractional cores."""
+
+    def test_capacity_signal_uses_fluid_cores(self):
+        from repro.mobile.tasks import DEFAULT_TASK_POOL
+        from repro.multisite.federation import build_federation
+        from repro.simulation.engine import SimulationEngine
+        from repro.simulation.randomness import RandomStreams
+
+        federation = build_federation(
+            scenario=fractional_core_spec(),
+            engine=SimulationEngine(),
+            streams=RandomStreams(0),
+            task=DEFAULT_TASK_POOL.get("bubblesort"),
+            with_accelerators=False,
+        )
+        small, large = federation.sites
+        # t2.small: 3.2 effective cores at speed 1.0; t2.large: 6.5 at 1.25.
+        # The historical int(round(...)) form reported 3.0 and 8.75 (7*1.25).
+        assert small.capacity_work_per_ms() == pytest.approx(3.2)
+        assert large.capacity_work_per_ms() == pytest.approx(6.5 * 1.25)
+        import numpy as np
+
+        np.testing.assert_allclose(
+            federation.capacity_snapshot(), [[3.2], [8.125]]
+        )
+
+    def test_routing_identical_across_modes(self):
+        event, batched = run_both(fractional_core_spec(), 0)
+        assert event.slot_site_requests == batched.slot_site_requests
+        assert event.requests_spilled == batched.requests_spilled
+        assert [s.requests_total for s in event.sites] == [
+            s.requests_total for s in batched.sites
+        ]
+        assert abs(event.drop_rate - batched.drop_rate) <= 0.02
+
+
+class TestBootDelayAccounting:
+    """Booting instances hold cap slots but advertise no capacity."""
+
+    def boot_spec(self) -> ScenarioSpec:
+        sites = MultiSiteSpec(
+            sites=(
+                SiteSpec(
+                    name="slow-boot",
+                    cloud=CloudSpec(
+                        group_types={1: "t2.nano", 2: "t2.medium"},
+                        instance_cap=6,
+                        boot_delay_ms=120_000.0,
+                    ),
+                ),
+                SiteSpec(name="instant", cloud=CloudSpec(group_types={1: "t2.nano"})),
+            ),
+            policy="dynamic-load",
+        )
+        return ScenarioSpec(
+            name="ms-boot",
+            users=8,
+            duration_hours=0.5,
+            slot_minutes=10.0,
+            workload=WorkloadSpec(pattern="fixed", target_requests=100),
+            sites=sites,
+        )
+
+    def test_booting_instances_held_against_cap_without_capacity(self):
+        from repro.mobile.tasks import DEFAULT_TASK_POOL
+        from repro.multisite.federation import build_federation
+        from repro.simulation.engine import SimulationEngine
+        from repro.simulation.randomness import RandomStreams
+
+        engine = SimulationEngine()
+        federation = build_federation(
+            scenario=self.boot_spec(),
+            engine=engine,
+            streams=RandomStreams(0),
+            task=DEFAULT_TASK_POOL.get("minimax"),
+            with_accelerators=False,
+        )
+        slow, instant = federation.sites
+        # Both initial instances of `slow-boot` are still booting at t=0:
+        # no serving capacity, no admission headroom, but both cap slots are
+        # taken - the broker must not see them as free headroom *and* zero
+        # capacity at once (the double count this fixes).
+        assert slow.capacity_work_per_ms() == 0.0
+        assert slow.admission_capacity_requests() == 0
+        assert slow.remaining_instance_cap() == 6 - 2
+        assert slow.provisioner.launched_count == 2
+        assert slow.provisioner.running_count == 0
+        # The zero-delay site serves immediately.
+        assert instant.capacity_work_per_ms() > 0.0
+        # After the boot window the capacity appears, cap accounting unchanged.
+        engine.clock.advance_to(120_000.0)
+        assert slow.capacity_work_per_ms() == pytest.approx(3.0 + 7.5)
+        assert slow.admission_capacity_requests() > 0
+        assert slow.remaining_instance_cap() == 4
+        assert slow.provisioner.running_count == 2
+
+
+class TestGroupTallyContract:
+    """Per-group site tallies key on the requesting group, not the clamp."""
+
+    def clamping_spec(self, **overrides) -> ScenarioSpec:
+        # `high-only` declares no group 1: un-promoted requests routed there
+        # clamp *up* to its group-2 fleet, but must still be reported as
+        # group-1 traffic in both execution modes.
+        sites = MultiSiteSpec(
+            sites=(
+                SiteSpec(
+                    name="full",
+                    cloud=CloudSpec(
+                        group_types={1: "t2.nano", 2: "t2.medium"}, instance_cap=4
+                    ),
+                    wan_rtt_ms=5.0,
+                    population_share=2.0,
+                ),
+                SiteSpec(
+                    name="high-only",
+                    cloud=CloudSpec(group_types={2: "t2.medium"}, instance_cap=4),
+                    wan_rtt_ms=20.0,
+                ),
+            ),
+            policy="dynamic-load",
+        )
+        defaults = dict(
+            name="ms-clamping",
+            users=10,
+            duration_hours=0.25,
+            slot_minutes=7.5,
+            task_name="bubblesort",
+            workload=WorkloadSpec(pattern="uniform", target_requests=800),
+            policy=PolicySpec(promotion="static", promotion_probability=0.0),
+            sites=sites,
+        )
+        defaults.update(overrides)
+        return ScenarioSpec(**defaults)
+
+    def test_clamped_requests_reported_under_requesting_group(self):
+        event, batched = run_both(self.clamping_spec(), 0)
+        for result in (event, batched):
+            high_only = result.site("high-only")
+            assert high_only.requests_total > 0
+            # Users homed at `full` are group 1; users homed at `high-only`
+            # start at its lowest declared group, 2.  Both cohorts appear
+            # under their *requesting* groups even though every request at
+            # `high-only` is served by its group-2 fleet.
+            assert {g.group for g in high_only.groups} <= {1, 2}
+            assert high_only.group(1).requests_total > 0
+        for site_event, site_batched in zip(event.sites, batched.sites):
+            assert [(g.group, g.requests_total) for g in site_event.groups] == [
+                (g.group, g.requests_total) for g in site_batched.groups
+            ]

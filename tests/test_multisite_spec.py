@@ -226,3 +226,58 @@ class TestBrokerOverride:
         assert overridden.sites.spillover is None
         # Re-overriding back to dynamic keeps the original spillover knobs.
         assert spec.with_overrides(broker="dynamic-load").sites.spillover is not None
+
+
+class TestCapacitySignal:
+    def make_sites(self, **kwargs):
+        defaults = dict(
+            sites=(SiteSpec(name="a"), SiteSpec(name="b")),
+            policy="dynamic-load",
+        )
+        defaults.update(kwargs)
+        return MultiSiteSpec(**defaults)
+
+    def test_defaults_to_per_group(self):
+        assert self.make_sites().capacity_signal == "per-group"
+
+    def test_fleet_accepted(self):
+        assert self.make_sites(capacity_signal="fleet").capacity_signal == "fleet"
+
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(ValueError, match="capacity_signal"):
+            self.make_sites(capacity_signal="per-fleet")
+
+    def test_round_trips_through_dict(self):
+        spec = self.make_sites(capacity_signal="fleet")
+        clone = MultiSiteSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.capacity_signal == "fleet"
+
+    def test_group_axis_is_sorted_union(self):
+        spec = MultiSiteSpec(
+            sites=(
+                SiteSpec(name="a", cloud=CloudSpec(group_types={1: "t2.nano", 3: "m4.4xlarge"})),
+                SiteSpec(name="b", cloud=CloudSpec(group_types={2: "t2.medium"})),
+            ),
+            policy="dynamic-load",
+        )
+        assert spec.group_axis == (1, 2, 3)
+
+
+class TestCapacitySignalOverride:
+    def test_override_on_multisite_spec(self):
+        from repro.scenarios import get_scenario
+
+        spec = get_scenario("mixed-fleet-miscount").with_overrides(
+            capacity_signal="fleet"
+        )
+        assert spec.sites.capacity_signal == "fleet"
+        # The broker policy and spillover knobs survive the override.
+        assert spec.sites.policy == "dynamic-load"
+        assert spec.sites.spillover is not None
+
+    def test_override_rejected_for_single_site(self):
+        from repro.scenarios import get_scenario
+
+        with pytest.raises(ValueError, match="capacity-signal"):
+            get_scenario("paper-baseline").with_overrides(capacity_signal="fleet")

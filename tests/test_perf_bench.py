@@ -119,6 +119,7 @@ class TestSuites:
             "arrival.generation",
             "stats.extend",
             "server.processor_sharing",
+            "broker.slot_state",
         }
         assert all(record.ops_per_s > 0 for record in records)
 
@@ -152,7 +153,7 @@ class TestBenchCli:
         assert code == 0
         payload = json.loads((tmp_path / "BENCH_clitest.json").read_text())
         assert payload["label"] == "clitest"
-        assert len(payload["records"]) == 6
+        assert len(payload["records"]) == 7
         out = capsys.readouterr().out
         assert "engine.events" in out
 

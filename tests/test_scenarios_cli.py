@@ -232,3 +232,53 @@ class TestCampaignNewScenarios:
         assert "hotspot-spillover" in output
         assert "load-chase" in output
         assert "spilled" in output
+
+
+class TestCapacitySignalFlag:
+    def test_unknown_signal_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["scenario", "run", "mixed-fleet-miscount",
+                 "--capacity-signal", "per-site"]
+            )
+
+    def test_signal_on_single_site_scenario_errors(self, capsys):
+        code = main(
+            ["scenario", "run", "paper-baseline", "--capacity-signal", "fleet"]
+        )
+        assert code == 2
+        assert "single-site" in capsys.readouterr().err
+
+    def test_fleet_override_runs_and_prints_group_rows(self, capsys):
+        code = main(
+            [
+                "scenario", "run", "mixed-fleet-miscount",
+                "--capacity-signal", "fleet",
+                "--users", "8", "--hours", "0.1", "--requests", "600",
+                "--execution", "batched",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "lean" in output and "roomy" in output
+        # The per-(site, group) rollup table, with federation totals.
+        assert "group" in output
+        assert "share_lean" in output and "share_roomy" in output
+
+    def test_json_includes_per_group_site_rows(self, capsys):
+        import json as json_module
+
+        code = main(
+            [
+                "scenario", "run", "mixed-fleet-miscount",
+                "--users", "8", "--hours", "0.1", "--requests", "600",
+                "--execution", "batched", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert {site["name"] for site in payload["sites"]} == {"lean", "roomy"}
+        for site in payload["sites"]:
+            assert "groups" in site
+            for entry in site["groups"]:
+                assert {"group", "requests_total", "requests_dropped"} <= set(entry)

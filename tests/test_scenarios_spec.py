@@ -161,3 +161,22 @@ class TestScenarioSpec:
         spec = ScenarioSpec(name="x")
         with pytest.raises(AttributeError):
             spec.users = 5
+
+
+class TestBootDelay:
+    def test_defaults_to_zero(self):
+        assert CloudSpec().boot_delay_ms == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="boot_delay_ms"):
+            CloudSpec(boot_delay_ms=-1.0)
+
+    def test_round_trips_through_dict(self):
+        spec = ScenarioSpec(
+            name="boot",
+            cloud=CloudSpec(boot_delay_ms=90_000.0),
+            workload=WorkloadSpec(target_requests=200),
+        )
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert clone.cloud.boot_delay_ms == 90_000.0
+        assert clone == spec
