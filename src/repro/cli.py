@@ -25,6 +25,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import logging
 import sys
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Sequence
@@ -57,6 +58,33 @@ from repro.scenarios import (
     get_scenario,
     run_scenario,
 )
+from repro.telemetry import Telemetry
+
+#: Progress / bookkeeping messages ("wrote <path>", "peak RSS ...") go through
+#: this logger onto stderr, gated by ``--verbose``/``--quiet`` — result tables
+#: and JSON payloads stay on stdout, so piping output never mixes the two.
+log = logging.getLogger("repro")
+
+
+def _configure_logging(verbose: bool, quiet: bool) -> None:
+    """(Re)bind the CLI logger to the *current* stderr at the chosen level.
+
+    A fresh handler per invocation keeps ``main()`` re-entrant: embedding
+    callers (and pytest's capsys) may swap ``sys.stderr`` between calls, and
+    a cached handler would keep writing to the old stream.
+    """
+    for handler in list(log.handlers):
+        log.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    log.addHandler(handler)
+    log.propagate = False
+    if quiet:
+        log.setLevel(logging.WARNING)
+    elif verbose:
+        log.setLevel(logging.DEBUG)
+    else:
+        log.setLevel(logging.INFO)
 
 
 def _invalid_broker(broker: "str | None") -> bool:
@@ -166,8 +194,8 @@ def _cmd_export(args: argparse.Namespace) -> int:
     for name, runner in experiments.items():
         path = write_csv(runner(), output_dir / f"{name}.csv")
         written.append(path)
-        print(f"wrote {path}")
-    print(f"exported {len(written)} figure datasets to {output_dir}")
+        log.info("wrote %s", path)
+    log.info("exported %d figure datasets to %s", len(written), output_dir)
     return 0
 
 
@@ -227,16 +255,36 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
             execution=args.execution,
             broker=args.broker,
             capacity_signal=args.capacity_signal,
+            telemetry=args.telemetry or bool(args.trace_out) or None,
         )
-        result = run_scenario(spec, seed=args.seed)
+        # Build the collector here (rather than letting the runner resolve
+        # the spec knob) so the CLI can read it back for the summary/exports.
+        telemetry = Telemetry() if spec.telemetry else None
+        result = run_scenario(spec, seed=args.seed, telemetry=telemetry)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.trace_out and telemetry is not None:
+        trace_path = Path(args.trace_out)
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        trace_path.write_text(
+            json.dumps(telemetry.tracer.to_chrome_trace(), indent=2)
+        )
+        log.info("wrote Chrome trace %s", trace_path)
     if args.json:
         payload = _jsonify(dataclasses.asdict(result))
+        if telemetry is not None:
+            payload["telemetry"] = _jsonify(telemetry.as_dict())
         print(json.dumps(payload, indent=2))
         return 0
     print(format_table(result.rows()))
+    if telemetry is not None:
+        print()
+        print(format_table(telemetry.tracer.phase_rows()))
+        for line in telemetry.summary_lines():
+            print(line)
+        print()
+        print(format_table(telemetry.registry.rows()))
     if result.is_multisite:
         print()
         print(format_table(result.site_rows()))
@@ -282,7 +330,7 @@ def _cmd_scenario_campaign(args: argparse.Namespace) -> int:
     print(campaign.format_table())
     if args.csv:
         path = campaign.to_csv(args.csv)
-        print(f"wrote {path}")
+        log.info("wrote %s", path)
     return 0
 
 
@@ -310,7 +358,7 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     print(format_table(rows))
     print(f"peak RSS: {report.peak_rss_kb} kB")
     path = report.write(args.output_dir)
-    print(f"wrote {path}")
+    log.info("wrote %s", path)
     return 0
 
 
@@ -346,6 +394,12 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
         for name in missing
     )
     print(format_table(rows))
+    if baseline.peak_rss_kb and current.peak_rss_kb:
+        rss_ratio = current.peak_rss_kb / baseline.peak_rss_kb
+        print(
+            f"peak RSS: baseline {baseline.peak_rss_kb} kB -> "
+            f"current {current.peak_rss_kb} kB (x{rss_ratio:.2f})"
+        )
     if not comparisons:
         print("no matching benchmarks between the two reports", file=sys.stderr)
         return 2
@@ -379,6 +433,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "--verbose", action="store_true",
+        help="also show debug-level progress messages (stderr)",
+    )
+    verbosity.add_argument(
+        "--quiet", action="store_true",
+        help="suppress informational progress messages (stderr)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -451,6 +514,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the full result as JSON (per-site and per-group rows, "
         "spillover and per-slot routing fields included)",
+    )
+    scenario_run.add_argument(
+        "--telemetry", action="store_true",
+        help="collect metrics and slot-phase spans; prints a phase/metric "
+        "summary (or embeds a 'telemetry' key under --json)",
+    )
+    scenario_run.add_argument(
+        "--trace-out", default="", dest="trace_out", metavar="PATH",
+        help="write the run's span timeline as a Chrome-trace JSON file "
+        "(implies --telemetry; open via chrome://tracing or ui.perfetto.dev)",
     )
     scenario_run.set_defaults(handler=_cmd_scenario_run)
 
@@ -531,6 +604,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         if code is None:
             return 0
         return code if isinstance(code, int) else 2
+    _configure_logging(args.verbose, args.quiet)
     return args.handler(args)
 
 

@@ -70,6 +70,15 @@ from repro.scenarios.spec import ScenarioSpec
 from repro.sdn.accelerator import RequestRecord
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.randomness import RandomStreams
+from repro.telemetry import NULL_TELEMETRY, resolve_telemetry
+from repro.telemetry.publish import (
+    publish_broker,
+    publish_devices,
+    publish_engine,
+    publish_federation,
+    publish_requests,
+    publish_serving_stack,
+)
 from repro.core.timeslots import TimeSlot
 
 
@@ -146,6 +155,8 @@ def run_slot_brokering(
     start_ms: float,
     end_ms: float,
     group_of_user: "np.ndarray | None" = None,
+    telemetry=NULL_TELEMETRY,
+    slot_index: "int | None" = None,
 ) -> "tuple[int, int]":
     """The single slot-boundary brokering step both executors call.
 
@@ -161,33 +172,34 @@ def run_slot_brokering(
     here, in slot order and per site in federation order, so both execution
     modes consume exactly the same draws from the same named streams.
     """
-    if slot_broker.is_dynamic:
-        i0, i1 = slot_broker.broker_slot(
-            start_ms,
-            end_ms,
-            capacity_work_per_ms=federation.capacity_snapshot(),
-            remaining_instance_cap=np.asarray(
-                [site.remaining_instance_cap() for site in federation],
-                dtype=np.int64,
-            ),
-            admission_capacity=federation.admission_snapshot(),
-            group_of_user=group_of_user,
-        )
-    else:
-        i0, i1 = slot_broker.broker_slot(start_ms, end_ms)
-    if slot_broker.samples_network and i1 > i0:
-        hours = (plan.arrival_ms[i0:i1] / 3_600_000.0) % 24.0
-        window_sites = slot_broker.site_ids[i0:i1]
-        for site in federation:
-            picks = np.flatnonzero(window_sites == site.index)
-            if picks.size == 0:
-                continue
-            plan.t1_ms[i0 + picks] = site.channel.sample_t1_many(hours[picks])
-            plan.t2_ms[i0 + picks] = site.channel.sample_t2_many(hours[picks])
-        routed = np.flatnonzero(window_sites >= 0)
-        if routed.size:
-            plan.t1_ms[i0 + routed] += slot_broker.extra_rtt_ms[i0 + routed]
-    return i0, i1
+    with telemetry.span("slot.broker", slot=slot_index):
+        if slot_broker.is_dynamic:
+            i0, i1 = slot_broker.broker_slot(
+                start_ms,
+                end_ms,
+                capacity_work_per_ms=federation.capacity_snapshot(),
+                remaining_instance_cap=np.asarray(
+                    [site.remaining_instance_cap() for site in federation],
+                    dtype=np.int64,
+                ),
+                admission_capacity=federation.admission_snapshot(),
+                group_of_user=group_of_user,
+            )
+        else:
+            i0, i1 = slot_broker.broker_slot(start_ms, end_ms)
+        if slot_broker.samples_network and i1 > i0:
+            hours = (plan.arrival_ms[i0:i1] / 3_600_000.0) % 24.0
+            window_sites = slot_broker.site_ids[i0:i1]
+            for site in federation:
+                picks = np.flatnonzero(window_sites == site.index)
+                if picks.size == 0:
+                    continue
+                plan.t1_ms[i0 + picks] = site.channel.sample_t1_many(hours[picks])
+                plan.t2_ms[i0 + picks] = site.channel.sample_t2_many(hours[picks])
+            routed = np.flatnonzero(window_sites >= 0)
+            if routed.size:
+                plan.t1_ms[i0 + routed] += slot_broker.extra_rtt_ms[i0 + routed]
+        return i0, i1
 
 
 # ---------------------------------------------------------------------------
@@ -207,6 +219,7 @@ def execute_event_multisite(
     task,
     duration_ms: float,
     slot_ms: float,
+    telemetry=NULL_TELEMETRY,
 ) -> FederationMetrics:
     """Drive the brokered plan through per-site SDN front-ends on one engine."""
     completion_callbacks: Dict[int, Callable[[RequestRecord], None]] = {}
@@ -244,7 +257,11 @@ def execute_event_multisite(
         period_start = (period - 1) * slot_ms
         period_end = min(period * slot_ms, duration_ms)
 
-        def _broker(start: float = period_start, end: float = period_end) -> None:
+        def _broker(
+            start: float = period_start,
+            end: float = period_end,
+            slot_index: int = period - 1,
+        ) -> None:
             run_slot_brokering(
                 slot_broker,
                 plan=plan,
@@ -258,6 +275,8 @@ def execute_event_multisite(
                     [devices[user].acceleration_group for user in range(spec.users)],
                     dtype=np.int64,
                 ),
+                telemetry=telemetry,
+                slot_index=slot_index,
             )
 
         engine.schedule_at(period_start, _broker, label=f"multisite:broker-{period}")
@@ -267,58 +286,65 @@ def execute_event_multisite(
                 site: SiteRuntime = site,
                 start: float = period_start,
                 end: float = period_end,
+                slot_index: int = period - 1,
             ) -> None:
-                site.autoscaler.run_period_end(site.accelerator.trace_log, start, end)
+                with telemetry.span("slot.control", slot=slot_index):
+                    site.autoscaler.run_period_end(
+                        site.accelerator.trace_log, start, end
+                    )
 
             engine.schedule_at(
                 period_end, _scale, label=f"multisite:scale-{site.name}-{period}"
             )
 
-    for index in range(len(plan)):
+    with telemetry.span("scenario.schedule"):
+        for index in range(len(plan)):
 
-        def _submit(index: int = index) -> None:
-            nonlocal unrouted
-            user_id = int(plan.user_ids[index])
-            device = devices[user_id]
-            device.requests_sent += 1
-            site_index = int(site_ids[index])
-            if site_index == UNROUTED:
-                # Federation-wide outage: the broker rejects the request
-                # immediately; no site ever sees it.
-                unrouted += 1
-                device.record_failure()
-                return
-            site = federation.site(site_index)
-            # Per-group site tallies key on the *requesting* group — the
-            # user's promotion level as routed, not the post-clamp serving
-            # group the record carries — so both executors report the same
-            # cohort breakdown.  Tallied at delivery, when success is known.
-            requested_group = device.acceleration_group
-            stats = per_site[site_index]
-            user_callback = _completion_for(user_id)
+            def _submit(index: int = index) -> None:
+                nonlocal unrouted
+                user_id = int(plan.user_ids[index])
+                device = devices[user_id]
+                device.requests_sent += 1
+                site_index = int(site_ids[index])
+                if site_index == UNROUTED:
+                    # Federation-wide outage: the broker rejects the request
+                    # immediately; no site ever sees it.
+                    unrouted += 1
+                    device.record_failure()
+                    return
+                site = federation.site(site_index)
+                # Per-group site tallies key on the *requesting* group — the
+                # user's promotion level as routed, not the post-clamp serving
+                # group the record carries — so both executors report the same
+                # cohort breakdown.  Tallied at delivery, when success is known.
+                requested_group = device.acceleration_group
+                stats = per_site[site_index]
+                user_callback = _completion_for(user_id)
 
-            def _on_complete(
-                record: RequestRecord,
-                stats: SiteExecutionStats = stats,
-                group: int = requested_group,
-            ) -> None:
-                stats.tally_group(group, 1, 0 if record.success else 1)
-                user_callback(record)
+                def _on_complete(
+                    record: RequestRecord,
+                    stats: SiteExecutionStats = stats,
+                    group: int = requested_group,
+                ) -> None:
+                    stats.tally_group(group, 1, 0 if record.success else 1)
+                    user_callback(record)
 
-            site.accelerator.submit_planned(
-                user_id=user_id,
-                acceleration_group=requested_group,
-                work_units=float(plan.work_units[index]),
-                t1_ms=float(plan.t1_ms[index]),
-                t2_ms=float(plan.t2_ms[index]),
-                routing_ms=float(plan.routing_ms[index]),
-                jitter_z=float(plan.jitter_z[index]),
-                task_name=task_name,
-                battery_level=device.battery.level,
-                on_complete=_on_complete,
+                site.accelerator.submit_planned(
+                    user_id=user_id,
+                    acceleration_group=requested_group,
+                    work_units=float(plan.work_units[index]),
+                    t1_ms=float(plan.t1_ms[index]),
+                    t2_ms=float(plan.t2_ms[index]),
+                    routing_ms=float(plan.routing_ms[index]),
+                    jitter_z=float(plan.jitter_z[index]),
+                    task_name=task_name,
+                    battery_level=device.battery.level,
+                    on_complete=_on_complete,
+                )
+
+            engine.schedule_at(
+                float(plan.arrival_ms[index]), _submit, label="multisite:request"
             )
-
-        engine.schedule_at(float(plan.arrival_ms[index]), _submit, label="multisite:request")
 
     # --- utilization sampling (federation-wide and per site) ----------------
     utilization_samples: List[float] = []
@@ -342,7 +368,14 @@ def execute_event_multisite(
 
     engine.schedule_at(0.0, _sample_utilization, label="multisite:utilization")
 
-    engine.run(until_ms=duration_ms + DRAIN_MARGIN_MS)
+    # One engine chunk per provisioning period (identical event order to a
+    # single run — see the single-site event executor), then a final drain.
+    for period in range(1, spec.periods + 1):
+        period_end = min(period * slot_ms, duration_ms)
+        with telemetry.span("slot.serve", slot=period - 1):
+            engine.run(until_ms=period_end)
+    with telemetry.span("slot.drain"):
+        engine.run(until_ms=duration_ms + DRAIN_MARGIN_MS)
 
     for site in federation:
         records = site.accelerator.records
@@ -386,6 +419,7 @@ def execute_batched_multisite(
     moderators: Dict[int, Moderator],
     duration_ms: float,
     slot_ms: float,
+    telemetry=NULL_TELEMETRY,
 ) -> FederationMetrics:
     """Run the federation's data plane slot by slot, one Lindley pass per site."""
     users = spec.users
@@ -460,139 +494,148 @@ def execute_batched_multisite(
             start_ms=start,
             end_ms=end,
             group_of_user=group_of_user,
+            telemetry=telemetry,
+            slot_index=period - 1,
         )
-        count = int(i1 - i0)
-        uids = plan.user_ids[i0:i1]
-        # Snapshot the promotion levels the broker routed by, before this
-        # slot's deliveries mutate them: the per-group site tallies must
-        # reflect the groups as requested, in both execution modes.
-        window_user_groups = group_of_user[uids]
-        t1 = plan.t1_ms[i0:i1]
-        t2 = plan.t2_ms[i0:i1]
-        routing = plan.routing_ms[i0:i1]
-        # Uplink/downlink derive from T1/T2, which the dynamic broker only
-        # fills at this slot's boundary — compute them per window, not from
-        # the whole-plan properties.
-        half_hops = (t1 + t2) / 2.0
-        dispatch = arrival[i0:i1] + half_hops + routing
-        dlink = half_hops
-        work = plan.work_units[i0:i1]
-        jitter = plan.jitter_z[i0:i1]
-        window_sites = site_ids[i0:i1]
+        with telemetry.span("slot.serve", slot=period - 1):
+            count = int(i1 - i0)
+            uids = plan.user_ids[i0:i1]
+            # Snapshot the promotion levels the broker routed by, before this
+            # slot's deliveries mutate them: the per-group site tallies must
+            # reflect the groups as requested, in both execution modes.
+            window_user_groups = group_of_user[uids]
+            t1 = plan.t1_ms[i0:i1]
+            t2 = plan.t2_ms[i0:i1]
+            routing = plan.routing_ms[i0:i1]
+            # Uplink/downlink derive from T1/T2, which the dynamic broker only
+            # fills at this slot's boundary — compute them per window, not from
+            # the whole-plan properties.
+            half_hops = (t1 + t2) / 2.0
+            dispatch = arrival[i0:i1] + half_hops + routing
+            dlink = half_hops
+            work = plan.work_units[i0:i1]
+            jitter = plan.jitter_z[i0:i1]
+            window_sites = site_ids[i0:i1]
 
-        delivered = np.empty(count)
-        cloud = np.zeros(count)
-        ok = np.ones(count, dtype=bool)
-        routed_groups = np.zeros(count, dtype=np.int64)
+            delivered = np.empty(count)
+            cloud = np.zeros(count)
+            ok = np.ones(count, dtype=bool)
+            routed_groups = np.zeros(count, dtype=np.int64)
 
-        # Broker drops (no available site) fail back instantly at arrival.
-        lost = np.flatnonzero(window_sites == UNROUTED)
-        ok[lost] = False
-        delivered[lost] = arrival[i0:i1][lost]
-        unrouted_total += int(lost.size)
+            # Broker drops (no available site) fail back instantly at arrival.
+            lost = np.flatnonzero(window_sites == UNROUTED)
+            ok[lost] = False
+            delivered[lost] = arrival[i0:i1][lost]
+            unrouted_total += int(lost.size)
 
-        for site in federation:
-            select = np.flatnonzero(window_sites == site.index)
-            if select.size == 0:
-                continue
-            levels = site.backend.levels
-            if not levels:
-                raise ValueError(f"site {site.name!r} back-end pool is empty")
-            if round_robin:
-                routed = np.asarray(levels, dtype=np.int64)[
-                    (rr_cursors[site.index] + np.arange(select.size)) % len(levels)
-                ]
-                rr_cursors[site.index] += select.size
-            else:
-                routed = clamp_table(levels, highest_group)[
-                    group_of_user[uids[select]]
-                ]
-            routed_groups[select] = routed
-            serve_slot_requests(
-                backend=site.backend,
-                state_for=state_fors[site.index],
-                select=select,
-                routed=routed,
-                dispatch=dispatch,
-                work=work,
-                jitter=jitter,
-                downlink=dlink,
-                delivered=delivered,
-                cloud=cloud,
-                ok=ok,
-                slot_start_ms=start,
-            )
-        response = t1 + t2 + routing + cloud
-
-        if count:
-            sent = np.bincount(uids, minlength=users)
-            for user in np.flatnonzero(sent):
-                devices[int(user)].requests_sent += int(sent[user])
-
-        recorded = delivered <= horizon
-        requests_total += int(np.count_nonzero(recorded))
-        failed = recorded & ~ok
-        dropped_total += int(np.count_nonzero(failed))
-        if np.any(failed):
-            failures = np.bincount(uids[failed], minlength=users)
-            for user in np.flatnonzero(failures):
-                devices[int(user)].record_failures(int(failures[user]))
-        succeeded = recorded & ok
-        success_chunks.append(response[succeeded])
-
-        for site in federation:
-            mask = recorded & (window_sites == site.index)
-            stats = per_site[site.index]
-            stats.requests_total += int(np.count_nonzero(mask))
-            stats.requests_dropped += int(np.count_nonzero(mask & ~ok))
-            stats.success_chunks.append(response[mask & succeeded])
-            if np.any(mask):
-                for group in np.unique(window_user_groups[mask]):
-                    picks = mask & (window_user_groups == group)
-                    stats.tally_group(
-                        int(group),
-                        int(np.count_nonzero(picks)),
-                        int(np.count_nonzero(picks & ~ok)),
-                    )
-
-        while sample_cursor < len(sample_times) and sample_times[sample_cursor] < end:
-            append_utilization(sample_times[sample_cursor])
-            sample_cursor += 1
-
-        if np.any(succeeded):
-            by_user = np.argsort(uids[succeeded], kind="stable")
-            user_sorted = uids[succeeded][by_user]
-            response_sorted = response[succeeded][by_user]
-            delivered_sorted = delivered[succeeded][by_user]
-            uniques, first = np.unique(user_sorted, return_index=True)
-            bounds = np.append(first, user_sorted.size)
-            for user, lo, hi in zip(uniques, bounds[:-1], bounds[1:]):
-                device = devices[int(user)]
-                by_completion = np.argsort(delivered_sorted[lo:hi], kind="stable")
-                moderators[int(user)].observe_many(
-                    device,
-                    response_sorted[lo:hi][by_completion],
-                    delivered_sorted[lo:hi][by_completion],
+            for site in federation:
+                select = np.flatnonzero(window_sites == site.index)
+                if select.size == 0:
+                    continue
+                levels = site.backend.levels
+                if not levels:
+                    raise ValueError(f"site {site.name!r} back-end pool is empty")
+                if round_robin:
+                    routed = np.asarray(levels, dtype=np.int64)[
+                        (rr_cursors[site.index] + np.arange(select.size)) % len(levels)
+                    ]
+                    rr_cursors[site.index] += select.size
+                else:
+                    routed = clamp_table(levels, highest_group)[
+                        group_of_user[uids[select]]
+                    ]
+                routed_groups[select] = routed
+                serve_slot_requests(
+                    backend=site.backend,
+                    state_for=state_fors[site.index],
+                    select=select,
+                    routed=routed,
+                    dispatch=dispatch,
+                    work=work,
+                    jitter=jitter,
+                    downlink=dlink,
+                    delivered=delivered,
+                    cloud=cloud,
+                    ok=ok,
+                    slot_start_ms=start,
                 )
-                group_of_user[int(user)] = device.acceleration_group
+            response = t1 + t2 + routing + cloud
+
+            if count:
+                sent = np.bincount(uids, minlength=users)
+                for user in np.flatnonzero(sent):
+                    devices[int(user)].requests_sent += int(sent[user])
+
+            recorded = delivered <= horizon
+            requests_total += int(np.count_nonzero(recorded))
+            failed = recorded & ~ok
+            dropped_total += int(np.count_nonzero(failed))
+            if np.any(failed):
+                failures = np.bincount(uids[failed], minlength=users)
+                for user in np.flatnonzero(failures):
+                    devices[int(user)].record_failures(int(failures[user]))
+            succeeded = recorded & ok
+            success_chunks.append(response[succeeded])
+
+            for site in federation:
+                mask = recorded & (window_sites == site.index)
+                stats = per_site[site.index]
+                stats.requests_total += int(np.count_nonzero(mask))
+                stats.requests_dropped += int(np.count_nonzero(mask & ~ok))
+                stats.success_chunks.append(response[mask & succeeded])
+                if np.any(mask):
+                    for group in np.unique(window_user_groups[mask]):
+                        picks = mask & (window_user_groups == group)
+                        stats.tally_group(
+                            int(group),
+                            int(np.count_nonzero(picks)),
+                            int(np.count_nonzero(picks & ~ok)),
+                        )
+
+            while (
+                sample_cursor < len(sample_times)
+                and sample_times[sample_cursor] < end
+            ):
+                append_utilization(sample_times[sample_cursor])
+                sample_cursor += 1
+
+            if np.any(succeeded):
+                by_user = np.argsort(uids[succeeded], kind="stable")
+                user_sorted = uids[succeeded][by_user]
+                response_sorted = response[succeeded][by_user]
+                delivered_sorted = delivered[succeeded][by_user]
+                uniques, first = np.unique(user_sorted, return_index=True)
+                bounds = np.append(first, user_sorted.size)
+                for user, lo, hi in zip(uniques, bounds[:-1], bounds[1:]):
+                    device = devices[int(user)]
+                    by_completion = np.argsort(delivered_sorted[lo:hi], kind="stable")
+                    moderators[int(user)].observe_many(
+                        device,
+                        response_sorted[lo:hi][by_completion],
+                        delivered_sorted[lo:hi][by_completion],
+                    )
+                    group_of_user[int(user)] = device.acceleration_group
 
         # --- per-site control planes at the slot boundary -------------------
-        engine.clock.advance_to(end)
-        observed = recorded & (delivered < end)
-        for site in federation:
-            site_mask = observed & (window_sites == site.index)
-            users_per_group: Dict[int, set] = {
-                group: set() for group in site.model.groups()
-            }
-            if np.any(site_mask):
-                for group in np.unique(routed_groups[site_mask]):
-                    picks = site_mask & (routed_groups == group)
-                    users_per_group.setdefault(int(group), set()).update(
-                        int(user) for user in np.unique(uids[picks])
-                    )
-            slot = TimeSlot.from_user_sets(len(site.model.history), users_per_group)
-            site.model.observe_slot(slot)
-            site.autoscaler.scale_for_slot(slot, end)
+        with telemetry.span("slot.control", slot=period - 1):
+            engine.clock.advance_to(end)
+            observed = recorded & (delivered < end)
+            for site in federation:
+                site_mask = observed & (window_sites == site.index)
+                users_per_group: Dict[int, set] = {
+                    group: set() for group in site.model.groups()
+                }
+                if np.any(site_mask):
+                    for group in np.unique(routed_groups[site_mask]):
+                        picks = site_mask & (routed_groups == group)
+                        users_per_group.setdefault(int(group), set()).update(
+                            int(user) for user in np.unique(uids[picks])
+                        )
+                slot = TimeSlot.from_user_sets(
+                    len(site.model.history), users_per_group
+                )
+                site.model.observe_slot(slot)
+                site.autoscaler.scale_for_slot(slot, end)
 
     while sample_cursor < len(sample_times):
         append_utilization(sample_times[sample_cursor])
@@ -617,91 +660,109 @@ def execute_batched_multisite(
 # ---------------------------------------------------------------------------
 
 
-def run_multisite_scenario(spec: ScenarioSpec, *, seed: int = 0) -> ScenarioResult:
-    """Execute one multi-site scenario end to end (both execution modes)."""
+def run_multisite_scenario(
+    spec: ScenarioSpec, *, seed: int = 0, telemetry=None
+) -> ScenarioResult:
+    """Execute one multi-site scenario end to end (both execution modes).
+
+    ``telemetry`` follows the same contract as the single-site runner: an
+    optional collaborator resolved against ``spec.telemetry``, observing but
+    never changing the run (per-site signals additionally roll up through
+    :func:`repro.analysis.metrics.federation_rollup` into the registry).
+    """
     if spec.sites is None:
         raise ValueError(f"scenario {spec.name!r} declares no sites")
+    telemetry = resolve_telemetry(telemetry, spec.telemetry)
+    with telemetry.span("scenario.run"):
+        return _run_multisite(spec, seed, telemetry)
+
+
+def _run_multisite(spec: ScenarioSpec, seed: int, telemetry) -> ScenarioResult:
     streams = RandomStreams(seed)
     engine = SimulationEngine()
     rng_workload = streams.stream("scenario-workload")
     rng_devices = streams.stream("scenario-devices")
     rng_routing = streams.stream("scenario-sdn")
 
-    task = DEFAULT_TASK_POOL.get(spec.task_name)
-    duration_ms = spec.duration_ms
-    slot_ms = spec.slot_length_ms
+    with telemetry.span("scenario.setup"):
+        task = DEFAULT_TASK_POOL.get(spec.task_name)
+        duration_ms = spec.duration_ms
+        slot_ms = spec.slot_length_ms
 
-    federation = build_federation(
-        scenario=spec,
-        engine=engine,
-        streams=streams,
-        task=task,
-        with_accelerators=spec.execution == "event",
-    )
+        federation = build_federation(
+            scenario=spec,
+            engine=engine,
+            streams=streams,
+            task=task,
+            with_accelerators=spec.execution == "event",
+        )
 
     # --- workload + brokering ------------------------------------------------
-    arrival_process = build_arrival_process(spec.workload, duration_ms)
-    plan = build_request_plan(
-        arrival_process=arrival_process,
-        channel=None,  # sampled per serving site below
-        task=task,
-        users=spec.users,
-        duration_ms=duration_ms,
-        rng_workload=rng_workload,
-        rng_routing=rng_routing,
-        rng_jitter=streams.stream("scenario-jitter"),
-    )
-    if spec.sites.policy == "dynamic-load":
-        # Brokering (and per-site network sampling) happens inside the slot
-        # loop: the executors call run_slot_brokering at every boundary.
-        slot_broker = DynamicBroker(
-            plan=plan,
+    with telemetry.span("plan.generate"):
+        arrival_process = build_arrival_process(spec.workload, duration_ms)
+        plan = build_request_plan(
+            arrival_process=arrival_process,
+            channel=None,  # sampled per serving site below
+            task=task,
             users=spec.users,
-            federation=spec.sites,
             duration_ms=duration_ms,
-            access_rtt_ms=federation.mean_access_rtt_ms(),
-        )
-    else:
-        brokered = broker_assign(
-            arrival_ms=plan.arrival_ms,
-            user_ids=plan.user_ids,
-            users=spec.users,
-            federation=spec.sites,
-            duration_ms=duration_ms,
-            access_rtt_ms=federation.mean_access_rtt_ms(),
-        )
-        plan = sample_network_for_sites(
-            plan=plan, brokered=brokered, federation=federation
-        )
-        slot_broker = StaticSlotBroker(
-            plan=plan, brokered=brokered, site_count=len(spec.sites.sites)
+            rng_workload=rng_workload,
+            rng_routing=rng_routing,
+            rng_jitter=streams.stream("scenario-jitter"),
         )
 
-    # --- devices (homed per site, shared moderators) -------------------------
-    profile_names = sorted(spec.devices.weights)
-    raw_weights = np.asarray(
-        [spec.devices.weights[name] for name in profile_names], dtype=float
-    )
-    probabilities = raw_weights / raw_weights.sum()
-    promotion_policy = _build_promotion_policy(spec)
-    max_group = federation.highest_group()
-    devices: Dict[int, MobileDevice] = {}
-    moderators: Dict[int, Moderator] = {}
-    for user_id in range(spec.users):
-        chosen = profile_names[
-            int(rng_devices.choice(len(profile_names), p=probabilities))
-        ]
-        home = federation.site(int(slot_broker.home_site_of_user[user_id]))
-        devices[user_id] = MobileDevice(
-            user_id=user_id,
-            profile=DEVICE_PROFILES[chosen],
-            acceleration_group=home.lowest_group(),
+    with telemetry.span("scenario.setup"):
+        if spec.sites.policy == "dynamic-load":
+            # Brokering (and per-site network sampling) happens inside the slot
+            # loop: the executors call run_slot_brokering at every boundary.
+            slot_broker = DynamicBroker(
+                plan=plan,
+                users=spec.users,
+                federation=spec.sites,
+                duration_ms=duration_ms,
+                access_rtt_ms=federation.mean_access_rtt_ms(),
+            )
+        else:
+            brokered = broker_assign(
+                arrival_ms=plan.arrival_ms,
+                user_ids=plan.user_ids,
+                users=spec.users,
+                federation=spec.sites,
+                duration_ms=duration_ms,
+                access_rtt_ms=federation.mean_access_rtt_ms(),
+            )
+            plan = sample_network_for_sites(
+                plan=plan, brokered=brokered, federation=federation
+            )
+            slot_broker = StaticSlotBroker(
+                plan=plan, brokered=brokered, site_count=len(spec.sites.sites)
+            )
+
+        # --- devices (homed per site, shared moderators) ---------------------
+        profile_names = sorted(spec.devices.weights)
+        raw_weights = np.asarray(
+            [spec.devices.weights[name] for name in profile_names], dtype=float
         )
-        moderators[user_id] = Moderator(
-            promotion_policy,
-            max_group=max_group,
-            rng=streams.stream(f"scenario-moderator-{user_id}"),
-        )
+        probabilities = raw_weights / raw_weights.sum()
+        promotion_policy = _build_promotion_policy(spec)
+        max_group = federation.highest_group()
+        devices: Dict[int, MobileDevice] = {}
+        moderators: Dict[int, Moderator] = {}
+        for user_id in range(spec.users):
+            chosen = profile_names[
+                int(rng_devices.choice(len(profile_names), p=probabilities))
+            ]
+            home = federation.site(int(slot_broker.home_site_of_user[user_id]))
+            devices[user_id] = MobileDevice(
+                user_id=user_id,
+                profile=DEVICE_PROFILES[chosen],
+                acceleration_group=home.lowest_group(),
+            )
+            moderators[user_id] = Moderator(
+                promotion_policy,
+                max_group=max_group,
+                rng=streams.stream(f"scenario-moderator-{user_id}"),
+            )
 
     if spec.execution == "batched":
         metrics = execute_batched_multisite(
@@ -714,6 +775,7 @@ def run_multisite_scenario(spec: ScenarioSpec, *, seed: int = 0) -> ScenarioResu
             moderators=moderators,
             duration_ms=duration_ms,
             slot_ms=slot_ms,
+            telemetry=telemetry,
         )
     else:
         metrics = execute_event_multisite(
@@ -727,9 +789,34 @@ def run_multisite_scenario(spec: ScenarioSpec, *, seed: int = 0) -> ScenarioResu
             task=task,
             duration_ms=duration_ms,
             slot_ms=slot_ms,
+            telemetry=telemetry,
         )
 
     # --- federation-wide + per-site metrics ----------------------------------
+    with telemetry.span("stats.fold"):
+        return _fold_multisite_result(
+            spec=spec,
+            seed=seed,
+            engine=engine,
+            federation=federation,
+            slot_broker=slot_broker,
+            devices=devices,
+            metrics=metrics,
+            telemetry=telemetry,
+        )
+
+
+def _fold_multisite_result(
+    *,
+    spec: ScenarioSpec,
+    seed: int,
+    engine: SimulationEngine,
+    federation: Federation,
+    slot_broker,
+    devices: Dict[int, MobileDevice],
+    metrics: FederationMetrics,
+    telemetry,
+) -> ScenarioResult:
     successes = metrics.success_response_ms
     if successes.size:
         mean_ms = float(successes.mean())
@@ -789,6 +876,28 @@ def run_multisite_scenario(spec: ScenarioSpec, *, seed: int = 0) -> ScenarioResu
                     for group in sorted(stats.group_requests)
                 ),
             )
+        )
+
+    if telemetry.enabled:
+        registry = telemetry.registry
+        publish_engine(registry, engine)
+        publish_requests(
+            registry,
+            total=metrics.requests_total,
+            dropped=metrics.requests_dropped,
+            success_response_ms=successes,
+        )
+        publish_devices(registry, devices.values())
+        for site in federation:
+            publish_serving_stack(
+                registry,
+                provisioner=site.provisioner,
+                autoscaler=site.autoscaler,
+                prefix=f"site.{site.name}",
+            )
+        publish_federation(registry, site_results)
+        publish_broker(
+            registry, unrouted=metrics.requests_unrouted, broker=slot_broker
         )
 
     return ScenarioResult(

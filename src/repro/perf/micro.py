@@ -15,6 +15,9 @@ Each benchmark times one primitive in isolation and reports its throughput:
 * ``broker.slot_state`` — the dynamic federation broker consuming
   matrix-valued (site × acceleration group) live-state snapshots: per-group
   re-weighting, fluid queues and the spillover guard, per slot boundary.
+* ``telemetry.registry`` — metrics-registry write path (counter inc, gauge
+  set, histogram observe): the cost a run pays per instrument touch when
+  ``--telemetry`` is on.
 
 Budgets: ``smoke`` keeps every benchmark under ~100 ms for CI; ``full`` is
 the default for real measurements.
@@ -37,6 +40,7 @@ from repro.scenarios.spec import CloudSpec
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.queues import ProcessorSharingServer
 from repro.simulation.stats import OnlineStatistics
+from repro.telemetry import DEFAULT_MS_EDGES, MetricsRegistry
 from repro.workload.arrival import PoissonArrivalProcess
 
 #: Per-benchmark operation budgets.
@@ -52,6 +56,7 @@ BUDGETS: Dict[str, Dict[str, int]] = {
         "server_jobs": 5_000,
         "broker_slots": 8,
         "broker_requests": 4_000,
+        "telemetry_ops": 15_000,
     },
     "full": {
         "engine_events": 200_000,
@@ -64,6 +69,7 @@ BUDGETS: Dict[str, Dict[str, int]] = {
         "server_jobs": 100_000,
         "broker_slots": 48,
         "broker_requests": 60_000,
+        "telemetry_ops": 400_000,
     },
 }
 
@@ -251,6 +257,30 @@ def bench_broker_slot_state(slots: int, requests: int, seed: int) -> BenchRecord
     return timed("broker.slot_state", run, slots=float(slots))
 
 
+def bench_telemetry_registry(ops: int, seed: int) -> BenchRecord:
+    """Hammer the registry's write path: inc + set + observe per iteration.
+
+    Instruments are resolved once (as the publish helpers do) so the timed
+    loop measures instrument updates, not name lookups; ops = 3 × iterations
+    (one write per instrument kind).
+    """
+    rng = np.random.default_rng(seed)
+    samples = rng.exponential(800.0, size=ops)
+
+    def run() -> float:
+        registry = MetricsRegistry()
+        counter = registry.counter("bench.requests_total")
+        gauge = registry.gauge("bench.inflight")
+        histogram = registry.histogram("bench.response_ms", DEFAULT_MS_EDGES)
+        for index in range(ops):
+            counter.inc()
+            gauge.set(float(index))
+            histogram.observe(samples[index])
+        return float(ops * 3)
+
+    return timed("telemetry.registry", run)
+
+
 def run_micro_suite(budget: str = "full", seed: int = 0) -> List[BenchRecord]:
     """Run every micro-benchmark at the given budget."""
     if budget not in BUDGETS:
@@ -266,4 +296,5 @@ def run_micro_suite(budget: str = "full", seed: int = 0) -> List[BenchRecord]:
         bench_stats_extend(sizes["stats_values"], seed),
         bench_processor_sharing(sizes["server_jobs"], seed),
         bench_broker_slot_state(sizes["broker_slots"], sizes["broker_requests"], seed),
+        bench_telemetry_registry(sizes["telemetry_ops"], seed),
     ]

@@ -58,6 +58,7 @@ from repro.scenarios.plan import RequestPlan
 from repro.scenarios.spec import ScenarioSpec
 from repro.sdn.autoscaler import Autoscaler
 from repro.simulation.engine import SimulationEngine
+from repro.telemetry import NULL_TELEMETRY
 
 #: Post-run drain margin for in-flight requests (mirrors the event executor).
 DRAIN_MARGIN_MS = 60_000.0
@@ -343,6 +344,7 @@ def execute_batched(
     round_robin_routing: bool,
     duration_ms: float,
     slot_ms: float,
+    telemetry=NULL_TELEMETRY,
 ) -> ExecutionMetrics:
     """Run the scenario's data plane slot by slot as numpy array computation."""
     users = spec.users
@@ -399,102 +401,107 @@ def execute_batched(
     for period in range(1, spec.periods + 1):
         start = (period - 1) * slot_ms
         end = min(period * slot_ms, duration_ms)
-        i0, i1 = np.searchsorted(arrival, [start, end], side="left")
-        count = int(i1 - i0)
-        uids = plan.user_ids[i0:i1]
-        t1 = plan.t1_ms[i0:i1]
-        t2 = plan.t2_ms[i0:i1]
-        routing = plan.routing_ms[i0:i1]
-        dispatch = arrival[i0:i1] + uplink[i0:i1]
-        dlink = downlink[i0:i1]
-        work = plan.work_units[i0:i1]
-        jitter = plan.jitter_z[i0:i1]
+        with telemetry.span("slot.serve", slot=period - 1):
+            i0, i1 = np.searchsorted(arrival, [start, end], side="left")
+            count = int(i1 - i0)
+            uids = plan.user_ids[i0:i1]
+            t1 = plan.t1_ms[i0:i1]
+            t2 = plan.t2_ms[i0:i1]
+            routing = plan.routing_ms[i0:i1]
+            dispatch = arrival[i0:i1] + uplink[i0:i1]
+            dlink = downlink[i0:i1]
+            work = plan.work_units[i0:i1]
+            jitter = plan.jitter_z[i0:i1]
 
-        levels = backend.levels
-        if not levels:
-            raise ValueError("back-end pool is empty")
+            levels = backend.levels
+            if not levels:
+                raise ValueError("back-end pool is empty")
 
-        delivered = np.empty(count)
-        cloud = np.zeros(count)
-        ok = np.ones(count, dtype=bool)
-        if round_robin_routing:
-            routed = np.asarray(levels, dtype=np.int64)[
-                (rr_cursor + np.arange(count)) % len(levels)
-            ]
-            rr_cursor += count
-        else:
-            routed = clamp_table(levels, highest_group)[group_of_user[uids]]
+            delivered = np.empty(count)
+            cloud = np.zeros(count)
+            ok = np.ones(count, dtype=bool)
+            if round_robin_routing:
+                routed = np.asarray(levels, dtype=np.int64)[
+                    (rr_cursor + np.arange(count)) % len(levels)
+                ]
+                rr_cursor += count
+            else:
+                routed = clamp_table(levels, highest_group)[group_of_user[uids]]
 
-        serve_slot_requests(
-            backend=backend,
-            state_for=state_for,
-            select=np.arange(count),
-            routed=routed,
-            dispatch=dispatch,
-            work=work,
-            jitter=jitter,
-            downlink=dlink,
-            delivered=delivered,
-            cloud=cloud,
-            ok=ok,
-            slot_start_ms=start,
-        )
-        response = t1 + t2 + routing + cloud
+            serve_slot_requests(
+                backend=backend,
+                state_for=state_for,
+                select=np.arange(count),
+                routed=routed,
+                dispatch=dispatch,
+                work=work,
+                jitter=jitter,
+                downlink=dlink,
+                delivered=delivered,
+                cloud=cloud,
+                ok=ok,
+                slot_start_ms=start,
+            )
+            response = t1 + t2 + routing + cloud
 
-        if count:
-            sent = np.bincount(uids, minlength=users)
-            for user in np.flatnonzero(sent):
-                devices[int(user)].requests_sent += int(sent[user])
+            if count:
+                sent = np.bincount(uids, minlength=users)
+                for user in np.flatnonzero(sent):
+                    devices[int(user)].requests_sent += int(sent[user])
 
-        recorded = delivered <= horizon
-        requests_total += int(np.count_nonzero(recorded))
-        failed = recorded & ~ok
-        dropped_total += int(np.count_nonzero(failed))
-        if np.any(failed):
-            failures = np.bincount(uids[failed], minlength=users)
-            for user in np.flatnonzero(failures):
-                devices[int(user)].record_failures(int(failures[user]))
-        succeeded = recorded & ok
-        success_chunks.append(response[succeeded])
+            recorded = delivered <= horizon
+            requests_total += int(np.count_nonzero(recorded))
+            failed = recorded & ~ok
+            dropped_total += int(np.count_nonzero(failed))
+            if np.any(failed):
+                failures = np.bincount(uids[failed], minlength=users)
+                for user in np.flatnonzero(failures):
+                    devices[int(user)].record_failures(int(failures[user]))
+            succeeded = recorded & ok
+            success_chunks.append(response[succeeded])
 
-        while sample_cursor < len(sample_times) and sample_times[sample_cursor] < end:
-            append_utilization(sample_times[sample_cursor])
-            sample_cursor += 1
+            while (
+                sample_cursor < len(sample_times)
+                and sample_times[sample_cursor] < end
+            ):
+                append_utilization(sample_times[sample_cursor])
+                sample_cursor += 1
 
-        if np.any(succeeded):
-            by_user = np.argsort(uids[succeeded], kind="stable")
-            user_sorted = uids[succeeded][by_user]
-            response_sorted = response[succeeded][by_user]
-            delivered_sorted = delivered[succeeded][by_user]
-            uniques, first = np.unique(user_sorted, return_index=True)
-            bounds = np.append(first, user_sorted.size)
-            for user, lo, hi in zip(uniques, bounds[:-1], bounds[1:]):
-                device = devices[int(user)]
-                by_completion = np.argsort(delivered_sorted[lo:hi], kind="stable")
-                moderators[int(user)].observe_many(
-                    device,
-                    response_sorted[lo:hi][by_completion],
-                    delivered_sorted[lo:hi][by_completion],
-                )
-                group_of_user[int(user)] = device.acceleration_group
+            if np.any(succeeded):
+                by_user = np.argsort(uids[succeeded], kind="stable")
+                user_sorted = uids[succeeded][by_user]
+                response_sorted = response[succeeded][by_user]
+                delivered_sorted = delivered[succeeded][by_user]
+                uniques, first = np.unique(user_sorted, return_index=True)
+                bounds = np.append(first, user_sorted.size)
+                for user, lo, hi in zip(uniques, bounds[:-1], bounds[1:]):
+                    device = devices[int(user)]
+                    by_completion = np.argsort(delivered_sorted[lo:hi], kind="stable")
+                    moderators[int(user)].observe_many(
+                        device,
+                        response_sorted[lo:hi][by_completion],
+                        delivered_sorted[lo:hi][by_completion],
+                    )
+                    group_of_user[int(user)] = device.acceleration_group
 
         # --- control plane at the slot boundary (same slot the event path
         # --- observes: requests that arrived in the window AND completed
         # --- strictly before the boundary are in the trace when the scaler
         # --- runs; at an exact tie the scale event wins the FIFO tie-break
         # --- because it was scheduled at setup time).
-        engine.clock.advance_to(end)
-        observed = recorded & (delivered < end)
-        users_per_group: Dict[int, set] = {g: set() for g in model.groups()}
-        if np.any(observed):
-            for group in np.unique(routed[observed]):
-                picks = observed & (routed == group)
-                users_per_group.setdefault(int(group), set()).update(
-                    int(user) for user in np.unique(uids[picks])
-                )
-        slot = TimeSlot.from_user_sets(len(model.history), users_per_group)
-        model.observe_slot(slot)
-        autoscaler.scale_for_slot(slot, end)
+        with telemetry.span("slot.control", slot=period - 1):
+            engine.clock.advance_to(end)
+            observed = recorded & (delivered < end)
+            users_per_group: Dict[int, set] = {g: set() for g in model.groups()}
+            if np.any(observed):
+                for group in np.unique(routed[observed]):
+                    picks = observed & (routed == group)
+                    users_per_group.setdefault(int(group), set()).update(
+                        int(user) for user in np.unique(uids[picks])
+                    )
+            slot = TimeSlot.from_user_sets(len(model.history), users_per_group)
+            model.observe_slot(slot)
+            autoscaler.scale_for_slot(slot, end)
 
     # A trailing sample can land exactly on the run horizon, after the final
     # scaling action — same ordering as the event loop's FIFO tie-break.

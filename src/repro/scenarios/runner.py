@@ -50,6 +50,13 @@ from repro.sdn.accelerator import RequestRecord, RoundRobinRouting, SDNAccelerat
 from repro.sdn.autoscaler import Autoscaler
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.randomness import RandomStreams
+from repro.telemetry import NULL_TELEMETRY, resolve_telemetry
+from repro.telemetry.publish import (
+    publish_devices,
+    publish_engine,
+    publish_requests,
+    publish_serving_stack,
+)
 from repro.workload.arrival import (
     ArrivalProcess,
     FixedRateArrivalProcess,
@@ -450,12 +457,20 @@ def _execute_event(
     task,
     duration_ms: float,
     slot_ms: float,
+    telemetry=NULL_TELEMETRY,
 ) -> ExecutionMetrics:
     """Drive the pre-drawn request plan through the discrete-event engine.
 
     This is the exact simulation: per-request events, processor-sharing
     service, promotions applied at delivery time.  All per-request randomness
     comes from the plan, so it consumes the same draws as the batched path.
+
+    The engine runs in per-period chunks (``engine.run`` up to each slot
+    boundary, then a final drain) so the tracer can attribute wall time to
+    ``slot.serve`` spans.  Chunking is unconditional — the engine pops the
+    same events in the same order either way (the heap is untouched and the
+    ``time_ms > until_ms`` stop condition is exact), so the telemetry-on and
+    telemetry-off paths share one code path and one result.
     """
     completion_callbacks: Dict[int, Callable[[RequestRecord], None]] = {}
 
@@ -476,34 +491,42 @@ def _execute_event(
         return callback
 
     task_name = task.name
-    for index in range(len(plan)):
+    with telemetry.span("scenario.schedule"):
+        for index in range(len(plan)):
 
-        def _submit(index: int = index) -> None:
-            user_id = int(plan.user_ids[index])
-            device = devices[user_id]
-            device.requests_sent += 1
-            accelerator.submit_planned(
-                user_id=user_id,
-                acceleration_group=device.acceleration_group,
-                work_units=float(plan.work_units[index]),
-                t1_ms=float(plan.t1_ms[index]),
-                t2_ms=float(plan.t2_ms[index]),
-                routing_ms=float(plan.routing_ms[index]),
-                jitter_z=float(plan.jitter_z[index]),
-                task_name=task_name,
-                battery_level=device.battery.level,
-                on_complete=_completion_for(user_id),
+            def _submit(index: int = index) -> None:
+                user_id = int(plan.user_ids[index])
+                device = devices[user_id]
+                device.requests_sent += 1
+                accelerator.submit_planned(
+                    user_id=user_id,
+                    acceleration_group=device.acceleration_group,
+                    work_units=float(plan.work_units[index]),
+                    t1_ms=float(plan.t1_ms[index]),
+                    t2_ms=float(plan.t2_ms[index]),
+                    routing_ms=float(plan.routing_ms[index]),
+                    jitter_z=float(plan.jitter_z[index]),
+                    task_name=task_name,
+                    battery_level=device.battery.level,
+                    on_complete=_completion_for(user_id),
+                )
+
+            engine.schedule_at(
+                float(plan.arrival_ms[index]), _submit, label="scenario:request"
             )
-
-        engine.schedule_at(float(plan.arrival_ms[index]), _submit, label="scenario:request")
 
     # --- provisioning control loop ------------------------------------------
     for period in range(1, spec.periods + 1):
         period_start = (period - 1) * slot_ms
         period_end = min(period * slot_ms, duration_ms)
 
-        def _scale(start: float = period_start, end: float = period_end) -> None:
-            autoscaler.run_period_end(accelerator.trace_log, start, end)
+        def _scale(
+            start: float = period_start,
+            end: float = period_end,
+            slot_index: int = period - 1,
+        ) -> None:
+            with telemetry.span("slot.control", slot=slot_index):
+                autoscaler.run_period_end(accelerator.trace_log, start, end)
 
         engine.schedule_at(period_end, _scale, label=f"scenario:scale-{period}")
 
@@ -532,8 +555,14 @@ def _execute_event(
 
     engine.schedule_at(0.0, _sample_utilization, label="scenario:utilization")
 
-    # Run to the end plus a drain margin for in-flight requests.
-    engine.run(until_ms=duration_ms + DRAIN_MARGIN_MS)
+    # Run to the end plus a drain margin for in-flight requests, one chunk
+    # per provisioning period so wall time lands in per-slot serve spans.
+    for period in range(1, spec.periods + 1):
+        period_end = min(period * slot_ms, duration_ms)
+        with telemetry.span("slot.serve", slot=period - 1):
+            engine.run(until_ms=period_end)
+    with telemetry.span("slot.drain"):
+        engine.run(until_ms=duration_ms + DRAIN_MARGIN_MS)
 
     records = accelerator.records
     successes = np.asarray(
@@ -552,7 +581,9 @@ def _execute_event(
 # ---------------------------------------------------------------------------
 
 
-def run_scenario(spec: ScenarioSpec, *, seed: Optional[int] = None) -> ScenarioResult:
+def run_scenario(
+    spec: ScenarioSpec, *, seed: Optional[int] = None, telemetry=None
+) -> ScenarioResult:
     """Execute one scenario end to end and return its metric summary.
 
     ``seed`` overrides ``spec.seed`` (the campaign runner derives one per
@@ -561,12 +592,28 @@ def run_scenario(spec: ScenarioSpec, *, seed: Optional[int] = None) -> ScenarioR
     Scenarios with a ``sites:`` section run as a multi-site federation (one
     adaptive model per site, a global broker assigning requests) and return
     the same :class:`ScenarioResult` with the per-site breakdown attached.
+
+    ``telemetry`` is the optional observability collaborator (see
+    :mod:`repro.telemetry`): pass a :class:`~repro.telemetry.Telemetry` to
+    collect metrics and a slot-phase trace, or leave it ``None`` to follow
+    ``spec.telemetry`` (off by default).  Telemetry never changes the
+    result — the parity suite pins bit-identical output on vs off.
     """
     effective_seed = seed if seed is not None else (spec.seed if spec.seed is not None else 0)
+    telemetry = resolve_telemetry(telemetry, spec.telemetry)
     if spec.sites is not None:
         from repro.multisite.runner import run_multisite_scenario
 
-        return run_multisite_scenario(spec, seed=effective_seed)
+        return run_multisite_scenario(
+            spec, seed=effective_seed, telemetry=telemetry
+        )
+    with telemetry.span("scenario.run"):
+        return _run_single_site(spec, effective_seed, telemetry)
+
+
+def _run_single_site(
+    spec: ScenarioSpec, effective_seed: int, telemetry
+) -> ScenarioResult:
     streams = RandomStreams(effective_seed)
     engine = SimulationEngine()
     rng_workload = streams.stream("scenario-workload")
@@ -575,102 +622,104 @@ def run_scenario(spec: ScenarioSpec, *, seed: Optional[int] = None) -> ScenarioR
     rng_sdn = streams.stream("scenario-sdn")
     rng_network = streams.stream("scenario-network")
 
-    task = DEFAULT_TASK_POOL.get(spec.task_name)
-    groups = sorted(spec.cloud.group_types)
-    lowest_group, highest_group = groups[0], groups[-1]
-    duration_ms = spec.duration_ms
-    slot_ms = spec.slot_length_ms
+    with telemetry.span("scenario.setup"):
+        task = DEFAULT_TASK_POOL.get(spec.task_name)
+        groups = sorted(spec.cloud.group_types)
+        lowest_group, highest_group = groups[0], groups[-1]
+        duration_ms = spec.duration_ms
+        slot_ms = spec.slot_length_ms
 
-    # --- back-end -----------------------------------------------------------
-    catalog = build_catalog(spec)
-    backend = BackendPool()
-    provisioner = Provisioner(
-        engine,
-        catalog,
-        instance_cap=spec.cloud.instance_cap,
-        rng=rng_cloud,
-        boot_delay_ms=spec.cloud.boot_delay_ms,
-    )
-    level_for_type = {name: group for group, name in spec.cloud.group_types.items()}
-    for group, type_name in spec.cloud.group_types.items():
-        for _ in range(spec.cloud.initial_instances_per_group):
-            backend.add_instance(provisioner.launch(type_name), group)
-
-    # --- adaptive model + autoscaler ----------------------------------------
-    options: List[InstanceOption] = build_group_options(
-        catalog,
-        level_for_type=level_for_type,
-        work_units=task.work_units,
-        response_threshold_ms=spec.cloud.response_threshold_ms,
-    )
-    predictor = WorkloadPredictor(
-        TimeSlotHistory(slot_length_ms=slot_ms),
-        strategy=spec.policy.predictor_strategy,
-        min_history=max(spec.policy.min_history - 1, 1),
-    )
-    model = AdaptiveModel(
-        options,
-        slot_length_ms=slot_ms,
-        instance_cap=spec.cloud.instance_cap,
-        predictor=predictor,
-    )
-    channel = build_channel(spec.network, rng_network)
-    routing_policy = (
-        RoundRobinRouting() if spec.policy.routing == "round-robin" else None
-    )
-    accelerator = SDNAccelerator(
-        engine,
-        backend,
-        channel=channel,
-        rng=rng_sdn,
-        routing_policy=routing_policy,
-    )
-    autoscaler = Autoscaler(
-        model,
-        provisioner,
-        backend,
-        level_for_type=level_for_type,
-        minimum_per_group=1,
-    )
-
-    # --- devices ------------------------------------------------------------
-    profile_names = sorted(spec.devices.weights)
-    raw_weights = np.asarray(
-        [spec.devices.weights[name] for name in profile_names], dtype=float
-    )
-    probabilities = raw_weights / raw_weights.sum()
-    promotion_policy = _build_promotion_policy(spec)
-    devices: Dict[int, MobileDevice] = {}
-    moderators: Dict[int, Moderator] = {}
-    for user_id in range(spec.users):
-        chosen = profile_names[
-            int(rng_devices.choice(len(profile_names), p=probabilities))
-        ]
-        devices[user_id] = MobileDevice(
-            user_id=user_id,
-            profile=DEVICE_PROFILES[chosen],
-            acceleration_group=lowest_group,
+        # --- back-end -------------------------------------------------------
+        catalog = build_catalog(spec)
+        backend = BackendPool()
+        provisioner = Provisioner(
+            engine,
+            catalog,
+            instance_cap=spec.cloud.instance_cap,
+            rng=rng_cloud,
+            boot_delay_ms=spec.cloud.boot_delay_ms,
         )
-        moderators[user_id] = Moderator(
-            promotion_policy,
-            max_group=highest_group,
-            rng=streams.stream(f"scenario-moderator-{user_id}"),
+        level_for_type = {name: group for group, name in spec.cloud.group_types.items()}
+        for group, type_name in spec.cloud.group_types.items():
+            for _ in range(spec.cloud.initial_instances_per_group):
+                backend.add_instance(provisioner.launch(type_name), group)
+
+        # --- adaptive model + autoscaler --------------------------------------
+        options: List[InstanceOption] = build_group_options(
+            catalog,
+            level_for_type=level_for_type,
+            work_units=task.work_units,
+            response_threshold_ms=spec.cloud.response_threshold_ms,
         )
+        predictor = WorkloadPredictor(
+            TimeSlotHistory(slot_length_ms=slot_ms),
+            strategy=spec.policy.predictor_strategy,
+            min_history=max(spec.policy.min_history - 1, 1),
+        )
+        model = AdaptiveModel(
+            options,
+            slot_length_ms=slot_ms,
+            instance_cap=spec.cloud.instance_cap,
+            predictor=predictor,
+        )
+        channel = build_channel(spec.network, rng_network)
+        routing_policy = (
+            RoundRobinRouting() if spec.policy.routing == "round-robin" else None
+        )
+        accelerator = SDNAccelerator(
+            engine,
+            backend,
+            channel=channel,
+            rng=rng_sdn,
+            routing_policy=routing_policy,
+        )
+        autoscaler = Autoscaler(
+            model,
+            provisioner,
+            backend,
+            level_for_type=level_for_type,
+            minimum_per_group=1,
+        )
+
+        # --- devices ----------------------------------------------------------
+        profile_names = sorted(spec.devices.weights)
+        raw_weights = np.asarray(
+            [spec.devices.weights[name] for name in profile_names], dtype=float
+        )
+        probabilities = raw_weights / raw_weights.sum()
+        promotion_policy = _build_promotion_policy(spec)
+        devices: Dict[int, MobileDevice] = {}
+        moderators: Dict[int, Moderator] = {}
+        for user_id in range(spec.users):
+            chosen = profile_names[
+                int(rng_devices.choice(len(profile_names), p=probabilities))
+            ]
+            devices[user_id] = MobileDevice(
+                user_id=user_id,
+                profile=DEVICE_PROFILES[chosen],
+                acceleration_group=lowest_group,
+            )
+            moderators[user_id] = Moderator(
+                promotion_policy,
+                max_group=highest_group,
+                rng=streams.stream(f"scenario-moderator-{user_id}"),
+            )
 
     # --- workload: the shared per-request plan -------------------------------
-    arrival_process = build_arrival_process(spec.workload, duration_ms)
-    plan = build_request_plan(
-        arrival_process=arrival_process,
-        channel=channel,
-        task=task,
-        users=spec.users,
-        duration_ms=duration_ms,
-        rng_workload=rng_workload,
-        rng_routing=rng_sdn,
-        rng_jitter=streams.stream("scenario-jitter"),
-        routing_overhead_mean_ms=accelerator.routing_overhead_mean_ms,
-        routing_overhead_std_ms=accelerator.routing_overhead_std_ms,
-    )
+    with telemetry.span("plan.generate"):
+        arrival_process = build_arrival_process(spec.workload, duration_ms)
+        plan = build_request_plan(
+            arrival_process=arrival_process,
+            channel=channel,
+            task=task,
+            users=spec.users,
+            duration_ms=duration_ms,
+            rng_workload=rng_workload,
+            rng_routing=rng_sdn,
+            rng_jitter=streams.stream("scenario-jitter"),
+            routing_overhead_mean_ms=accelerator.routing_overhead_mean_ms,
+            routing_overhead_std_ms=accelerator.routing_overhead_std_ms,
+        )
 
     if spec.execution == "batched":
         metrics = execute_batched(
@@ -685,6 +734,7 @@ def run_scenario(spec: ScenarioSpec, *, seed: Optional[int] = None) -> ScenarioR
             round_robin_routing=spec.policy.routing == "round-robin",
             duration_ms=duration_ms,
             slot_ms=slot_ms,
+            telemetry=telemetry,
         )
     else:
         metrics = _execute_event(
@@ -699,44 +749,62 @@ def run_scenario(spec: ScenarioSpec, *, seed: Optional[int] = None) -> ScenarioR
             task=task,
             duration_ms=duration_ms,
             slot_ms=slot_ms,
+            telemetry=telemetry,
         )
 
     # --- metrics -------------------------------------------------------------
-    successes = metrics.success_response_ms
-    dropped = metrics.requests_dropped
-    if successes.size:
-        mean_ms = float(successes.mean())
-        p50, p95, p99 = (
-            float(np.percentile(successes, p)) for p in (50.0, 95.0, 99.0)
+    with telemetry.span("stats.fold"):
+        successes = metrics.success_response_ms
+        dropped = metrics.requests_dropped
+        if successes.size:
+            mean_ms = float(successes.mean())
+            p50, p95, p99 = (
+                float(np.percentile(successes, p)) for p in (50.0, 95.0, 99.0)
+            )
+        else:
+            mean_ms = p50 = p95 = p99 = float("nan")
+
+        accuracies = prediction_accuracy_samples(autoscaler, model)
+        mean_accuracy = float(np.mean(accuracies)) if accuracies else float("nan")
+        predictions = sum(
+            1 for action in autoscaler.actions if action.decision is not None
         )
-    else:
-        mean_ms = p50 = p95 = p99 = float("nan")
 
-    accuracies = prediction_accuracy_samples(autoscaler, model)
-    mean_accuracy = float(np.mean(accuracies)) if accuracies else float("nan")
-    predictions = sum(1 for action in autoscaler.actions if action.decision is not None)
+        if telemetry.enabled:
+            registry = telemetry.registry
+            publish_engine(registry, engine)
+            publish_requests(
+                registry,
+                total=metrics.requests_total,
+                dropped=dropped,
+                success_response_ms=successes,
+            )
+            publish_serving_stack(
+                registry, provisioner=provisioner, autoscaler=autoscaler
+            )
+            publish_devices(registry, devices.values())
 
-    return ScenarioResult(
-        name=spec.name,
-        seed=effective_seed,
-        users=spec.users,
-        duration_hours=spec.duration_hours,
-        requests_total=metrics.requests_total,
-        requests_succeeded=int(successes.size),
-        requests_dropped=dropped,
-        mean_response_ms=mean_ms,
-        p50_response_ms=p50,
-        p95_response_ms=p95,
-        p99_response_ms=p99,
-        prediction_accuracy=mean_accuracy,
-        predictions=predictions,
-        scaling_actions=len(autoscaler.actions),
-        allocation_cost_usd=provisioner.total_cost(include_running=True),
-        mean_utilization=(
-            float(np.mean(metrics.utilization_samples))
-            if metrics.utilization_samples
-            else 0.0
-        ),
-        promoted_users=sum(1 for device in devices.values() if device.promotions),
-        promotions=sum(len(device.promotions) for device in devices.values()),
-    )
+        return ScenarioResult(
+            name=spec.name,
+            seed=effective_seed,
+            users=spec.users,
+            duration_hours=spec.duration_hours,
+            requests_total=metrics.requests_total,
+            requests_succeeded=int(successes.size),
+            requests_dropped=dropped,
+            mean_response_ms=mean_ms,
+            p50_response_ms=p50,
+            p95_response_ms=p95,
+            p99_response_ms=p99,
+            prediction_accuracy=mean_accuracy,
+            predictions=predictions,
+            scaling_actions=len(autoscaler.actions),
+            allocation_cost_usd=provisioner.total_cost(include_running=True),
+            mean_utilization=(
+                float(np.mean(metrics.utilization_samples))
+                if metrics.utilization_samples
+                else 0.0
+            ),
+            promoted_users=sum(1 for device in devices.values() if device.promotions),
+            promotions=sum(len(device.promotions) for device in devices.values()),
+        )

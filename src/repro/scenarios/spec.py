@@ -307,6 +307,10 @@ class ScenarioSpec:
     network: NetworkSpec = field(default_factory=NetworkSpec)
     policy: PolicySpec = field(default_factory=PolicySpec)
     sites: Optional["MultiSiteSpec"] = None
+    #: Collect metrics + a slot-phase trace for this run.  Purely
+    #: observational: results are bit-identical with the knob on or off
+    #: (pinned by the telemetry parity suite).
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -374,6 +378,7 @@ class ScenarioSpec:
         execution: Optional[str] = None,
         broker: Optional[str] = None,
         capacity_signal: Optional[str] = None,
+        telemetry: Optional[bool] = None,
     ) -> "ScenarioSpec":
         """A copy with the common CLI-level knobs replaced.
 
@@ -414,6 +419,7 @@ class ScenarioSpec:
             execution=execution if execution is not None else self.execution,
             workload=workload,
             sites=sites,
+            telemetry=telemetry if telemetry is not None else self.telemetry,
         )
 
     def to_dict(self) -> Dict[str, Any]:

@@ -58,6 +58,7 @@ class SimulationEngine:
         self._sequence = itertools.count()
         self._processed_events = 0
         self._cancelled_pending = 0
+        self._cancelled_total = 0
         self._running = False
 
     @property
@@ -75,9 +76,20 @@ class SimulationEngine:
         """Number of *live* (non-cancelled) events still queued."""
         return len(self._queue) - self._cancelled_pending
 
+    @property
+    def cancelled_events(self) -> int:
+        """Number of events ever cancelled while pending.
+
+        Counted exactly once per event: :meth:`Event.cancel` is idempotent,
+        so re-cancelling a cancelled event cannot drift this total (or the
+        live ``pending_events`` count) — pinned by the engine test suite.
+        """
+        return self._cancelled_total
+
     def _note_cancelled(self) -> None:
         """Called by :meth:`Event.cancel` so the live-event count stays exact."""
         self._cancelled_pending += 1
+        self._cancelled_total += 1
 
     def schedule_at(self, time_ms: float, callback: Callable[[], None], label: str = "") -> Event:
         """Schedule ``callback`` at absolute simulated time ``time_ms``."""

@@ -1,0 +1,38 @@
+"""Observability layer: metrics registry, span tracer, null-object facade.
+
+Runners accept a ``telemetry`` collaborator defaulting to
+:data:`NULL_TELEMETRY`; pass a :class:`Telemetry` (or set
+``ScenarioSpec.telemetry``) to collect metrics and a slot-phase wall-clock
+timeline without changing any simulated result.
+"""
+
+from repro.telemetry.facade import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    resolve_telemetry,
+)
+from repro.telemetry.registry import (
+    DEFAULT_DEPTH_EDGES,
+    DEFAULT_MS_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.tracer import SpanRecord, SpanTracer
+
+__all__ = [
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Telemetry",
+    "resolve_telemetry",
+    "DEFAULT_DEPTH_EDGES",
+    "DEFAULT_MS_EDGES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "SpanTracer",
+]

@@ -1,0 +1,164 @@
+"""Fold simulation-component state into a metrics registry after a run.
+
+The runners call these helpers once, at the ``stats.fold`` boundary, guarded
+by ``telemetry.enabled`` — publishing is a read-only pass over state the run
+accumulated anyway (engine counters, provisioner billing, broker history),
+so the hot loops stay untouched.  Everything published here is a *simulated*
+quantity: identical across runs of the same seed, which is what makes the
+histogram-determinism test meaningful.
+
+The helpers duck-type their inputs (any object with the named attributes
+works) to avoid import cycles into the engine/cloud/multisite layers — and
+so hand-built harnesses and tests can publish fakes.
+
+Metric name glossary (also in the README's Observability section):
+
+=============================  =========  =======================================
+name                           kind       meaning
+=============================  =========  =======================================
+engine.events_processed        counter    events the engine executed
+engine.events_pending          gauge      live (non-cancelled) events left queued
+engine.events_cancelled        counter    events cancelled while pending
+scenario.requests_total        counter    requests recorded by the run
+scenario.requests_dropped      counter    admission + brokering drops
+scenario.requests_succeeded    counter    requests delivered successfully
+scenario.response_ms           histogram  successful end-to-end response times
+cloud.instances_booted         counter    instances the provisioner ever launched
+cloud.instances_running        gauge      instances still running at run end
+cloud.cost_usd                 gauge      total allocation cost
+control.scaling_actions        counter    autoscaler slot-boundary actions
+control.predictions            counter    actions backed by a workload prediction
+users.promotions               counter    acceleration-group promotions applied
+users.promoted                 gauge      users above their starting group
+broker.requests_unrouted       counter    requests no site could accept
+broker.requests_spilled        counter    mid-slot cross-site spill diversions
+broker.fluid_queue_depth       histogram  per-(boundary, site) fluid backlog
+site.<name>.requests_total     counter    requests the site served (per site)
+site.<name>.requests_dropped   counter    the site's drops (per site)
+site.<name>.requests_spilled_in counter   spill arrivals the site absorbed
+site.<name>.routing_share      gauge      the site's share of all routed requests
+federation.requests            gauge      federation_rollup: summed requests
+federation.dropped             gauge      federation_rollup: summed drops
+federation.spilled             gauge      federation_rollup: summed spills
+federation.drop_rate_pct       gauge      federation_rollup: recomputed drop rate
+federation.cost_usd            gauge      federation_rollup: summed cost
+=============================  =========  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import federation_rollup
+from repro.telemetry.registry import (
+    DEFAULT_DEPTH_EDGES,
+    DEFAULT_MS_EDGES,
+    MetricsRegistry,
+)
+
+
+def publish_engine(registry: MetricsRegistry, engine) -> None:
+    """Engine health counters: processed, live pending, cancelled."""
+    registry.counter("engine.events_processed").inc(engine.processed_events)
+    registry.gauge("engine.events_pending").set(engine.pending_events)
+    registry.counter("engine.events_cancelled").inc(engine.cancelled_events)
+
+
+def publish_requests(
+    registry: MetricsRegistry,
+    *,
+    total: int,
+    dropped: int,
+    success_response_ms: np.ndarray,
+    prefix: str = "scenario",
+) -> None:
+    """Request totals plus the deterministic response-time histogram."""
+    registry.counter(f"{prefix}.requests_total").inc(total)
+    registry.counter(f"{prefix}.requests_dropped").inc(dropped)
+    registry.counter(f"{prefix}.requests_succeeded").inc(
+        int(success_response_ms.size)
+    )
+    registry.histogram(f"{prefix}.response_ms", DEFAULT_MS_EDGES).observe_many(
+        success_response_ms
+    )
+
+
+def publish_serving_stack(
+    registry: MetricsRegistry, *, provisioner, autoscaler, prefix: str = ""
+) -> None:
+    """One serving stack's control-plane tallies (optionally site-prefixed)."""
+    dot = f"{prefix}." if prefix else ""
+    registry.counter(f"{dot}cloud.instances_booted").inc(provisioner.launched_count)
+    registry.gauge(f"{dot}cloud.instances_running").set(provisioner.running_count)
+    registry.gauge(f"{dot}cloud.cost_usd").set(
+        provisioner.total_cost(include_running=True)
+    )
+    registry.counter(f"{dot}control.scaling_actions").inc(len(autoscaler.actions))
+    registry.counter(f"{dot}control.predictions").inc(
+        sum(1 for action in autoscaler.actions if action.decision is not None)
+    )
+
+
+def publish_devices(registry: MetricsRegistry, devices: Iterable) -> None:
+    """Promotion tallies over the device fleet."""
+    devices = list(devices)
+    registry.counter("users.promotions").inc(
+        sum(len(device.promotions) for device in devices)
+    )
+    registry.gauge("users.promoted").set(
+        sum(1 for device in devices if device.promotions)
+    )
+
+
+def publish_broker(registry: MetricsRegistry, *, unrouted: int, broker=None) -> None:
+    """Broker-level signals: unrouted drops, spills, fluid-queue depths.
+
+    ``broker`` may be any slot broker; the dynamic broker additionally
+    carries ``requests_spilled`` and a per-boundary ``load_history`` whose
+    in-flight estimates feed the fluid-queue-depth histogram.
+    """
+    registry.counter("broker.requests_unrouted").inc(unrouted)
+    if broker is None:
+        return
+    spilled = getattr(broker, "requests_spilled", 0)
+    registry.counter("broker.requests_spilled").inc(spilled)
+    history = getattr(broker, "load_history", None)
+    if history:
+        depth = registry.histogram(
+            "broker.fluid_queue_depth", DEFAULT_DEPTH_EDGES
+        )
+        for states in history:
+            depth.observe_many(
+                [state.in_flight_requests for state in states]
+            )
+
+
+def publish_federation(registry: MetricsRegistry, site_results: Sequence) -> None:
+    """Per-site signals plus the :func:`federation_rollup` aggregation.
+
+    ``site_results`` are the run's :class:`~repro.scenarios.runner.SiteResult`
+    rows (one per federation site, empty sites included) — the same rows the
+    rollup contract requires, so the registry's federation gauges are the
+    rollup's numbers by construction.
+    """
+    routed_total = sum(site.requests_total for site in site_results)
+    for site in site_results:
+        prefix = f"site.{site.name}"
+        registry.counter(f"{prefix}.requests_total").inc(site.requests_total)
+        registry.counter(f"{prefix}.requests_dropped").inc(site.requests_dropped)
+        registry.counter(f"{prefix}.requests_spilled_in").inc(
+            site.requests_spilled_in
+        )
+        registry.gauge(f"{prefix}.routing_share").set(
+            site.requests_total / routed_total if routed_total else 0.0
+        )
+        registry.gauge(f"{prefix}.mean_utilization").set(site.mean_utilization)
+    rollup = federation_rollup(site_results)
+    registry.gauge("federation.sites").set(rollup["sites"])
+    registry.gauge("federation.requests").set(rollup["requests"])
+    registry.gauge("federation.dropped").set(rollup["dropped"])
+    registry.gauge("federation.spilled").set(rollup["spilled"])
+    registry.gauge("federation.drop_rate_pct").set(rollup["drop_rate_pct"])
+    registry.gauge("federation.cost_usd").set(rollup["cost_usd"])

@@ -1,0 +1,207 @@
+"""Span-based wall-clock tracer for the simulation's structural phases.
+
+The registry (:mod:`repro.telemetry.registry`) answers *what the simulation
+did*; the tracer answers *where the real time went*.  Spans nest around the
+hot structural phases of a run — ``plan.generate``, ``slot.broker``,
+``slot.serve``, ``slot.control``, ``stats.fold`` — so the per-slot timeline
+pins exactly which phase the flat per-request cost lives in, without a
+sampling profiler.
+
+Spans are wall-clock measurements (``time.perf_counter``), so unlike every
+registry metric they legitimately differ between runs of the same seed; the
+zero-cost parity suite therefore compares *simulation results*, never span
+durations.  Exports:
+
+* :meth:`SpanTracer.phase_rows` — per-phase totals with **self time**
+  (duration minus child spans), the number the "top phases by cost" summary
+  ranks by;
+* :meth:`SpanTracer.to_chrome_trace` — the Chrome trace-event JSON format,
+  viewable in ``chrome://tracing`` / Perfetto;
+* :meth:`SpanTracer.coverage` — the fraction of the root span's wall time
+  attributed to child phases (the acceptance gate asks for >= 90%).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class SpanRecord:
+    """One closed span: a named phase with nesting metadata.
+
+    Times are seconds relative to the tracer's epoch (its construction
+    instant), which keeps Chrome-trace timestamps small and stable.
+    """
+
+    name: str
+    start_s: float
+    duration_s: float
+    depth: int
+    parent: int  # index into the tracer's span list; -1 for root spans
+    slot: Optional[int] = None  # provisioning-slot index, when phase-per-slot
+    children_s: float = 0.0  # summed durations of direct children
+
+    @property
+    def self_s(self) -> float:
+        """Exclusive time: duration not spent in child spans."""
+        return max(self.duration_s - self.children_s, 0.0)
+
+
+class _OpenSpan:
+    """Context manager returned by :meth:`SpanTracer.span`."""
+
+    __slots__ = ("_tracer", "_index")
+
+    def __init__(self, tracer: "SpanTracer", index: int) -> None:
+        self._tracer = tracer
+        self._index = index
+
+    def __enter__(self) -> "_OpenSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._close(self._index)
+        return False
+
+
+class SpanTracer:
+    """Records nested wall-clock spans; single-threaded by design."""
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self.spans: List[SpanRecord] = []
+        self._stack: List[int] = []
+
+    def span(self, name: str, *, slot: Optional[int] = None) -> _OpenSpan:
+        """Open a span; close it by exiting the returned context manager."""
+        if not name:
+            raise ValueError("span name must be non-empty")
+        parent = self._stack[-1] if self._stack else -1
+        record = SpanRecord(
+            name=name,
+            start_s=time.perf_counter() - self._epoch,
+            duration_s=0.0,
+            depth=len(self._stack),
+            parent=parent,
+            slot=slot,
+        )
+        index = len(self.spans)
+        self.spans.append(record)
+        self._stack.append(index)
+        return _OpenSpan(self, index)
+
+    def _close(self, index: int) -> None:
+        if not self._stack or self._stack[-1] != index:
+            raise RuntimeError(
+                f"span {self.spans[index].name!r} closed out of order"
+            )
+        self._stack.pop()
+        record = self.spans[index]
+        record.duration_s = (
+            time.perf_counter() - self._epoch - record.start_s
+        )
+        if record.parent >= 0:
+            self.spans[record.parent].children_s += record.duration_s
+
+    # -- aggregation ---------------------------------------------------------
+
+    @property
+    def total_wall_s(self) -> float:
+        """Summed duration of the root (depth-0) spans."""
+        return sum(span.duration_s for span in self.spans if span.depth == 0)
+
+    def coverage(self) -> float:
+        """Fraction of root wall time attributed to child spans (0 when empty)."""
+        roots = [span for span in self.spans if span.depth == 0]
+        total = sum(span.duration_s for span in roots)
+        if total <= 0:
+            return 0.0
+        return min(sum(span.children_s for span in roots) / total, 1.0)
+
+    def phase_totals(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase-name aggregation: calls, total and self (exclusive) time."""
+        totals: Dict[str, Dict[str, float]] = {}
+        for span in self.spans:
+            bucket = totals.setdefault(
+                span.name, {"calls": 0.0, "total_s": 0.0, "self_s": 0.0}
+            )
+            bucket["calls"] += 1.0
+            bucket["total_s"] += span.duration_s
+            bucket["self_s"] += span.self_s
+        return totals
+
+    def phase_rows(self) -> List[Dict[str, object]]:
+        """Display rows, ranked by self time (the CLI summary-table schema)."""
+        wall = self.total_wall_s
+        rows = []
+        for name, bucket in self.phase_totals().items():
+            rows.append(
+                {
+                    "phase": name,
+                    "calls": int(bucket["calls"]),
+                    "total_ms": round(1000.0 * bucket["total_s"], 2),
+                    "self_ms": round(1000.0 * bucket["self_s"], 2),
+                    "share_pct": round(100.0 * bucket["self_s"] / wall, 1)
+                    if wall > 0
+                    else 0.0,
+                }
+            )
+        rows.sort(key=lambda row: (-float(row["self_ms"]), row["phase"]))
+        return rows
+
+    def top_phases(self, n: int = 3) -> List["tuple[str, float]"]:
+        """The ``n`` costliest phases as ``(name, share-of-wall)`` pairs."""
+        wall = self.total_wall_s
+        if wall <= 0:
+            return []
+        ranked = sorted(
+            self.phase_totals().items(), key=lambda item: -item[1]["self_s"]
+        )
+        return [(name, bucket["self_s"] / wall) for name, bucket in ranked[:n]]
+
+    # -- exports -------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly span list (milliseconds) plus the phase aggregation."""
+        return {
+            "total_wall_ms": round(1000.0 * self.total_wall_s, 3),
+            "coverage": round(self.coverage(), 4),
+            "spans": [
+                {
+                    "name": span.name,
+                    "start_ms": round(1000.0 * span.start_s, 3),
+                    "duration_ms": round(1000.0 * span.duration_s, 3),
+                    "self_ms": round(1000.0 * span.self_s, 3),
+                    "depth": span.depth,
+                    "slot": span.slot,
+                }
+                for span in self.spans
+            ],
+            "phases": self.phase_rows(),
+        }
+
+    def to_chrome_trace(self) -> Dict[str, object]:
+        """The Chrome trace-event format (``chrome://tracing`` / Perfetto).
+
+        Every span becomes one complete (``ph: "X"``) event on a single
+        process/thread track; timestamps and durations are microseconds, as
+        the format requires.
+        """
+        events = []
+        for span in self.spans:
+            event: Dict[str, object] = {
+                "name": span.name,
+                "cat": "phase",
+                "ph": "X",
+                "ts": round(1e6 * span.start_s, 1),
+                "dur": round(1e6 * span.duration_s, 1),
+                "pid": 0,
+                "tid": 0,
+            }
+            if span.slot is not None:
+                event["args"] = {"slot": span.slot}
+            events.append(event)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -70,4 +70,5 @@ class TestExecution:
         assert "fig5_acceleration_ratios.csv" in written
         assert "fig11_network_latency.csv" in written
         assert len(written) == 7
-        assert "exported 7 figure datasets" in capsys.readouterr().out
+        # progress messages go through the repro logger onto stderr now
+        assert "exported 7 figure datasets" in capsys.readouterr().err

@@ -120,6 +120,7 @@ class TestSuites:
             "stats.extend",
             "server.processor_sharing",
             "broker.slot_state",
+            "telemetry.registry",
         }
         assert all(record.ops_per_s > 0 for record in records)
 
@@ -153,7 +154,8 @@ class TestBenchCli:
         assert code == 0
         payload = json.loads((tmp_path / "BENCH_clitest.json").read_text())
         assert payload["label"] == "clitest"
-        assert len(payload["records"]) == 7
+        assert len(payload["records"]) == 8
+        assert payload["peak_rss_kb"] > 0
         out = capsys.readouterr().out
         assert "engine.events" in out
 

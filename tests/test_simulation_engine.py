@@ -125,3 +125,34 @@ class TestDeterminism:
             return trace
 
         assert run_once() == run_once()
+
+
+class TestHealthCounters:
+    def test_cancelled_events_counts_each_event_once(self, engine):
+        events = [engine.schedule_at(float(t), lambda: None) for t in (1, 2, 3)]
+        events[0].cancel()
+        events[1].cancel()
+        assert engine.cancelled_events == 2
+        assert engine.pending_events == 1
+
+    def test_re_cancel_does_not_drift_counters(self, engine):
+        event = engine.schedule_at(1.0, lambda: None)
+        other = engine.schedule_at(2.0, lambda: None)
+        for _ in range(5):
+            event.cancel()
+        assert engine.cancelled_events == 1
+        assert engine.pending_events == 1
+        engine.run()
+        assert engine.cancelled_events == 1
+        assert engine.processed_events == 1
+        assert other.cancelled is False
+
+    def test_cancelled_total_survives_run(self, engine):
+        event = engine.schedule_at(1.0, lambda: None)
+        event.cancel()
+        engine.run()
+        engine.schedule_at(2.0, lambda: None)
+        engine.run()
+        # the lifetime total is monotone even after the heap drains
+        assert engine.cancelled_events == 1
+        assert engine.pending_events == 0

@@ -1,0 +1,283 @@
+"""Unit tests for the telemetry layer: registry, tracer and facade."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_DEPTH_EDGES,
+    DEFAULT_MS_EDGES,
+    NULL_TELEMETRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullTelemetry,
+    SpanTracer,
+    Telemetry,
+    resolve_telemetry,
+)
+
+
+class TestCounter:
+    def test_inc_defaults_to_one(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge("g")
+        gauge.set(4)
+        gauge.set(2.0)
+        assert gauge.value == 2.0
+
+
+class TestHistogram:
+    def test_bucket_placement_uses_edges_as_upper_bounds(self):
+        histogram = Histogram("h", edges=(10.0, 20.0))
+        histogram.observe(5.0)    # <= 10
+        histogram.observe(10.0)   # == edge lands in its own bucket
+        histogram.observe(15.0)   # <= 20
+        histogram.observe(999.0)  # overflow
+        assert histogram.counts.tolist() == [2, 1, 1]
+        assert histogram.count == 4
+
+    def test_observe_many_matches_scalar_observe(self):
+        rng = np.random.default_rng(7)
+        values = rng.exponential(300.0, size=500)
+        bulk = Histogram("bulk", DEFAULT_MS_EDGES)
+        scalar = Histogram("scalar", DEFAULT_MS_EDGES)
+        bulk.observe_many(values)
+        for value in values:
+            scalar.observe(float(value))
+        assert bulk.counts.tolist() == scalar.counts.tolist()
+        assert bulk.count == scalar.count == 500
+        assert bulk.total == pytest.approx(scalar.total)
+
+    def test_observe_many_empty_is_noop(self):
+        histogram = Histogram("h", DEFAULT_DEPTH_EDGES)
+        histogram.observe_many(np.array([]))
+        assert histogram.count == 0
+
+    def test_mean_is_nan_when_empty(self):
+        histogram = Histogram("h")
+        assert histogram.mean != histogram.mean  # NaN
+
+    def test_edges_must_be_strictly_increasing(self):
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", edges=())
+
+    def test_as_dict_is_json_serializable(self):
+        histogram = Histogram("h", edges=(1.0, 2.0))
+        histogram.observe(1.5)
+        payload = json.loads(json.dumps(histogram.as_dict()))
+        assert payload["counts"] == [0, 1, 0]
+        assert payload["count"] == 1
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+        assert len(registry) == 3
+        assert registry.names() == ["a", "b", "c"]
+
+    def test_cross_kind_name_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_histogram_edge_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", edges=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", edges=(1.0, 3.0))
+
+    def test_rows_cover_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(10.0)
+        registry.histogram("empty")
+        rows = {row["metric"]: row for row in registry.rows()}
+        assert rows["c"]["value"] == 3.0
+        assert rows["g"]["kind"] == "gauge"
+        assert rows["h"]["value"] == "n=1 mean=10.0"
+        assert rows["empty"]["value"] == "n=0"
+
+    def test_as_dict_groups_by_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        payload = registry.as_dict()
+        assert payload["counters"] == {"c": 1.0}
+        assert payload["gauges"] == {}
+        assert payload["histograms"] == {}
+
+
+class TestSpanTracer:
+    def test_nesting_records_depth_and_parent(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner", slot=2):
+                pass
+        outer, inner = tracer.spans
+        assert (outer.depth, outer.parent) == (0, -1)
+        assert (inner.depth, inner.parent) == (1, 0)
+        assert inner.slot == 2
+
+    def test_self_time_excludes_children(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.spans[0]
+        assert outer.children_s == pytest.approx(tracer.spans[1].duration_s)
+        assert outer.self_s == pytest.approx(
+            outer.duration_s - outer.children_s
+        )
+
+    def test_out_of_order_close_raises(self):
+        tracer = SpanTracer()
+        outer = tracer.span("outer")
+        tracer.span("inner")
+        with pytest.raises(RuntimeError):
+            outer.__exit__(None, None, None)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            SpanTracer().span("")
+
+    def test_coverage_zero_when_empty_and_capped_at_one(self):
+        tracer = SpanTracer()
+        assert tracer.coverage() == 0.0
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert 0.0 < tracer.coverage() <= 1.0
+
+    def test_same_name_spans_aggregate_in_phase_totals(self):
+        tracer = SpanTracer()
+        for slot in range(3):
+            with tracer.span("slot.serve", slot=slot):
+                pass
+        totals = tracer.phase_totals()
+        assert totals["slot.serve"]["calls"] == 3.0
+
+    def test_phase_rows_rank_by_self_time(self):
+        tracer = SpanTracer()
+        with tracer.span("root"):
+            with tracer.span("busy"):
+                x = 0
+                for i in range(20_000):
+                    x += i
+            with tracer.span("idle"):
+                pass
+        rows = tracer.phase_rows()
+        assert [row["phase"] for row in rows][0] == "busy"
+        assert {"phase", "calls", "total_ms", "self_ms", "share_pct"} == set(
+            rows[0]
+        )
+
+    def test_top_phases_limited_to_n(self):
+        tracer = SpanTracer()
+        with tracer.span("root"):
+            for name in ("a", "b", "c", "d"):
+                with tracer.span(name):
+                    pass
+        top = tracer.top_phases(3)
+        assert len(top) == 3
+        assert all(0.0 <= share <= 1.0 for _, share in top)
+
+    def test_top_phases_empty_without_spans(self):
+        assert SpanTracer().top_phases() == []
+
+    def test_chrome_trace_format(self):
+        tracer = SpanTracer()
+        with tracer.span("root"):
+            with tracer.span("child", slot=1):
+                pass
+        trace = json.loads(json.dumps(tracer.to_chrome_trace()))
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+        child = next(e for e in events if e["name"] == "child")
+        assert child["args"] == {"slot": 1}
+
+    def test_as_dict_is_json_serializable(self):
+        tracer = SpanTracer()
+        with tracer.span("root"):
+            pass
+        payload = json.loads(json.dumps(tracer.as_dict()))
+        assert payload["spans"][0]["name"] == "root"
+        assert 0.0 <= payload["coverage"] <= 1.0
+
+
+class TestFacade:
+    def test_null_telemetry_is_fully_inert(self):
+        null = NULL_TELEMETRY
+        assert null.enabled is False
+        with null.span("anything", slot=3):
+            null.counter("c").inc(5)
+            null.gauge("g").set(1.0)
+            null.histogram("h").observe(2.0)
+            null.histogram("h").observe_many([1.0, 2.0])
+        assert null.as_dict() == {"enabled": False}
+
+    def test_null_instruments_are_shared_singletons(self):
+        null = NullTelemetry()
+        assert null.counter("a") is null.counter("b")
+        assert null.span("a") is null.span("b")
+
+    def test_live_telemetry_delegates_to_registry_and_tracer(self):
+        telemetry = Telemetry()
+        with telemetry.span("phase"):
+            telemetry.counter("c").inc()
+        assert telemetry.registry.counter("c").value == 1.0
+        assert telemetry.tracer.spans[0].name == "phase"
+        payload = telemetry.as_dict()
+        assert payload["enabled"] is True
+        assert payload["metrics"]["counters"]["c"] == 1.0
+
+    def test_summary_lines_name_top_phases_and_coverage(self):
+        telemetry = Telemetry()
+        with telemetry.span("root"):
+            with telemetry.span("slot.serve"):
+                pass
+        lines = telemetry.summary_lines()
+        assert len(lines) == 2
+        assert lines[0].startswith("top phases by self time:")
+        assert "covers" in lines[1]
+
+    def test_summary_lines_empty_without_spans(self):
+        assert Telemetry().summary_lines() == []
+
+    def test_resolve_explicit_object_wins(self):
+        explicit = Telemetry()
+        assert resolve_telemetry(explicit, False) is explicit
+        assert resolve_telemetry(NULL_TELEMETRY, True) is NULL_TELEMETRY
+
+    def test_resolve_spec_knob_decides_default(self):
+        assert resolve_telemetry(None, False) is NULL_TELEMETRY
+        assert resolve_telemetry(None, True).enabled is True
