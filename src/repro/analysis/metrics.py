@@ -93,6 +93,13 @@ def federation_rollup(sites: Sequence[object]) -> Dict[str, float]:
     spilled = float(
         sum(getattr(site, "requests_spilled_in", 0) for site in sites)
     )
+    retried = float(sum(getattr(site, "requests_retried", 0) for site in sites))
+    failed_over = float(
+        sum(getattr(site, "requests_failed_over", 0) for site in sites)
+    )
+    degraded_local = float(
+        sum(getattr(site, "requests_degraded_local", 0) for site in sites)
+    )
     weighted_mean = 0.0
     served_total = 0.0
     for site in sites:
@@ -106,6 +113,9 @@ def federation_rollup(sites: Sequence[object]) -> Dict[str, float]:
         "requests": requests,
         "dropped": dropped,
         "spilled": spilled,
+        "retried": retried,
+        "failed_over": failed_over,
+        "degraded_local": degraded_local,
         "drop_rate_pct": 100.0 * dropped / requests if requests else 0.0,
         "mean_ms": weighted_mean / served_total if served_total else float("nan"),
         "cost_usd": cost,

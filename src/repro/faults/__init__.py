@@ -1,0 +1,52 @@
+"""Deterministic fault injection and resilience (``repro.faults``).
+
+The fault plane declares *what goes wrong* — spot-style instance preemption
+windows, per-request offload failure probabilities, degraded-network windows
+and control-plane staleness — as plain data on a
+:class:`~repro.faults.spec.FaultSpec` hung off a scenario.  The resilience
+plane declares *how the system answers*: a
+:class:`~repro.faults.spec.RetryPolicy` (attempts, timeout, exponential
+backoff with jitter, optional cross-site failover) and graceful degradation
+to on-device execution when retries are exhausted.
+
+Every fault draw comes from a dedicated named stream
+(:data:`~repro.faults.overlay.FAULT_STREAM`), so enabling faults never
+perturbs the base request plan, and the whole fault/retry ladder is
+pre-computed as a per-request overlay (:mod:`repro.faults.overlay`) that both
+execution modes consume identically — fault decisions are never part of the
+event/batched queueing approximation.
+"""
+
+from repro.faults.overlay import (
+    FAULT_CONTROL_STREAM,
+    FAULT_STREAM,
+    OUTCOME_DEGRADED_LOCAL,
+    OUTCOME_DROPPED,
+    OUTCOME_OK,
+    FaultOverlay,
+    MultisiteFaultPlane,
+    build_fault_overlay,
+)
+from repro.faults.spec import (
+    ControlPlaneFaults,
+    DegradedWindow,
+    FaultSpec,
+    PreemptionWindow,
+    RetryPolicy,
+)
+
+__all__ = [
+    "FAULT_CONTROL_STREAM",
+    "FAULT_STREAM",
+    "OUTCOME_DEGRADED_LOCAL",
+    "OUTCOME_DROPPED",
+    "OUTCOME_OK",
+    "ControlPlaneFaults",
+    "DegradedWindow",
+    "FaultOverlay",
+    "FaultSpec",
+    "MultisiteFaultPlane",
+    "PreemptionWindow",
+    "RetryPolicy",
+    "build_fault_overlay",
+]

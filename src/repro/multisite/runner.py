@@ -40,6 +40,14 @@ from typing import Callable, Dict, List
 
 import numpy as np
 
+from repro.faults.overlay import (
+    FAULT_CONTROL_STREAM,
+    FAULT_STREAM,
+    OUTCOME_DEGRADED_LOCAL,
+    OUTCOME_OK,
+    MultisiteFaultPlane,
+    build_fault_overlay,
+)
 from repro.mobile.device import DEVICE_PROFILES, MobileDevice
 from repro.mobile.moderator import Moderator
 from repro.mobile.tasks import DEFAULT_TASK_POOL
@@ -75,6 +83,7 @@ from repro.telemetry.publish import (
     publish_broker,
     publish_devices,
     publish_engine,
+    publish_faults,
     publish_federation,
     publish_requests,
     publish_serving_stack,
@@ -157,6 +166,7 @@ def run_slot_brokering(
     group_of_user: "np.ndarray | None" = None,
     telemetry=NULL_TELEMETRY,
     slot_index: "int | None" = None,
+    fault_plane: "MultisiteFaultPlane | None" = None,
 ) -> "tuple[int, int]":
     """The single slot-boundary brokering step both executors call.
 
@@ -171,22 +181,39 @@ def run_slot_brokering(
     *serving* site's channel, WAN penalty applied on top.  Sampling happens
     here, in slot order and per site in federation order, so both execution
     modes consume exactly the same draws from the same named streams.
+
+    ``fault_plane`` (when faults are enabled) rides along here — the one
+    per-slot step shared by both executors — so every fault decision lands
+    in identical order in both modes: the dynamic broker's load snapshots
+    pass through control-plane staleness/loss first, then the freshly
+    brokered window goes through outage kills and retry failover, and
+    degraded-RTT factors are applied right after the dynamic network
+    sampling.
     """
     with telemetry.span("slot.broker", slot=slot_index):
         if slot_broker.is_dynamic:
+            capacity = federation.capacity_snapshot()
+            remaining_cap = np.asarray(
+                [site.remaining_instance_cap() for site in federation],
+                dtype=np.int64,
+            )
+            admission = federation.admission_snapshot()
+            if fault_plane is not None:
+                capacity, remaining_cap, admission = fault_plane.stale_snapshots(
+                    capacity, remaining_cap, admission
+                )
             i0, i1 = slot_broker.broker_slot(
                 start_ms,
                 end_ms,
-                capacity_work_per_ms=federation.capacity_snapshot(),
-                remaining_instance_cap=np.asarray(
-                    [site.remaining_instance_cap() for site in federation],
-                    dtype=np.int64,
-                ),
-                admission_capacity=federation.admission_snapshot(),
+                capacity_work_per_ms=capacity,
+                remaining_instance_cap=remaining_cap,
+                admission_capacity=admission,
                 group_of_user=group_of_user,
             )
         else:
             i0, i1 = slot_broker.broker_slot(start_ms, end_ms)
+        if fault_plane is not None and i1 > i0:
+            fault_plane.process_window(slot_broker, plan, i0, i1, group_of_user)
         if slot_broker.samples_network and i1 > i0:
             hours = (plan.arrival_ms[i0:i1] / 3_600_000.0) % 24.0
             window_sites = slot_broker.site_ids[i0:i1]
@@ -199,6 +226,8 @@ def run_slot_brokering(
             routed = np.flatnonzero(window_sites >= 0)
             if routed.size:
                 plan.t1_ms[i0 + routed] += slot_broker.extra_rtt_ms[i0 + routed]
+            if fault_plane is not None:
+                fault_plane.apply_network_factor(plan, i0, i1)
         return i0, i1
 
 
@@ -220,11 +249,13 @@ def execute_event_multisite(
     duration_ms: float,
     slot_ms: float,
     telemetry=NULL_TELEMETRY,
+    fault_plane: "MultisiteFaultPlane | None" = None,
 ) -> FederationMetrics:
     """Drive the brokered plan through per-site SDN front-ends on one engine."""
     completion_callbacks: Dict[int, Callable[[RequestRecord], None]] = {}
     per_site: List[SiteExecutionStats] = [SiteExecutionStats() for _ in federation]
     unrouted = 0
+    fault_outcome = None if fault_plane is None else fault_plane.overlay.outcome
 
     def _completion_for(user_id: int):
         callback = completion_callbacks.get(user_id)
@@ -277,6 +308,7 @@ def execute_event_multisite(
                 ),
                 telemetry=telemetry,
                 slot_index=slot_index,
+                fault_plane=fault_plane,
             )
 
         engine.schedule_at(period_start, _broker, label=f"multisite:broker-{period}")
@@ -311,6 +343,10 @@ def execute_event_multisite(
                     # immediately; no site ever sees it.
                     unrouted += 1
                     device.record_failure()
+                    return
+                if fault_outcome is not None and fault_outcome[index] != OUTCOME_OK:
+                    # Degraded-local / fault-dropped: never dispatches; the
+                    # verdict is tallied at fold time, from the overlay.
                     return
                 site = federation.site(site_index)
                 # Per-group site tallies key on the *requesting* group — the
@@ -420,6 +456,7 @@ def execute_batched_multisite(
     duration_ms: float,
     slot_ms: float,
     telemetry=NULL_TELEMETRY,
+    fault_plane: "MultisiteFaultPlane | None" = None,
 ) -> FederationMetrics:
     """Run the federation's data plane slot by slot, one Lindley pass per site."""
     users = spec.users
@@ -473,6 +510,7 @@ def execute_batched_multisite(
 
     arrival = plan.arrival_ms
     site_ids = slot_broker.site_ids
+    fault_outcome = None if fault_plane is None else fault_plane.overlay.outcome
 
     requests_total = 0
     dropped_total = 0
@@ -496,6 +534,7 @@ def execute_batched_multisite(
             group_of_user=group_of_user,
             telemetry=telemetry,
             slot_index=period - 1,
+            fault_plane=fault_plane,
         )
         with telemetry.span("slot.serve", slot=period - 1):
             count = int(i1 - i0)
@@ -517,7 +556,9 @@ def execute_batched_multisite(
             jitter = plan.jitter_z[i0:i1]
             window_sites = site_ids[i0:i1]
 
-            delivered = np.empty(count)
+            # Excluded fault positions keep delivered = inf, so every
+            # recorded-based tally below skips them for free.
+            delivered = np.full(count, np.inf)
             cloud = np.zeros(count)
             ok = np.ones(count, dtype=bool)
             routed_groups = np.zeros(count, dtype=np.int64)
@@ -529,7 +570,12 @@ def execute_batched_multisite(
             unrouted_total += int(lost.size)
 
             for site in federation:
-                select = np.flatnonzero(window_sites == site.index)
+                site_mask = window_sites == site.index
+                if fault_outcome is not None:
+                    # Degraded-local / fault-dropped requests never dispatch
+                    # (the event path skips their submission identically).
+                    site_mask &= fault_outcome[i0:i1] == OUTCOME_OK
+                select = np.flatnonzero(site_mask)
                 if select.size == 0:
                     continue
                 levels = site.backend.levels
@@ -764,6 +810,52 @@ def _run_multisite(spec: ScenarioSpec, seed: int, telemetry) -> ScenarioResult:
                 rng=streams.stream(f"scenario-moderator-{user_id}"),
             )
 
+        # --- fault plane: pre-computed verdicts + slot-boundary processing ---
+        fault_plane = None
+        if spec.faults is not None:
+            overlay = build_fault_overlay(
+                plan=plan,
+                faults=spec.faults,
+                duration_ms=duration_ms,
+                rng=streams.stream(FAULT_STREAM),
+                # Static brokering fixed the site of every request at plan
+                # time, which is what scopes site-named preemption windows;
+                # the dynamic broker assigns per slot, so only global fault
+                # processes apply to its draws.
+                site_ids=(
+                    None if slot_broker.is_dynamic else slot_broker.site_ids
+                ),
+                site_names=[site.name for site in spec.sites.sites],
+            )
+            overlay.set_local_execution(
+                plan,
+                np.asarray(
+                    [
+                        devices[user_id].profile.local_speed_factor
+                        for user_id in range(spec.users)
+                    ],
+                    dtype=float,
+                ),
+            )
+            overlay.apply_latency(plan)
+            if not slot_broker.samples_network:
+                # Static brokering sampled T1/T2 at plan time; the dynamic
+                # broker samples per slot, so the factor is applied inside
+                # run_slot_brokering right after each window's sampling.
+                overlay.apply_network_factor(plan)
+            fault_plane = MultisiteFaultPlane(
+                overlay=overlay,
+                federation_spec=spec.sites,
+                duration_ms=duration_ms,
+                access_rtt_ms=federation.mean_access_rtt_ms(),
+                home_site_of_user=slot_broker.home_site_of_user,
+                control_rng=(
+                    streams.stream(FAULT_CONTROL_STREAM)
+                    if spec.faults.control_plane is not None
+                    else None
+                ),
+            )
+
     if spec.execution == "batched":
         metrics = execute_batched_multisite(
             spec=spec,
@@ -776,6 +868,7 @@ def _run_multisite(spec: ScenarioSpec, seed: int, telemetry) -> ScenarioResult:
             duration_ms=duration_ms,
             slot_ms=slot_ms,
             telemetry=telemetry,
+            fault_plane=fault_plane,
         )
     else:
         metrics = execute_event_multisite(
@@ -790,6 +883,7 @@ def _run_multisite(spec: ScenarioSpec, seed: int, telemetry) -> ScenarioResult:
             duration_ms=duration_ms,
             slot_ms=slot_ms,
             telemetry=telemetry,
+            fault_plane=fault_plane,
         )
 
     # --- federation-wide + per-site metrics ----------------------------------
@@ -803,6 +897,8 @@ def _run_multisite(spec: ScenarioSpec, seed: int, telemetry) -> ScenarioResult:
             devices=devices,
             metrics=metrics,
             telemetry=telemetry,
+            plan=plan,
+            fault_plane=fault_plane,
         )
 
 
@@ -816,8 +912,34 @@ def _fold_multisite_result(
     devices: Dict[int, MobileDevice],
     metrics: FederationMetrics,
     telemetry,
+    plan: "RequestPlan | None" = None,
+    fault_plane: "MultisiteFaultPlane | None" = None,
 ) -> ScenarioResult:
     successes = metrics.success_response_ms
+    requests_total = metrics.requests_total
+    dropped_total = metrics.requests_dropped
+    fault_summary = None
+    overlay = fault_plane.overlay if fault_plane is not None else None
+    if overlay is not None:
+        # Degraded/dropped requests never reached an executor; they enter the
+        # tallies here, identically for both execution modes.  Broker-unrouted
+        # requests keep their historical semantics (dropped at the broker, not
+        # rescued by local fallback) via the site_ids filter.
+        fault_summary = overlay.fault_summary(
+            spec.users, plan, site_ids=slot_broker.site_ids
+        )
+        requests_total += (
+            fault_summary.requests_local + fault_summary.requests_dropped
+        )
+        dropped_total += fault_summary.requests_dropped
+        if fault_summary.local_response_ms.size:
+            successes = np.concatenate(
+                [successes, fault_summary.local_response_ms]
+            )
+        for user_id in np.flatnonzero(fault_summary.dropped_user_counts):
+            devices[int(user_id)].record_failures(
+                int(fault_summary.dropped_user_counts[user_id])
+            )
     if successes.size:
         mean_ms = float(successes.mean())
         p50, p95, p99 = (
@@ -833,6 +955,25 @@ def _fold_multisite_result(
         if np.any(spilled_mask)
         else np.zeros(site_count, dtype=np.int64)
     )
+
+    # Per-site fault/resilience attribution: retried counts land on the site
+    # that finally served the request, failovers on the destination site, and
+    # degraded-local requests on the site they were last assigned to.
+    zeros = np.zeros(site_count, dtype=np.int64)
+    site_retried = site_failed_over = site_local = zeros
+    if overlay is not None:
+        sids = slot_broker.site_ids
+        routed_mask = sids >= 0
+        site_retried = np.bincount(
+            sids[routed_mask & (overlay.attempts > 1)], minlength=site_count
+        )
+        site_failed_over = np.bincount(
+            sids[routed_mask & overlay.rerouted], minlength=site_count
+        )
+        site_local = np.bincount(
+            sids[routed_mask & (overlay.outcome == OUTCOME_DEGRADED_LOCAL)],
+            minlength=site_count,
+        )
 
     accuracies: List[float] = []
     predictions_total = 0
@@ -867,6 +1008,9 @@ def _fold_multisite_result(
                     else 0.0
                 ),
                 requests_spilled_in=int(spilled_in[site.index]),
+                requests_retried=int(site_retried[site.index]),
+                requests_failed_over=int(site_failed_over[site.index]),
+                requests_degraded_local=int(site_local[site.index]),
                 groups=tuple(
                     SiteGroupResult(
                         group=group,
@@ -883,11 +1027,18 @@ def _fold_multisite_result(
         publish_engine(registry, engine)
         publish_requests(
             registry,
-            total=metrics.requests_total,
-            dropped=metrics.requests_dropped,
+            total=requests_total,
+            dropped=dropped_total,
             success_response_ms=successes,
         )
         publish_devices(registry, devices.values())
+        if fault_summary is not None:
+            publish_faults(
+                registry,
+                summary=fault_summary,
+                outage_kills=fault_plane.outage_kills,
+                snapshots_lost=fault_plane.snapshots_lost,
+            )
         for site in federation:
             publish_serving_stack(
                 registry,
@@ -905,9 +1056,9 @@ def _fold_multisite_result(
         seed=seed,
         users=spec.users,
         duration_hours=spec.duration_hours,
-        requests_total=metrics.requests_total,
+        requests_total=requests_total,
         requests_succeeded=int(successes.size),
-        requests_dropped=metrics.requests_dropped,
+        requests_dropped=dropped_total,
         mean_response_ms=mean_ms,
         p50_response_ms=p50,
         p95_response_ms=p95,
@@ -927,6 +1078,15 @@ def _fold_multisite_result(
         promotions=sum(len(device.promotions) for device in devices.values()),
         requests_unrouted=metrics.requests_unrouted,
         requests_spilled=int(slot_broker.requests_spilled),
+        requests_retried=(
+            fault_summary.requests_retried if fault_summary is not None else 0
+        ),
+        requests_failed_over=(
+            fault_summary.requests_failed_over if fault_summary is not None else 0
+        ),
+        requests_degraded_local=(
+            fault_summary.requests_local if fault_summary is not None else 0
+        ),
         slot_site_requests=tuple(
             tuple(int(count) for count in row)
             for row in slot_broker.slot_site_requests

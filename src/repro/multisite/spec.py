@@ -22,9 +22,19 @@ request served at its home site pays no WAN penalty.
 Outage semantics
 ----------------
 An :class:`OutageWindow` makes a site unreachable for *new* requests arriving
-inside the window (fractions of the run); requests already in flight drain
-normally.  The broker routes around unavailable sites according to its
-policy; when no site is available the request is dropped at the broker.
+inside the window (fractions of the run); the broker routes around
+unavailable sites according to its policy, and when no site is available the
+request is dropped at the broker.  What happens to requests already in
+flight at window onset depends on the scenario's fault plane
+(:class:`~repro.faults.spec.FaultSpec`):
+
+* no ``FaultSpec`` (the historical default) — in-flight requests drain
+  normally; only new arrivals are diverted.
+* ``FaultSpec`` present — **strict** semantics: in-flight requests are
+  killed at onset and handed to the retry/failover/local-fallback pipeline
+  (``fault.outage_kills`` counts them).  Set
+  ``FaultSpec(lenient_outages=True)`` to keep the historical drain-through
+  behaviour while still using the rest of the fault plane.
 """
 
 from __future__ import annotations

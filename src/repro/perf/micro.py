@@ -18,6 +18,11 @@ Each benchmark times one primitive in isolation and reports its throughput:
 * ``telemetry.registry`` — metrics-registry write path (counter inc, gauge
   set, histogram observe): the cost a run pays per instrument touch when
   ``--telemetry`` is on.
+* ``faults.injection`` — the vectorised retry-ladder walk of
+  :func:`~repro.faults.overlay.build_fault_overlay` (baseline failures, a
+  degraded window, a preemption window, backoff + local fallback) plus the
+  fold-time :meth:`~repro.faults.overlay.FaultOverlay.fault_summary`: the
+  whole per-run cost a scenario pays for carrying a ``FaultSpec``.
 
 Budgets: ``smoke`` keeps every benchmark under ~100 ms for CI; ``full`` is
 the default for real measurements.
@@ -31,6 +36,13 @@ import numpy as np
 
 from repro.core.distance import SlotDistanceIndex
 from repro.core.timeslots import TimeSlot
+from repro.faults.overlay import build_fault_overlay
+from repro.faults.spec import (
+    DegradedWindow,
+    FaultSpec,
+    PreemptionWindow,
+    RetryPolicy,
+)
 from repro.multisite.broker import DynamicBroker
 from repro.multisite.spec import MultiSiteSpec, SiteSpec, SpilloverSpec
 from repro.network.latency import lte_latency_model
@@ -57,6 +69,7 @@ BUDGETS: Dict[str, Dict[str, int]] = {
         "broker_slots": 8,
         "broker_requests": 4_000,
         "telemetry_ops": 15_000,
+        "fault_requests": 20_000,
     },
     "full": {
         "engine_events": 200_000,
@@ -70,6 +83,7 @@ BUDGETS: Dict[str, Dict[str, int]] = {
         "broker_slots": 48,
         "broker_requests": 60_000,
         "telemetry_ops": 400_000,
+        "fault_requests": 500_000,
     },
 }
 
@@ -281,6 +295,56 @@ def bench_telemetry_registry(ops: int, seed: int) -> BenchRecord:
     return timed("telemetry.registry", run)
 
 
+def bench_fault_injection(requests: int, seed: int) -> BenchRecord:
+    """Retry-ladder materialisation + fold summary over a synthetic plan.
+
+    The spec keeps all three global fault processes active (a 5% baseline
+    failure probability, a mid-run degraded window with a 25% surcharge and
+    a mid-run preemption window) so every attempt round draws and applies
+    its full vector pass; ops = requests resolved.
+    """
+    users = 50
+    duration_ms = 3_600_000.0
+    rng = np.random.default_rng(seed)
+    plan = RequestPlan(
+        arrival_ms=np.sort(rng.uniform(0.0, duration_ms, size=requests)),
+        user_ids=rng.integers(0, users, size=requests),
+        work_units=rng.uniform(100.0, 600.0, size=requests),
+        jitter_z=np.zeros(requests),
+        t1_ms=np.full(requests, 40.0),
+        t2_ms=np.full(requests, 40.0),
+        routing_ms=np.full(requests, 5.0),
+    )
+    faults = FaultSpec(
+        offload_failure_probability=0.05,
+        degraded_windows=(
+            DegradedWindow(
+                start=0.3, end=0.6, rtt_multiplier=2.5, failure_probability=0.25
+            ),
+        ),
+        preemptions=(
+            PreemptionWindow(start=0.45, end=0.7, kill_probability=0.4),
+        ),
+        retry=RetryPolicy(
+            max_attempts=3, attempt_timeout_ms=1500.0, local_fallback=True
+        ),
+    )
+    local_speeds = np.full(users, 0.25)
+
+    def run() -> float:
+        overlay = build_fault_overlay(
+            plan=plan,
+            faults=faults,
+            duration_ms=duration_ms,
+            rng=np.random.default_rng(seed + 1),
+        )
+        overlay.set_local_execution(plan, local_speeds)
+        overlay.fault_summary(users, plan)
+        return float(len(overlay))
+
+    return timed("faults.injection", run)
+
+
 def run_micro_suite(budget: str = "full", seed: int = 0) -> List[BenchRecord]:
     """Run every micro-benchmark at the given budget."""
     if budget not in BUDGETS:
@@ -297,4 +361,5 @@ def run_micro_suite(budget: str = "full", seed: int = 0) -> List[BenchRecord]:
         bench_processor_sharing(sizes["server_jobs"], seed),
         bench_broker_slot_state(sizes["broker_slots"], sizes["broker_requests"], seed),
         bench_telemetry_registry(sizes["telemetry_ops"], seed),
+        bench_fault_injection(sizes["fault_requests"], seed),
     ]

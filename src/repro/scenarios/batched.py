@@ -51,6 +51,7 @@ import numpy as np
 from repro.cloud.backend import BackendPool
 from repro.cloud.server import CloudInstance, jittered_work_units
 from repro.core.model import AdaptiveModel
+from repro.faults.overlay import OUTCOME_OK
 from repro.core.timeslots import TimeSlot
 from repro.mobile.device import MobileDevice
 from repro.mobile.moderator import Moderator
@@ -345,8 +346,16 @@ def execute_batched(
     duration_ms: float,
     slot_ms: float,
     telemetry=NULL_TELEMETRY,
+    overlay=None,
 ) -> ExecutionMetrics:
-    """Run the scenario's data plane slot by slot as numpy array computation."""
+    """Run the scenario's data plane slot by slot as numpy array computation.
+
+    ``overlay`` (a :class:`~repro.faults.overlay.FaultOverlay`, when faults
+    are enabled) masks degraded/dropped requests out of the Lindley pass:
+    they still count as sent (mirroring the event path, where the device
+    counter increments before the fault check) but never dispatch, never
+    occupy a core, and are tallied at fold time from the overlay.
+    """
     users = spec.users
     horizon = duration_ms + DRAIN_MARGIN_MS
     group_of_user = np.asarray(
@@ -417,22 +426,35 @@ def execute_batched(
             if not levels:
                 raise ValueError("back-end pool is empty")
 
-            delivered = np.empty(count)
+            # Positions that actually offload this slot: everything without a
+            # fault plane, only OUTCOME_OK requests with one.  Excluded
+            # positions keep delivered = inf, so every recorded-based tally
+            # below skips them for free.
+            if overlay is None:
+                select = np.arange(count)
+            else:
+                select = np.flatnonzero(overlay.outcome[i0:i1] == OUTCOME_OK)
+            delivered = np.full(count, np.inf)
             cloud = np.zeros(count)
             ok = np.ones(count, dtype=bool)
+            routed = np.zeros(count, dtype=np.int64)
             if round_robin_routing:
-                routed = np.asarray(levels, dtype=np.int64)[
-                    (rr_cursor + np.arange(count)) % len(levels)
+                # The cursor advances only over offloading requests — exactly
+                # the submissions that reach the router in event mode.
+                routed[select] = np.asarray(levels, dtype=np.int64)[
+                    (rr_cursor + np.arange(select.size)) % len(levels)
                 ]
-                rr_cursor += count
+                rr_cursor += select.size
             else:
-                routed = clamp_table(levels, highest_group)[group_of_user[uids]]
+                routed[select] = clamp_table(levels, highest_group)[
+                    group_of_user[uids[select]]
+                ]
 
             serve_slot_requests(
                 backend=backend,
                 state_for=state_for,
-                select=np.arange(count),
-                routed=routed,
+                select=select,
+                routed=routed[select],
                 dispatch=dispatch,
                 work=work,
                 jitter=jitter,

@@ -63,6 +63,23 @@ Seven **multi-site federation** scenarios exercise the global broker
     while the (default) group-resolved signal routes and spills by the
     capacity each request can actually use.
 
+Three **fault-injection** scenarios exercise the deterministic fault plane
+and its resilience mechanisms (:mod:`repro.faults`):
+
+``spot-preemption-storm``
+    A spot-priced site loses instances in a mid-run revocation storm;
+    retry-with-failover moves killed work to the on-demand site and the
+    remainder degrades to on-device execution instead of dropping.
+``flaky-uplink``
+    A single-site run whose access network turns hostile for the middle
+    third (3× RTT, elevated attempt failure) on top of a baseline failure
+    floor: exponential backoff rides attempts past the window's edge.
+``stale-broker``
+    The dynamic broker plans each slot against load snapshots delivered two
+    boundaries late and lost outright a quarter of the time, while a modest
+    failure floor keeps the retry machinery warm — control-plane degradation
+    without any data-plane outage.
+
 Scenarios registered here (or via :func:`register_scenario`) are addressable
 by name from the CLI (``repro-accel scenario run <name>``) and the campaign
 runner.
@@ -72,6 +89,13 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.faults.spec import (
+    ControlPlaneFaults,
+    DegradedWindow,
+    FaultSpec,
+    PreemptionWindow,
+    RetryPolicy,
+)
 from repro.multisite.spec import MultiSiteSpec, OutageWindow, SiteSpec, SpilloverSpec
 from repro.scenarios.spec import (
     CloudSpec,
@@ -499,6 +523,134 @@ register_scenario(
             ),
             policy="dynamic-load",
             spillover=SpilloverSpec(queue_limit_fraction=0.8, prefer="nearest-rtt"),
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Fault-injection / resilience scenarios
+# ---------------------------------------------------------------------------
+
+register_scenario(
+    ScenarioSpec(
+        name="spot-preemption-storm",
+        description="mid-run spot revocation storm on one site: retry with "
+        "cross-site failover rescues killed work, the rest degrades to "
+        "on-device execution",
+        users=50,
+        duration_hours=1.0,
+        slot_minutes=15.0,
+        workload=WorkloadSpec(pattern="uniform", target_requests=900),
+        # Promotions off: static-brokered site assignment is fixed at plan
+        # time, which is what lets the preemption window target the spot site
+        # and keeps both execution modes bit-identical.
+        policy=PolicySpec(promotion="static", promotion_probability=0.0),
+        sites=MultiSiteSpec(
+            sites=(
+                SiteSpec(
+                    name="spot",
+                    cloud=CloudSpec(group_types={1: "t2.medium"}, instance_cap=10),
+                    wan_rtt_ms=6.0,
+                    weight=2.0,
+                    population_share=2.0,
+                ),
+                SiteSpec(
+                    name="on-demand",
+                    cloud=CloudSpec(group_types={1: "t2.medium"}, instance_cap=10),
+                    wan_rtt_ms=22.0,
+                    weight=1.0,
+                    population_share=1.0,
+                ),
+            ),
+            policy="weighted-load",
+        ),
+        faults=FaultSpec(
+            preemptions=(
+                PreemptionWindow(
+                    start=0.35, end=0.65, kill_probability=0.6, site="spot"
+                ),
+            ),
+            retry=RetryPolicy(
+                max_attempts=3,
+                attempt_timeout_ms=1_500.0,
+                backoff_base_ms=200.0,
+                reroute_on_retry=True,
+                local_fallback=True,
+            ),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="flaky-uplink",
+        description="hostile access network for the middle third (3x RTT, "
+        "+25% attempt failure) over a 5% failure floor: backoff rides "
+        "attempts past the window's edge",
+        users=60,
+        duration_hours=1.5,
+        slot_minutes=15.0,
+        workload=WorkloadSpec(pattern="uniform", target_requests=800),
+        faults=FaultSpec(
+            offload_failure_probability=0.05,
+            degraded_windows=(
+                DegradedWindow(
+                    start=1.0 / 3.0,
+                    end=2.0 / 3.0,
+                    rtt_multiplier=3.0,
+                    failure_probability=0.25,
+                ),
+            ),
+            retry=RetryPolicy(
+                max_attempts=4,
+                attempt_timeout_ms=1_500.0,
+                backoff_base_ms=250.0,
+                local_fallback=True,
+            ),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="stale-broker",
+        description="dynamic broker planning each slot against load snapshots "
+        "2 boundaries late and lost 25% of the time, over a modest failure "
+        "floor - control-plane degradation without a data-plane outage",
+        users=50,
+        duration_hours=0.5,
+        slot_minutes=7.5,
+        task_name="bubblesort",
+        workload=WorkloadSpec(pattern="uniform", target_requests=12_000),
+        policy=PolicySpec(promotion="static", promotion_probability=0.0),
+        sites=MultiSiteSpec(
+            sites=(
+                SiteSpec(
+                    name="near",
+                    cloud=CloudSpec(group_types={1: "t2.medium"}, instance_cap=8),
+                    wan_rtt_ms=6.0,
+                    weight=2.0,
+                    population_share=2.0,
+                ),
+                SiteSpec(
+                    name="far",
+                    cloud=CloudSpec(group_types={1: "t2.medium"}, instance_cap=8),
+                    wan_rtt_ms=28.0,
+                    weight=1.0,
+                    population_share=1.0,
+                ),
+            ),
+            policy="dynamic-load",
+            spillover=SpilloverSpec(queue_limit_fraction=0.8, prefer="nearest-rtt"),
+        ),
+        faults=FaultSpec(
+            offload_failure_probability=0.04,
+            control_plane=ControlPlaneFaults(
+                snapshot_delay_slots=2,
+                snapshot_loss_probability=0.25,
+            ),
+            retry=RetryPolicy(max_attempts=3, local_fallback=True),
         ),
     )
 )

@@ -28,6 +28,12 @@ from repro.core.allocation import InstanceOption, build_group_options
 from repro.core.model import AdaptiveModel
 from repro.core.prediction import WorkloadPredictor, prediction_accuracy
 from repro.core.timeslots import TimeSlotHistory
+from repro.faults.overlay import (
+    FAULT_STREAM,
+    OUTCOME_OK,
+    FaultOverlay,
+    build_fault_overlay,
+)
 from repro.mobile.device import DEVICE_PROFILES, MobileDevice
 from repro.mobile.moderator import (
     BatteryAwarePolicy,
@@ -54,6 +60,7 @@ from repro.telemetry import NULL_TELEMETRY, resolve_telemetry
 from repro.telemetry.publish import (
     publish_devices,
     publish_engine,
+    publish_faults,
     publish_requests,
     publish_serving_stack,
 )
@@ -104,6 +111,13 @@ class SiteResult:
     predictions: int
     mean_utilization: float
     requests_spilled_in: int = 0
+    #: Requests this site served after at least one failed attempt.
+    requests_retried: int = 0
+    #: Failover arrivals this site absorbed (requests killed or retried away
+    #: from another site that ended up served here).
+    requests_failed_over: int = 0
+    #: Requests assigned here that exhausted retries and ran on the device.
+    requests_degraded_local: int = 0
     groups: Tuple[SiteGroupResult, ...] = ()
 
     def __post_init__(self) -> None:
@@ -165,6 +179,9 @@ class SiteResult:
             "requests": self.requests_total,
             "drop_rate_pct": round(100.0 * self.drop_rate, 2),
             "spilled_in": self.requests_spilled_in,
+            "retried": self.requests_retried,
+            "failed_over": self.requests_failed_over,
+            "degraded_local": self.requests_degraded_local,
             "mean_ms": cell(self.mean_response_ms, 1),
             "p95_ms": cell(self.p95_response_ms, 1),
             "cost_usd": round(self.allocation_cost_usd, 3),
@@ -204,6 +221,15 @@ class ScenarioResult:
     promotions: int
     requests_unrouted: int = 0
     requests_spilled: int = 0
+    #: Requests that needed at least one retry (fault plane; 0 without one).
+    requests_retried: int = 0
+    #: Requests re-routed to another site by retry/outage failover.
+    requests_failed_over: int = 0
+    #: Requests that exhausted retries and executed on the device instead —
+    #: graceful degradation; these count as *successes*, with the on-device
+    #: execution time (plus the latency burned on failed attempts) folded
+    #: into the response-time distribution.
+    requests_degraded_local: int = 0
     slot_site_requests: Tuple[Tuple[int, ...], ...] = ()
     sites: Tuple[SiteResult, ...] = ()
 
@@ -281,6 +307,9 @@ class ScenarioResult:
             "utilization_pct": round(100.0 * self.mean_utilization, 1),
             "promoted_users": self.promoted_users,
             "spilled": self.requests_spilled,
+            "retried": self.requests_retried,
+            "failed_over": self.requests_failed_over,
+            "degraded_local": self.requests_degraded_local,
         }
 
     def rows(self) -> List[Dict[str, object]]:
@@ -458,12 +487,18 @@ def _execute_event(
     duration_ms: float,
     slot_ms: float,
     telemetry=NULL_TELEMETRY,
+    overlay: Optional[FaultOverlay] = None,
 ) -> ExecutionMetrics:
     """Drive the pre-drawn request plan through the discrete-event engine.
 
     This is the exact simulation: per-request events, processor-sharing
     service, promotions applied at delivery time.  All per-request randomness
     comes from the plan, so it consumes the same draws as the batched path.
+
+    ``overlay`` (when faults are enabled) carries pre-computed per-request
+    fault verdicts: requests whose outcome is not ``OUTCOME_OK`` never reach
+    the accelerator — their degradation/drop is tallied at fold time, from
+    the overlay, identically to the batched path.
 
     The engine runs in per-period chunks (``engine.run`` up to each slot
     boundary, then a final drain) so the tracer can attribute wall time to
@@ -498,6 +533,8 @@ def _execute_event(
                 user_id = int(plan.user_ids[index])
                 device = devices[user_id]
                 device.requests_sent += 1
+                if overlay is not None and overlay.outcome[index] != OUTCOME_OK:
+                    return  # degraded-local / fault-dropped; tallied at fold
                 accelerator.submit_planned(
                     user_id=user_id,
                     acceleration_group=device.acceleration_group,
@@ -721,6 +758,29 @@ def _run_single_site(
             routing_overhead_std_ms=accelerator.routing_overhead_std_ms,
         )
 
+    # --- fault plane: pre-computed per-request verdicts ----------------------
+    overlay: Optional[FaultOverlay] = None
+    if spec.faults is not None:
+        with telemetry.span("faults.build"):
+            overlay = build_fault_overlay(
+                plan=plan,
+                faults=spec.faults,
+                duration_ms=duration_ms,
+                rng=streams.stream(FAULT_STREAM),
+            )
+            overlay.set_local_execution(
+                plan,
+                np.asarray(
+                    [
+                        devices[user_id].profile.local_speed_factor
+                        for user_id in range(spec.users)
+                    ],
+                    dtype=float,
+                ),
+            )
+            overlay.apply_latency(plan)
+            overlay.apply_network_factor(plan)
+
     if spec.execution == "batched":
         metrics = execute_batched(
             spec=spec,
@@ -735,6 +795,7 @@ def _run_single_site(
             duration_ms=duration_ms,
             slot_ms=slot_ms,
             telemetry=telemetry,
+            overlay=overlay,
         )
     else:
         metrics = _execute_event(
@@ -750,12 +811,31 @@ def _run_single_site(
             duration_ms=duration_ms,
             slot_ms=slot_ms,
             telemetry=telemetry,
+            overlay=overlay,
         )
 
     # --- metrics -------------------------------------------------------------
     with telemetry.span("stats.fold"):
         successes = metrics.success_response_ms
         dropped = metrics.requests_dropped
+        requests_total = metrics.requests_total
+        fault_summary = None
+        if overlay is not None:
+            # Degraded/dropped requests never reached an executor; they enter
+            # the tallies here, identically for both execution modes.
+            fault_summary = overlay.fault_summary(spec.users, plan)
+            requests_total += (
+                fault_summary.requests_local + fault_summary.requests_dropped
+            )
+            dropped += fault_summary.requests_dropped
+            if fault_summary.local_response_ms.size:
+                successes = np.concatenate(
+                    [successes, fault_summary.local_response_ms]
+                )
+            for user_id in np.flatnonzero(fault_summary.dropped_user_counts):
+                devices[int(user_id)].record_failures(
+                    int(fault_summary.dropped_user_counts[user_id])
+                )
         if successes.size:
             mean_ms = float(successes.mean())
             p50, p95, p99 = (
@@ -775,7 +855,7 @@ def _run_single_site(
             publish_engine(registry, engine)
             publish_requests(
                 registry,
-                total=metrics.requests_total,
+                total=requests_total,
                 dropped=dropped,
                 success_response_ms=successes,
             )
@@ -783,13 +863,15 @@ def _run_single_site(
                 registry, provisioner=provisioner, autoscaler=autoscaler
             )
             publish_devices(registry, devices.values())
+            if fault_summary is not None:
+                publish_faults(registry, summary=fault_summary)
 
         return ScenarioResult(
             name=spec.name,
             seed=effective_seed,
             users=spec.users,
             duration_hours=spec.duration_hours,
-            requests_total=metrics.requests_total,
+            requests_total=requests_total,
             requests_succeeded=int(successes.size),
             requests_dropped=dropped,
             mean_response_ms=mean_ms,
@@ -807,4 +889,15 @@ def _run_single_site(
             ),
             promoted_users=sum(1 for device in devices.values() if device.promotions),
             promotions=sum(len(device.promotions) for device in devices.values()),
+            requests_retried=(
+                fault_summary.requests_retried if fault_summary is not None else 0
+            ),
+            requests_failed_over=(
+                fault_summary.requests_failed_over
+                if fault_summary is not None
+                else 0
+            ),
+            requests_degraded_local=(
+                fault_summary.requests_local if fault_summary is not None else 0
+            ),
         )

@@ -27,6 +27,7 @@ from repro.mobile.device import DEVICE_PROFILES
 from repro.mobile.tasks import DEFAULT_TASK_POOL
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (multisite uses our specs)
+    from repro.faults.spec import FaultSpec
     from repro.multisite.spec import MultiSiteSpec
 
 #: Supported arrival patterns (see :class:`WorkloadSpec`).
@@ -307,6 +308,12 @@ class ScenarioSpec:
     network: NetworkSpec = field(default_factory=NetworkSpec)
     policy: PolicySpec = field(default_factory=PolicySpec)
     sites: Optional["MultiSiteSpec"] = None
+    #: The scenario's fault plane (see :mod:`repro.faults`): preemption and
+    #: degraded-network windows, per-attempt offload failure, control-plane
+    #: staleness, plus the retry/degradation policy answering them.  ``None``
+    #: (the default) keeps every pre-fault-plane behavior byte-identical,
+    #: including the lenient legacy outage semantics.
+    faults: Optional["FaultSpec"] = None
     #: Collect metrics + a slot-phase trace for this run.  Purely
     #: observational: results are bit-identical with the knob on or off
     #: (pinned by the telemetry parity suite).
@@ -349,6 +356,50 @@ class ScenarioSpec:
                     f"sites must be a MultiSiteSpec (or its dict form), got {type(sites)!r}"
                 )
             object.__setattr__(self, "sites", sites)
+        if self.faults is not None:
+            from repro.faults.spec import FaultSpec  # deferred: cycle guard
+
+            faults = self.faults
+            if isinstance(faults, Mapping):
+                faults = FaultSpec.from_dict(faults)
+            if not isinstance(faults, FaultSpec):
+                raise ValueError(
+                    f"faults must be a FaultSpec (or its dict form), got {type(faults)!r}"
+                )
+            site_names = (
+                [site.name for site in self.sites.sites]
+                if self.sites is not None
+                else []
+            )
+            for window in faults.preemptions:
+                if window.site is None:
+                    continue
+                if self.sites is None:
+                    raise ValueError(
+                        f"preemption window targets site {window.site!r} but "
+                        f"scenario {self.name!r} is single-site"
+                    )
+                if window.site not in site_names:
+                    raise ValueError(
+                        f"preemption window targets unknown site {window.site!r}; "
+                        f"known: {site_names}"
+                    )
+                if self.sites.policy == "dynamic-load":
+                    raise ValueError(
+                        "site-scoped preemption windows need a static brokering "
+                        "policy (the dynamic broker assigns sites only at "
+                        "execution time, after fault draws are sealed); "
+                        f"scenario {self.name!r} uses dynamic-load"
+                    )
+            if faults.control_plane is not None and (
+                self.sites is None or self.sites.policy != "dynamic-load"
+            ):
+                raise ValueError(
+                    "control-plane faults degrade the dynamic broker's load "
+                    f"snapshots; scenario {self.name!r} does not use the "
+                    "dynamic-load policy"
+                )
+            object.__setattr__(self, "faults", faults)
 
     @property
     def is_multisite(self) -> bool:
@@ -440,4 +491,5 @@ class ScenarioSpec:
         for key, spec_cls in nested.items():
             if key in data and isinstance(data[key], Mapping):
                 data[key] = spec_cls(**data[key])
+        # sites / faults dict forms are coerced by __post_init__.
         return cls(**data)

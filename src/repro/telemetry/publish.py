@@ -33,6 +33,13 @@ users.promoted                 gauge      users above their starting group
 broker.requests_unrouted       counter    requests no site could accept
 broker.requests_spilled        counter    mid-slot cross-site spill diversions
 broker.fluid_queue_depth       histogram  per-(boundary, site) fluid backlog
+retry.requests_retried         counter    requests that needed >= 1 retry
+retry.requests_failed_over     counter    requests re-routed by retry/outage failover
+retry.requests_degraded_local  counter    retries exhausted; executed on the device
+fault.requests_dropped         counter    retries exhausted with no local fallback
+fault.attempts_failed          counter    individual offload attempts that failed
+fault.outage_kills             counter    in-flight requests killed at outage onset
+fault.snapshots_lost           counter    broker load snapshots lost in delivery
 site.<name>.requests_total     counter    requests the site served (per site)
 site.<name>.requests_dropped   counter    the site's drops (per site)
 site.<name>.requests_spilled_in counter   spill arrivals the site absorbed
@@ -40,6 +47,9 @@ site.<name>.routing_share      gauge      the site's share of all routed request
 federation.requests            gauge      federation_rollup: summed requests
 federation.dropped             gauge      federation_rollup: summed drops
 federation.spilled             gauge      federation_rollup: summed spills
+federation.retried             gauge      federation_rollup: summed retries
+federation.failed_over         gauge      federation_rollup: summed failovers
+federation.degraded_local      gauge      federation_rollup: summed local fallbacks
 federation.drop_rate_pct       gauge      federation_rollup: recomputed drop rate
 federation.cost_usd            gauge      federation_rollup: summed cost
 =============================  =========  =======================================
@@ -112,6 +122,32 @@ def publish_devices(registry: MetricsRegistry, devices: Iterable) -> None:
     )
 
 
+def publish_faults(
+    registry: MetricsRegistry,
+    *,
+    summary,
+    outage_kills: int = 0,
+    snapshots_lost: int = 0,
+) -> None:
+    """Fault-plane and resilience tallies for one run.
+
+    ``summary`` duck-types :class:`~repro.faults.overlay.FaultSummary`; the
+    outage/snapshot counters come from the multi-site fault plane and stay 0
+    for single-site runs.  Published only when a scenario carries a
+    ``FaultSpec`` — runs without one emit no ``fault.*``/``retry.*`` signals
+    (the CLI rollup still prints zero rows from the result itself).
+    """
+    registry.counter("retry.requests_retried").inc(summary.requests_retried)
+    registry.counter("retry.requests_failed_over").inc(
+        summary.requests_failed_over
+    )
+    registry.counter("retry.requests_degraded_local").inc(summary.requests_local)
+    registry.counter("fault.requests_dropped").inc(summary.requests_dropped)
+    registry.counter("fault.attempts_failed").inc(summary.failed_attempts)
+    registry.counter("fault.outage_kills").inc(outage_kills)
+    registry.counter("fault.snapshots_lost").inc(snapshots_lost)
+
+
 def publish_broker(registry: MetricsRegistry, *, unrouted: int, broker=None) -> None:
     """Broker-level signals: unrouted drops, spills, fluid-queue depths.
 
@@ -160,5 +196,8 @@ def publish_federation(registry: MetricsRegistry, site_results: Sequence) -> Non
     registry.gauge("federation.requests").set(rollup["requests"])
     registry.gauge("federation.dropped").set(rollup["dropped"])
     registry.gauge("federation.spilled").set(rollup["spilled"])
+    registry.gauge("federation.retried").set(rollup["retried"])
+    registry.gauge("federation.failed_over").set(rollup["failed_over"])
+    registry.gauge("federation.degraded_local").set(rollup["degraded_local"])
     registry.gauge("federation.drop_rate_pct").set(rollup["drop_rate_pct"])
     registry.gauge("federation.cost_usd").set(rollup["cost_usd"])

@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) for the fault plane's contracts.
+
+Three contracts, each pinned over *drawn* fault specs rather than the
+hand-picked ones the unit tests use:
+
+* determinism — the same seed yields byte-identical fault draws and verdicts;
+* positional draw stability — first-attempt outcomes are invariant under the
+  resilience settings (the A/B comparison's foundation);
+* executor parity — both execution modes agree on every fault counter, and a
+  faults-disabled run is indistinguishable from one with no ``FaultSpec``.
+"""
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.overlay import (
+    OUTCOME_DEGRADED_LOCAL,
+    OUTCOME_DROPPED,
+    OUTCOME_OK,
+    build_fault_overlay,
+)
+from repro.faults.spec import DegradedWindow, FaultSpec, RetryPolicy
+from repro.scenarios import run_scenario
+from repro.scenarios.plan import RequestPlan
+from repro.scenarios.spec import ScenarioSpec, WorkloadSpec
+
+DURATION_MS = 600_000.0
+
+probabilities = st.floats(min_value=0.0, max_value=0.9)
+windows = st.tuples(
+    st.floats(min_value=0.0, max_value=0.8),
+    st.floats(min_value=0.05, max_value=0.2),
+    st.floats(min_value=1.0, max_value=4.0),
+    probabilities,
+).map(
+    lambda t: DegradedWindow(
+        start=round(t[0], 3),
+        end=round(min(t[0] + t[1], 1.0), 3),
+        rtt_multiplier=t[2],
+        failure_probability=t[3],
+    )
+)
+fault_specs = st.builds(
+    FaultSpec,
+    offload_failure_probability=probabilities,
+    failure_detection_ms=st.floats(min_value=0.0, max_value=1_000.0),
+    degraded_windows=st.lists(windows, max_size=2).map(tuple),
+    retry=st.builds(
+        RetryPolicy,
+        max_attempts=st.integers(min_value=1, max_value=5),
+        backoff_base_ms=st.floats(min_value=0.0, max_value=500.0),
+        backoff_jitter=st.floats(min_value=0.0, max_value=0.5),
+        local_fallback=st.booleans(),
+    ),
+)
+
+
+def make_plan(n: int, seed: int) -> RequestPlan:
+    rng = np.random.default_rng(seed)
+    return RequestPlan(
+        arrival_ms=np.sort(rng.uniform(0.0, DURATION_MS, size=n)),
+        user_ids=rng.integers(0, 8, size=n),
+        work_units=rng.uniform(100.0, 400.0, size=n),
+        jitter_z=np.zeros(n),
+        t1_ms=np.full(n, 40.0),
+        t2_ms=np.full(n, 40.0),
+        routing_ms=np.full(n, 5.0),
+    )
+
+
+def build(plan: RequestPlan, faults: FaultSpec, seed: int):
+    return build_fault_overlay(
+        plan=plan,
+        faults=faults,
+        duration_ms=DURATION_MS,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestOverlayProperties:
+    @given(faults=fault_specs, seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_same_seed_is_byte_identical(self, faults, seed):
+        plan = make_plan(120, 1)
+        a, b = build(plan, faults, seed), build(plan, faults, seed)
+        for field in (
+            "attempts",
+            "outcome",
+            "extra_latency_ms",
+            "rtt_factor",
+            "final_attempt_ms",
+        ):
+            np.testing.assert_array_equal(
+                getattr(a, field), getattr(b, field), err_msg=field
+            )
+
+    @given(faults=fault_specs, seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_verdicts_are_well_formed(self, faults, seed):
+        plan = make_plan(120, 2)
+        overlay = build(plan, faults, seed)
+        assert np.all(overlay.attempts >= 1)
+        assert np.all(overlay.attempts <= faults.retry.max_attempts)
+        assert np.all(overlay.extra_latency_ms >= 0.0)
+        assert np.all(overlay.rtt_factor >= 1.0)
+        exhausted = overlay.outcome != OUTCOME_OK
+        expected = (
+            OUTCOME_DEGRADED_LOCAL
+            if faults.retry.local_fallback
+            else OUTCOME_DROPPED
+        )
+        assert np.all(overlay.outcome[exhausted] == expected)
+        assert np.all(overlay.attempts[exhausted] == faults.retry.max_attempts)
+        # A request that never failed burned nothing.
+        clean = (overlay.attempts == 1) & (overlay.outcome == OUTCOME_OK)
+        assert np.all(overlay.extra_latency_ms[clean] == 0.0)
+
+    @given(faults=fault_specs, seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_first_attempt_outcomes_invariant_under_resilience(self, faults, seed):
+        plan = make_plan(120, 3)
+        resilient = build(plan, faults, seed)
+        bare = build(plan, faults.without_resilience(), seed)
+        # The bare arm's survivors succeeded on attempt 1 in both arms.
+        survived = bare.outcome == OUTCOME_OK
+        assert np.all(resilient.outcome[survived] == OUTCOME_OK)
+        assert np.all(resilient.attempts[survived] == 1)
+        # The bare arm's casualties failed attempt 1 in the resilient arm:
+        # they retried, or exhausted a single-attempt ladder.
+        lost = ~survived
+        assert np.all(
+            (resilient.attempts[lost] > 1)
+            | (resilient.outcome[lost] != OUTCOME_OK)
+        )
+
+
+class TestRunnerProperties:
+    @given(
+        probability=st.floats(min_value=0.05, max_value=0.6),
+        max_attempts=st.integers(min_value=1, max_value=4),
+        local_fallback=st.booleans(),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_cross_mode_fault_counters_agree(
+        self, probability, max_attempts, local_fallback, seed
+    ):
+        spec = ScenarioSpec(
+            name="prop-faults",
+            users=8,
+            duration_hours=0.25,
+            slot_minutes=7.5,
+            workload=WorkloadSpec(pattern="uniform", target_requests=150),
+            faults=FaultSpec(
+                offload_failure_probability=probability,
+                retry=RetryPolicy(
+                    max_attempts=max_attempts, local_fallback=local_fallback
+                ),
+            ),
+        )
+        event = run_scenario(
+            dataclasses.replace(spec, execution="event"), seed=seed
+        )
+        batched = run_scenario(
+            dataclasses.replace(spec, execution="batched"), seed=seed
+        )
+        for field in (
+            "requests_total",
+            "requests_dropped",
+            "requests_retried",
+            "requests_failed_over",
+            "requests_degraded_local",
+        ):
+            assert getattr(event, field) == getattr(batched, field), field
+
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=8, deadline=None)
+    def test_noop_faults_byte_identical_to_no_spec(self, seed):
+        base = ScenarioSpec(
+            name="prop-noop",
+            users=8,
+            duration_hours=0.25,
+            slot_minutes=7.5,
+            workload=WorkloadSpec(pattern="uniform", target_requests=150),
+        )
+        noop = dataclasses.replace(base, faults=FaultSpec())
+        assert (
+            run_scenario(base, seed=seed).as_row()
+            == run_scenario(noop, seed=seed).as_row()
+        )
