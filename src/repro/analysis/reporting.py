@@ -44,6 +44,32 @@ def format_table(rows: Sequence[Mapping[str, object]], *, missing: str = "-") ->
     return "\n".join([header, separator, body])
 
 
+def format_html_table(rows: Sequence[Mapping[str, object]], *, missing: str = "-") -> str:
+    """Render rows as an HTML ``<table>`` (same column rules as the text table).
+
+    Cell text is escaped; styling is left to the embedding page (the run-record
+    dashboard wraps these in its own style scope).
+    """
+    from html import escape
+
+    if not rows:
+        return "<table></table>"
+    columns = _collect_columns(rows)
+    header = "".join(f"<th>{escape(str(column))}</th>" for column in columns)
+    body = "".join(
+        "<tr>"
+        + "".join(
+            f"<td>{escape(str(row.get(column, missing)))}</td>" for column in columns
+        )
+        + "</tr>"
+        for row in rows
+    )
+    return (
+        f"<table><thead><tr>{header}</tr></thead>"
+        f"<tbody>{body}</tbody></table>"
+    )
+
+
 def write_csv(rows: Sequence[Mapping[str, object]], path: "str | Path") -> Path:
     """Write rows to ``path`` as CSV; returns the path.
 

@@ -58,7 +58,15 @@ from repro.scenarios import (
     get_scenario,
     run_scenario,
 )
-from repro.telemetry import Telemetry
+from repro.telemetry import (
+    Telemetry,
+    build_run_record,
+    diff_records,
+    load_run_record,
+    record_filename,
+    render_report,
+)
+from repro.telemetry.publish import to_openmetrics
 
 #: Progress / bookkeeping messages ("wrote <path>", "peak RSS ...") go through
 #: this logger onto stderr, gated by ``--verbose``/``--quiet`` — result tables
@@ -247,6 +255,7 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
         return 2
     if _invalid_broker(args.broker):
         return 2
+    wants_artifacts = bool(args.record_out or args.metrics_out)
     try:
         spec = spec.with_overrides(
             users=args.users,
@@ -255,8 +264,19 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
             execution=args.execution,
             broker=args.broker,
             capacity_signal=args.capacity_signal,
-            telemetry=args.telemetry or bool(args.trace_out) or None,
+            telemetry=args.telemetry or bool(args.trace_out) or wants_artifacts or None,
         )
+        if args.without_resilience:
+            if spec.faults is None:
+                print(
+                    f"error: scenario {spec.name!r} has no fault plane; "
+                    "--without-resilience needs one",
+                    file=sys.stderr,
+                )
+                return 2
+            spec = dataclasses.replace(
+                spec, faults=spec.faults.without_resilience()
+            )
         # Build the collector here (rather than letting the runner resolve
         # the spec knob) so the CLI can read it back for the summary/exports.
         telemetry = Telemetry() if spec.telemetry else None
@@ -264,6 +284,19 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.record_out and telemetry is not None:
+        record = build_run_record(spec, result, telemetry)
+        record_path = record.save(
+            Path(args.record_out) / record_filename(record)
+        )
+        log.info("wrote run record %s", record_path)
+    if args.metrics_out and telemetry is not None:
+        metrics_path = Path(args.metrics_out)
+        metrics_path.parent.mkdir(parents=True, exist_ok=True)
+        metrics_path.write_text(
+            json.dumps(_jsonify(telemetry.as_dict()), indent=2) + "\n"
+        )
+        log.info("wrote telemetry metrics %s", metrics_path)
     if args.trace_out and telemetry is not None:
         trace_path = Path(args.trace_out)
         trace_path.parent.mkdir(parents=True, exist_ok=True)
@@ -321,7 +354,10 @@ def _cmd_scenario_campaign(args: argparse.Namespace) -> int:
         if args.broker:
             specs = [spec.with_overrides(broker=args.broker) for spec in specs]
         runner = CampaignRunner(
-            workers=args.workers, seed=args.seed, execution=args.execution
+            workers=args.workers,
+            seed=args.seed,
+            execution=args.execution,
+            telemetry=args.telemetry or bool(args.record_out),
         )
         campaign = runner.run(specs)
     except ValueError as error:
@@ -331,7 +367,91 @@ def _cmd_scenario_campaign(args: argparse.Namespace) -> int:
     if args.csv:
         path = campaign.to_csv(args.csv)
         log.info("wrote %s", path)
+    if args.record_out and campaign.records:
+        out_dir = Path(args.record_out)
+        entries = []
+        for record in campaign.records:
+            record_path = record.save(out_dir / record_filename(record))
+            entries.append(
+                {
+                    "scenario": record.scenario,
+                    "execution": record.execution,
+                    "seed": record.seed,
+                    "spec_hash": record.spec_hash,
+                    "file": record_path.name,
+                }
+            )
+            log.info("wrote run record %s", record_path)
+        manifest_path = out_dir / "manifest.json"
+        manifest_path.write_text(
+            json.dumps(
+                {
+                    "schema": "repro.campaign-manifest/1",
+                    "campaign_seed": campaign.seed,
+                    "records": entries,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        log.info("wrote campaign manifest %s", manifest_path)
     return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render a run record as a self-contained HTML dashboard + OpenMetrics."""
+    try:
+        record = load_run_record(args.record)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    record_path = Path(args.record)
+    html_path = Path(args.out) if args.out else record_path.with_suffix(".html")
+    html_path.parent.mkdir(parents=True, exist_ok=True)
+    html_path.write_text(render_report(record), encoding="utf-8")
+    log.info("wrote HTML report %s", html_path)
+    om_path = (
+        Path(args.openmetrics)
+        if args.openmetrics
+        else record_path.with_suffix(".om")
+    )
+    om_path.parent.mkdir(parents=True, exist_ok=True)
+    om_path.write_text(
+        to_openmetrics(
+            {
+                "counters": record.counters,
+                "gauges": record.gauges,
+                "histograms": record.histograms,
+            }
+        ),
+        encoding="utf-8",
+    )
+    log.info("wrote OpenMetrics export %s", om_path)
+    print(f"report: {html_path}")
+    print(f"openmetrics: {om_path}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    """Diff two run records; nonzero exit on a regression verdict."""
+    try:
+        record_a = load_run_record(args.record_a)
+        record_b = load_run_record(args.record_b)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    diff = diff_records(
+        record_a,
+        record_b,
+        max_counter_delta_pct=args.max_counter_delta_pct,
+        max_series_divergence=args.max_series_divergence,
+    )
+    if args.json:
+        print(json.dumps(_jsonify(diff.as_dict()), indent=2))
+    else:
+        for line in diff.summary_lines(limit=args.limit):
+            print(line)
+    return 1 if diff.verdict == "regression" else 0
 
 
 def _cmd_bench_run(args: argparse.Namespace) -> int:
@@ -525,6 +645,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's span timeline as a Chrome-trace JSON file "
         "(implies --telemetry; open via chrome://tracing or ui.perfetto.dev)",
     )
+    scenario_run.add_argument(
+        "--record-out", default="", dest="record_out", metavar="DIR",
+        help="write a versioned run-record JSON artifact (slot series, "
+        "counters, span rows) into DIR (implies --telemetry; feed the file "
+        "to 'repro-accel report' or 'repro-accel diff')",
+    )
+    scenario_run.add_argument(
+        "--metrics-out", default="", dest="metrics_out", metavar="PATH",
+        help="write the telemetry payload (metrics + trace) as JSON to PATH "
+        "(implies --telemetry)",
+    )
+    scenario_run.add_argument(
+        "--without-resilience", action="store_true", dest="without_resilience",
+        help="strip the scenario's retry/failover/local-fallback policy "
+        "(fault-plane scenarios only) — the control arm of the resilience "
+        "A/B twin",
+    )
     scenario_run.set_defaults(handler=_cmd_scenario_run)
 
     scenario_campaign = scenario_sub.add_parser(
@@ -549,6 +686,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario_campaign.add_argument(
         "--csv", default="", help="also write the comparison table to this CSV path"
+    )
+    scenario_campaign.add_argument(
+        "--telemetry", action="store_true",
+        help="collect metrics and slot series in every worker (the "
+        "comparison table stays bit-identical)",
+    )
+    scenario_campaign.add_argument(
+        "--record-out", default="", dest="record_out", metavar="DIR",
+        help="write one run-record JSON per scenario plus a manifest.json "
+        "into DIR (implies --telemetry)",
     )
     scenario_campaign.set_defaults(handler=_cmd_scenario_campaign)
 
@@ -585,6 +732,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative throughput drop that counts as a regression (default 0.2)",
     )
     bench_compare.set_defaults(handler=_cmd_bench_compare)
+
+    report = subparsers.add_parser(
+        "report",
+        help="render a run-record file as a self-contained HTML dashboard "
+        "plus an OpenMetrics text export",
+    )
+    report.add_argument("record", help="run-record JSON (from --record-out)")
+    report.add_argument(
+        "--out", default="", metavar="PATH",
+        help="HTML output path (default: the record path with .html)",
+    )
+    report.add_argument(
+        "--openmetrics", default="", metavar="PATH",
+        help="OpenMetrics output path (default: the record path with .om)",
+    )
+    report.set_defaults(handler=_cmd_report)
+
+    diff = subparsers.add_parser(
+        "diff",
+        help="compare two run records (counters by name, series by slot) "
+        "and print a regression verdict",
+    )
+    diff.add_argument("record_a", help="baseline run-record JSON")
+    diff.add_argument("record_b", help="candidate run-record JSON")
+    diff.add_argument(
+        "--json", action="store_true", help="print the full diff as JSON"
+    )
+    diff.add_argument(
+        "--max-counter-delta-pct", type=float, default=0.0,
+        dest="max_counter_delta_pct", metavar="PCT",
+        help="largest acceptable relative counter change in percent "
+        "(default 0: any change is a regression)",
+    )
+    diff.add_argument(
+        "--max-series-divergence", type=float, default=0.0,
+        dest="max_series_divergence", metavar="VALUE",
+        help="largest acceptable per-slot absolute series divergence "
+        "(default 0: any divergence is a regression)",
+    )
+    diff.add_argument(
+        "--limit", type=int, default=12,
+        help="rows to print per section in the text summary",
+    )
+    diff.set_defaults(handler=_cmd_diff)
 
     return parser
 

@@ -324,6 +324,11 @@ def execute_event_multisite(
                     site.autoscaler.run_period_end(
                         site.accelerator.trace_log, start, end
                     )
+                    # Post-scaling fleet state at the boundary, per site —
+                    # sampled at the same instant in the batched executor.
+                    telemetry.recorder.sample_fleet(
+                        slot_index, site.provisioner, prefix=f"site.{site.name}"
+                    )
 
             engine.schedule_at(
                 period_end, _scale, label=f"multisite:scale-{site.name}-{period}"
@@ -682,6 +687,10 @@ def execute_batched_multisite(
                 )
                 site.model.observe_slot(slot)
                 site.autoscaler.scale_for_slot(slot, end)
+                # Same boundary instant the event executor samples this site.
+                telemetry.recorder.sample_fleet(
+                    period - 1, site.provisioner, prefix=f"site.{site.name}"
+                )
 
     while sample_cursor < len(sample_times):
         append_utilization(sample_times[sample_cursor])
@@ -1050,6 +1059,23 @@ def _fold_multisite_result(
         publish_broker(
             registry, unrouted=metrics.requests_unrouted, broker=slot_broker
         )
+        recorder = telemetry.recorder
+        site_names = [
+            site.name for site in sorted(federation, key=lambda s: s.index)
+        ]
+        if plan is not None:
+            recorder.ingest_plan(
+                plan, slot_ms=spec.slot_length_ms, periods=spec.periods
+            )
+        recorder.ingest_broker(slot_broker, site_names)
+        if overlay is not None:
+            recorder.ingest_faults(
+                overlay,
+                plan,
+                slot_ms=spec.slot_length_ms,
+                periods=spec.periods,
+                site_ids=slot_broker.site_ids,
+            )
 
     return ScenarioResult(
         name=spec.name,

@@ -18,6 +18,9 @@ Each benchmark times one primitive in isolation and reports its throughput:
 * ``telemetry.registry`` — metrics-registry write path (counter inc, gauge
   set, histogram observe): the cost a run pays per instrument touch when
   ``--telemetry`` is on.
+* ``telemetry.timeseries`` — the slot-series recorder's whole per-run cost:
+  per-slot fleet appends plus the fold-time plan/fault ingestion that a
+  ``--record-out`` run performs once.
 * ``faults.injection`` — the vectorised retry-ladder walk of
   :func:`~repro.faults.overlay.build_fault_overlay` (baseline failures, a
   degraded window, a preemption window, backoff + local fallback) plus the
@@ -69,6 +72,8 @@ BUDGETS: Dict[str, Dict[str, int]] = {
         "broker_slots": 8,
         "broker_requests": 4_000,
         "telemetry_ops": 15_000,
+        "timeseries_slots": 240,
+        "timeseries_requests": 20_000,
         "fault_requests": 20_000,
     },
     "full": {
@@ -83,6 +88,8 @@ BUDGETS: Dict[str, Dict[str, int]] = {
         "broker_slots": 48,
         "broker_requests": 60_000,
         "telemetry_ops": 400_000,
+        "timeseries_slots": 2_880,
+        "timeseries_requests": 500_000,
         "fault_requests": 500_000,
     },
 }
@@ -295,6 +302,78 @@ def bench_telemetry_registry(ops: int, seed: int) -> BenchRecord:
     return timed("telemetry.registry", run)
 
 
+class _FakeFleet:
+    """A provisioner stand-in for the recorder bench (attribute reads only)."""
+
+    __slots__ = ("running_count", "running_instances", "launched_count")
+
+    def __init__(self) -> None:
+        self.running_count = 0
+        self.running_instances: List[int] = []
+        self.launched_count = 0
+
+    def step(self, delta: int) -> None:
+        self.launched_count += max(delta, 0)
+        size = max(len(self.running_instances) + delta, 0)
+        self.running_instances = list(range(size))
+        self.running_count = max(size - 1, 0)  # one instance always booting
+
+
+def bench_timeseries_recorder(slots: int, requests: int, seed: int) -> BenchRecord:
+    """The slot-series recorder's whole per-run cost.
+
+    Per slot: one ``sample_fleet`` (three appends) against a churning fake
+    fleet — the only recorder work on the executor path.  Then the fold-time
+    pass: ``ingest_plan`` plus ``ingest_faults`` over a synthetic overlay
+    (four masked searchsorted/bincount sweeps), and the ``as_dict`` export a
+    ``--record-out`` run serialises.  Ops = requests ingested + slot samples.
+    """
+    from repro.faults.overlay import OUTCOME_DEGRADED_LOCAL, OUTCOME_DROPPED
+    from repro.telemetry.timeseries import SlotSeriesRecorder
+
+    rng = np.random.default_rng(seed)
+    slot_ms = 60_000.0
+    duration_ms = slots * slot_ms
+    plan = RequestPlan(
+        arrival_ms=np.sort(rng.uniform(0.0, duration_ms, size=requests)),
+        user_ids=rng.integers(0, 50, size=requests),
+        work_units=rng.uniform(100.0, 600.0, size=requests),
+        jitter_z=np.zeros(requests),
+        t1_ms=np.zeros(requests),
+        t2_ms=np.zeros(requests),
+        routing_ms=np.zeros(requests),
+    )
+
+    class _Overlay:
+        attempts = rng.integers(1, 4, size=requests)
+        rerouted = rng.random(requests) < 0.1
+        outcome = rng.choice(
+            np.array([0, OUTCOME_DEGRADED_LOCAL, OUTCOME_DROPPED], dtype=np.int8),
+            size=requests,
+            p=[0.9, 0.06, 0.04],
+        )
+
+    deltas = rng.integers(-2, 4, size=slots)
+
+    def run() -> float:
+        recorder = SlotSeriesRecorder()
+        fleet = _FakeFleet()
+        for slot in range(slots):
+            fleet.step(int(deltas[slot]))
+            recorder.sample_fleet(slot, fleet)
+        recorder.ingest_plan(plan, slot_ms=slot_ms, periods=slots)
+        recorder.ingest_faults(
+            _Overlay(), plan, slot_ms=slot_ms, periods=slots
+        )
+        recorder.as_dict()
+        return float(requests + slots)
+
+    # One untimed pass to absorb first-call import/allocation warmup, as the
+    # broker bench does — the smoke budget is small enough to amplify it.
+    run()
+    return timed("telemetry.timeseries", run, slots=float(slots))
+
+
 def bench_fault_injection(requests: int, seed: int) -> BenchRecord:
     """Retry-ladder materialisation + fold summary over a synthetic plan.
 
@@ -361,5 +440,8 @@ def run_micro_suite(budget: str = "full", seed: int = 0) -> List[BenchRecord]:
         bench_processor_sharing(sizes["server_jobs"], seed),
         bench_broker_slot_state(sizes["broker_slots"], sizes["broker_requests"], seed),
         bench_telemetry_registry(sizes["telemetry_ops"], seed),
+        bench_timeseries_recorder(
+            sizes["timeseries_slots"], sizes["timeseries_requests"], seed
+        ),
         bench_fault_injection(sizes["fault_requests"], seed),
     ]

@@ -524,6 +524,9 @@ def execute_batched(
             slot = TimeSlot.from_user_sets(len(model.history), users_per_group)
             model.observe_slot(slot)
             autoscaler.scale_for_slot(slot, end)
+            # Post-scaling fleet state with the clock on the boundary — the
+            # same instant the event executor samples, so the series align.
+            telemetry.recorder.sample_fleet(period - 1, autoscaler.provisioner)
 
     # A trailing sample can land exactly on the run horizon, after the final
     # scaling action — same ordering as the event loop's FIFO tie-break.

@@ -25,6 +25,8 @@ from repro.analysis.reporting import format_table, write_csv
 from repro.scenarios.registry import builtin_specs
 from repro.scenarios.runner import ScenarioResult, run_scenario
 from repro.scenarios.spec import EXECUTION_MODES, ScenarioSpec
+from repro.telemetry import Telemetry
+from repro.telemetry.record import RunRecord, build_run_record
 
 
 def derive_scenario_seed(root_seed: int, name: str) -> int:
@@ -37,21 +39,39 @@ def derive_scenario_seed(root_seed: int, name: str) -> int:
     return int.from_bytes(digest[:8], "little")
 
 
-def _run_job(job: "Tuple[ScenarioSpec, int]") -> ScenarioResult:
-    """Worker entry point: run one (spec, seed) pair."""
-    spec, seed = job
-    return run_scenario(spec, seed=seed)
+def _run_job(
+    job: "Tuple[ScenarioSpec, int, bool]",
+) -> "Tuple[ScenarioResult, Optional[RunRecord]]":
+    """Worker entry point: run one (spec, seed, telemetry) job.
+
+    Returns the result plus, when telemetry was requested, a
+    :class:`RunRecord` — both plain picklable dataclasses, so the pair
+    crosses the pool boundary unchanged.
+    """
+    spec, seed, telemetry_enabled = job
+    if not (telemetry_enabled or spec.telemetry):
+        return run_scenario(spec, seed=seed), None
+    telemetry = Telemetry()
+    result = run_scenario(spec, seed=seed, telemetry=telemetry)
+    return result, build_run_record(spec, result, telemetry)
 
 
 @dataclass(frozen=True)
 class CampaignResult:
-    """The ordered per-scenario results of one campaign."""
+    """The ordered per-scenario results of one campaign.
+
+    ``records`` is empty unless the campaign ran with telemetry, in which
+    case it holds one :class:`RunRecord` per scenario, in the same order as
+    ``results``.
+    """
 
     seed: int
     results: Tuple[ScenarioResult, ...]
+    records: Tuple[RunRecord, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "results", tuple(self.results))
+        object.__setattr__(self, "records", tuple(self.records))
 
     def __len__(self) -> int:
         return len(self.results)
@@ -63,6 +83,16 @@ class CampaignResult:
                 return result
         raise KeyError(
             f"no result for scenario {name!r}; have {[r.name for r in self.results]}"
+        )
+
+    def get_record(self, name: str) -> RunRecord:
+        """The run record of one scenario by name (telemetry campaigns only)."""
+        for record in self.records:
+            if record.scenario == name:
+                return record
+        raise KeyError(
+            f"no run record for scenario {name!r}; "
+            f"have {[record.scenario for record in self.records]}"
         )
 
     def rows(self) -> List[Dict[str, object]]:
@@ -83,7 +113,10 @@ class CampaignRunner:
 
     ``execution`` overrides every scenario's execution mode for the whole
     campaign (``"batched"`` runs the entire campaign on the vectorised fast
-    path); ``None`` keeps each spec's own mode.
+    path); ``None`` keeps each spec's own mode.  ``telemetry=True`` gives
+    every worker a live collector and returns one :class:`RunRecord` per
+    scenario on the campaign result (the parity contract still holds: the
+    comparison table is bit-identical either way).
     """
 
     def __init__(
@@ -92,6 +125,7 @@ class CampaignRunner:
         workers: Optional[int] = None,
         seed: int = 0,
         execution: Optional[str] = None,
+        telemetry: bool = False,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -104,6 +138,7 @@ class CampaignRunner:
         self.workers = workers
         self.seed = seed
         self.execution = execution
+        self.telemetry = telemetry
 
     def _job_seed(self, spec: ScenarioSpec) -> int:
         """Spec-pinned seeds win; otherwise derive from campaign seed + name."""
@@ -121,14 +156,18 @@ class CampaignRunner:
             raise ValueError(f"duplicate scenario names in campaign: {names}")
         if self.execution is not None:
             specs = [spec.with_overrides(execution=self.execution) for spec in specs]
-        jobs = [(spec, self._job_seed(spec)) for spec in specs]
+        jobs = [(spec, self._job_seed(spec), self.telemetry) for spec in specs]
         workers = self.workers
         if workers is None:
             workers = min(len(jobs), os.cpu_count() or 1)
         if workers <= 1 or len(jobs) == 1:
-            results = [_run_job(job) for job in jobs]
+            outcomes = [_run_job(job) for job in jobs]
         else:
             context = multiprocessing.get_context()
             with context.Pool(processes=min(workers, len(jobs))) as pool:
-                results = pool.map(_run_job, jobs, chunksize=1)
-        return CampaignResult(seed=self.seed, results=tuple(results))
+                outcomes = pool.map(_run_job, jobs, chunksize=1)
+        results = tuple(result for result, _ in outcomes)
+        records = tuple(
+            record for _, record in outcomes if record is not None
+        )
+        return CampaignResult(seed=self.seed, results=results, records=records)

@@ -564,6 +564,9 @@ def _execute_event(
         ) -> None:
             with telemetry.span("slot.control", slot=slot_index):
                 autoscaler.run_period_end(accelerator.trace_log, start, end)
+                # Post-scaling fleet state at the boundary; the batched
+                # executor samples at the same instant, so the series align.
+                telemetry.recorder.sample_fleet(slot_index, autoscaler.provisioner)
 
         engine.schedule_at(period_end, _scale, label=f"scenario:scale-{period}")
 
@@ -865,6 +868,12 @@ def _run_single_site(
             publish_devices(registry, devices.values())
             if fault_summary is not None:
                 publish_faults(registry, summary=fault_summary)
+            recorder = telemetry.recorder
+            recorder.ingest_plan(plan, slot_ms=slot_ms, periods=spec.periods)
+            if overlay is not None:
+                recorder.ingest_faults(
+                    overlay, plan, slot_ms=slot_ms, periods=spec.periods
+                )
 
         return ScenarioResult(
             name=spec.name,

@@ -1,16 +1,34 @@
-"""Observability layer: metrics registry, span tracer, null-object facade.
+"""Observability layer: metrics registry, span tracer, slot-series recorder,
+run-record artifacts, null-object facade.
 
 Runners accept a ``telemetry`` collaborator defaulting to
 :data:`NULL_TELEMETRY`; pass a :class:`Telemetry` (or set
-``ScenarioSpec.telemetry``) to collect metrics and a slot-phase wall-clock
-timeline without changing any simulated result.
+``ScenarioSpec.telemetry``) to collect metrics, per-control-slot series and
+a slot-phase wall-clock timeline without changing any simulated result.
+:func:`build_run_record` folds a finished run into a versioned
+:class:`RunRecord` artifact; :func:`diff_records` and :func:`render_report`
+turn saved records into A/B comparisons and HTML dashboards.
 """
 
+from repro.telemetry.diff import (
+    CounterDelta,
+    RecordDiff,
+    SeriesDivergence,
+    diff_records,
+)
 from repro.telemetry.facade import (
     NULL_TELEMETRY,
     NullTelemetry,
     Telemetry,
     resolve_telemetry,
+)
+from repro.telemetry.record import (
+    RECORD_SCHEMA,
+    RunRecord,
+    build_run_record,
+    load_run_record,
+    record_filename,
+    spec_hash,
 )
 from repro.telemetry.registry import (
     DEFAULT_DEPTH_EDGES,
@@ -20,6 +38,12 @@ from repro.telemetry.registry import (
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.report import render_report
+from repro.telemetry.timeseries import (
+    NULL_RECORDER,
+    NullSlotSeriesRecorder,
+    SlotSeriesRecorder,
+)
 from repro.telemetry.tracer import SpanRecord, SpanTracer
 
 __all__ = [
@@ -27,6 +51,20 @@ __all__ = [
     "NullTelemetry",
     "Telemetry",
     "resolve_telemetry",
+    "NULL_RECORDER",
+    "NullSlotSeriesRecorder",
+    "SlotSeriesRecorder",
+    "RECORD_SCHEMA",
+    "RunRecord",
+    "build_run_record",
+    "load_run_record",
+    "record_filename",
+    "spec_hash",
+    "CounterDelta",
+    "RecordDiff",
+    "SeriesDivergence",
+    "diff_records",
+    "render_report",
     "DEFAULT_DEPTH_EDGES",
     "DEFAULT_MS_EDGES",
     "Counter",

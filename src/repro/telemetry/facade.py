@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from repro.telemetry.registry import DEFAULT_MS_EDGES, MetricsRegistry
+from repro.telemetry.timeseries import NULL_RECORDER, SlotSeriesRecorder
 from repro.telemetry.tracer import SpanTracer
 
 
@@ -65,6 +66,7 @@ class NullTelemetry:
     """The disabled collaborator: every operation is a shared no-op."""
 
     enabled = False
+    recorder = NULL_RECORDER
 
     def span(self, name: str, *, slot: Optional[int] = None) -> _NullSpan:
         return _NULL_SPAN
@@ -97,9 +99,11 @@ class Telemetry:
         self,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[SpanTracer] = None,
+        recorder: Optional[SlotSeriesRecorder] = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else SpanTracer()
+        self.recorder = recorder if recorder is not None else SlotSeriesRecorder()
 
     # -- tracing -------------------------------------------------------------
 
@@ -121,11 +125,14 @@ class Telemetry:
 
     def as_dict(self) -> Dict[str, object]:
         """The full payload the CLI embeds under ``--json``."""
-        return {
+        payload = {
             "enabled": True,
             "metrics": self.registry.as_dict(),
             "trace": self.tracer.as_dict(),
         }
+        if len(self.recorder):
+            payload["series"] = self.recorder.as_dict()
+        return payload
 
     def summary_lines(self, top: int = 3) -> "list[str]":
         """The human run summary: top phases by cost plus timeline coverage."""

@@ -53,6 +53,15 @@ federation.degraded_local      gauge      federation_rollup: summed local fallba
 federation.drop_rate_pct       gauge      federation_rollup: recomputed drop rate
 federation.cost_usd            gauge      federation_rollup: summed cost
 =============================  =========  =======================================
+
+The per-slot *series* glossary (slot.requests, fleet.instances_running,
+site.<name>.routing_share, faults.retried, ...) lives with the recorder in
+:mod:`repro.telemetry.timeseries`.
+
+:func:`to_openmetrics` renders a folded registry payload in the OpenMetrics
+text exposition format (counters with a ``_total`` sample, histograms as
+cumulative ``_bucket{le=...}`` series), so a run record's final registry can
+be scraped or loaded by standard Prometheus tooling.
 """
 
 from __future__ import annotations
@@ -201,3 +210,55 @@ def publish_federation(registry: MetricsRegistry, site_results: Sequence) -> Non
     registry.gauge("federation.degraded_local").set(rollup["degraded_local"])
     registry.gauge("federation.drop_rate_pct").set(rollup["drop_rate_pct"])
     registry.gauge("federation.cost_usd").set(rollup["cost_usd"])
+
+
+def _om_name(name: str) -> str:
+    """An OpenMetrics-legal metric name: dots and other punctuation fold to _."""
+    cleaned = "".join(
+        char if char.isalnum() or char == "_" else "_" for char in name
+    )
+    if cleaned and cleaned[0].isdigit():
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _om_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_openmetrics(metrics) -> str:
+    """Render a folded registry payload as OpenMetrics exposition text.
+
+    ``metrics`` is the ``{"counters", "gauges", "histograms"}`` mapping from
+    :meth:`MetricsRegistry.as_dict` — or the identical fields of a run
+    record.  Counters gain the mandated ``_total`` suffix; histograms emit
+    cumulative ``le`` buckets (the registry stores per-bucket counts with one
+    overflow bucket past the last edge).  Output terminates with ``# EOF``
+    per the spec.
+    """
+    lines = []
+    for name, value in sorted(metrics.get("counters", {}).items()):
+        om = _om_name(name)
+        lines.append(f"# TYPE {om} counter")
+        lines.append(f"{om}_total {_om_value(value)}")
+    for name, value in sorted(metrics.get("gauges", {}).items()):
+        om = _om_name(name)
+        lines.append(f"# TYPE {om} gauge")
+        lines.append(f"{om} {_om_value(value)}")
+    for name, payload in sorted(metrics.get("histograms", {}).items()):
+        om = _om_name(name)
+        lines.append(f"# TYPE {om} histogram")
+        cumulative = 0.0
+        for edge, bucket in zip(payload["edges"], payload["counts"]):
+            cumulative += bucket
+            lines.append(
+                f'{om}_bucket{{le="{_om_value(float(edge))}"}} '
+                f"{_om_value(cumulative)}"
+            )
+        lines.append(f'{om}_bucket{{le="+Inf"}} {_om_value(payload["count"])}')
+        lines.append(f"{om}_count {_om_value(payload['count'])}")
+        lines.append(f"{om}_sum {_om_value(payload['sum'])}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

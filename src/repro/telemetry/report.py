@@ -1,0 +1,321 @@
+"""Self-contained HTML dashboard for a run record.
+
+``render_report`` turns one :class:`~repro.telemetry.record.RunRecord` into
+a single HTML file with **no external assets**: styles are an inline
+``<style>`` block, charts are inline SVG, and every chart carries a
+collapsible data table so the numbers are readable without color vision or
+a pointer.
+
+Layout and color follow the repo's charting rules:
+
+* slot series of the same family share one chart — ``site.<name>.requests``
+  lines plot together as "requests", one line per site;
+* categorical hues are assigned in fixed slot order (never cycled, capped at
+  eight lines per chart — beyond that the tail folds into the data table);
+* one y axis per chart, 2px lines, recessive hairline grid, axis text in
+  muted ink, a legend whenever a chart holds two or more series;
+* light and dark palettes are both defined (CSS custom properties switched
+  by ``prefers-color-scheme`` and a ``data-theme`` override), dark being its
+  own stepped palette rather than an automatic flip.
+"""
+
+from __future__ import annotations
+
+import html
+import re
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.reporting import format_html_table
+from repro.telemetry.record import RunRecord
+
+#: Fixed categorical order (light, dark) — assigned by slot, never cycled.
+SERIES_COLORS: Tuple[Tuple[str, str], ...] = (
+    ("#2a78d6", "#3987e5"),  # blue
+    ("#eb6834", "#d95926"),  # orange
+    ("#1baf7a", "#199e70"),  # aqua
+    ("#eda100", "#c98500"),  # yellow
+    ("#e87ba4", "#d55181"),  # magenta
+    ("#008300", "#008300"),  # green
+    ("#4a3aa7", "#9085e9"),  # violet
+    ("#e34948", "#e66767"),  # red
+)
+
+_SITE_SERIES = re.compile(r"^site\.(?P<site>.+)\.(?P<family>[^.]+(?:\.[^.]+)*)$")
+
+_CHART_W, _CHART_H = 640, 220
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 56, 16, 12, 28
+
+
+def _fmt(value: float) -> str:
+    """Compact numeric label: integers bare, floats trimmed to 4 significant."""
+    if value is None:
+        return "-"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def group_series(series: Dict[str, List[float]]) -> "List[Tuple[str, List[Tuple[str, List[float]]]]]":
+    """Group series into charts: ``site.<x>.<family>`` lines share a chart.
+
+    Returns ``[(chart_title, [(line_label, values), ...]), ...]`` in sorted
+    title order, line labels in sorted order within each chart.
+    """
+    charts: Dict[str, List[Tuple[str, List[float]]]] = {}
+    for name in sorted(series):
+        match = _SITE_SERIES.match(name)
+        if match:
+            charts.setdefault(match.group("family"), []).append(
+                (match.group("site"), series[name])
+            )
+        else:
+            charts.setdefault(name, []).append((name, series[name]))
+    return sorted(charts.items())
+
+
+def _ticks(low: float, high: float, count: int = 4) -> List[float]:
+    if high <= low:
+        high = low + 1.0
+    step = (high - low) / count
+    return [low + step * index for index in range(count + 1)]
+
+
+def _svg_chart(title: str, lines: Sequence[Tuple[str, List[float]]]) -> str:
+    """One inline-SVG line chart (values per slot), plus legend and table."""
+    lines = list(lines)[: len(SERIES_COLORS)]
+    slots = max((len(values) for _, values in lines), default=0)
+    flat = [value for _, values in lines for value in values if value is not None]
+    vmax = max(flat, default=1.0)
+    vmin = min(flat, default=0.0)
+    vmin = min(vmin, 0.0)  # anchor the axis at zero for count-like series
+    if vmax <= vmin:
+        vmax = vmin + 1.0
+    plot_w = _CHART_W - _MARGIN_L - _MARGIN_R
+    plot_h = _CHART_H - _MARGIN_T - _MARGIN_B
+
+    def x_of(slot: int) -> float:
+        if slots <= 1:
+            return _MARGIN_L + plot_w / 2
+        return _MARGIN_L + plot_w * slot / (slots - 1)
+
+    def y_of(value: float) -> float:
+        return _MARGIN_T + plot_h * (1 - (value - vmin) / (vmax - vmin))
+
+    parts = [
+        f'<svg viewBox="0 0 {_CHART_W} {_CHART_H}" role="img" '
+        f'aria-label="{html.escape(title)} per slot">'
+    ]
+    for tick in _ticks(vmin, vmax):
+        y = y_of(tick)
+        parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{y:.1f}" x2="{_CHART_W - _MARGIN_R}" '
+            f'y2="{y:.1f}" stroke="var(--gridline)" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_L - 6}" y="{y + 3.5:.1f}" text-anchor="end" '
+            f'class="axis">{_fmt(tick)}</text>'
+        )
+    baseline_y = y_of(max(vmin, 0.0))
+    parts.append(
+        f'<line x1="{_MARGIN_L}" y1="{baseline_y:.1f}" '
+        f'x2="{_CHART_W - _MARGIN_R}" y2="{baseline_y:.1f}" '
+        f'stroke="var(--baseline)" stroke-width="1"/>'
+    )
+    for slot in range(0, slots, max(1, (slots - 1) // 6 or 1)):
+        parts.append(
+            f'<text x="{x_of(slot):.1f}" y="{_CHART_H - 8}" text-anchor="middle" '
+            f'class="axis">{slot}</text>'
+        )
+    mark_points = slots <= 96
+    for index, (label, values) in enumerate(lines):
+        color = f"var(--series-{index + 1})"
+        points = " ".join(
+            f"{x_of(slot):.1f},{y_of(value):.1f}"
+            for slot, value in enumerate(values)
+            if value is not None
+        )
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="2" stroke-linejoin="round"/>'
+        )
+        if mark_points:
+            for slot, value in enumerate(values):
+                if value is None:
+                    continue
+                parts.append(
+                    f'<circle cx="{x_of(slot):.1f}" cy="{y_of(value):.1f}" r="2.5" '
+                    f'fill="{color}"><title>{html.escape(label)} · slot {slot}: '
+                    f"{_fmt(value)}</title></circle>"
+                )
+    parts.append("</svg>")
+    svg = "".join(parts)
+
+    legend = ""
+    if len(lines) >= 2:
+        chips = "".join(
+            f'<span class="chip"><span class="swatch" '
+            f'style="background:var(--series-{index + 1})"></span>'
+            f"{html.escape(label)}</span>"
+            for index, (label, _) in enumerate(lines)
+        )
+        legend = f'<div class="legend">{chips}</div>'
+
+    header = "".join(
+        f"<th>{html.escape(label)}</th>" for label, _ in lines
+    )
+    rows = []
+    for slot in range(slots):
+        cells = "".join(
+            f"<td>{_fmt(values[slot]) if slot < len(values) else '-'}</td>"
+            for _, values in lines
+        )
+        rows.append(f"<tr><td>{slot}</td>{cells}</tr>")
+    table = (
+        "<details><summary>data table</summary>"
+        f'<table><thead><tr><th>slot</th>{header}</tr></thead>'
+        f"<tbody>{''.join(rows)}</tbody></table></details>"
+    )
+    return (
+        f'<section class="chart"><h3>{html.escape(title)}</h3>'
+        f"{legend}{svg}{table}</section>"
+    )
+
+
+def _counter_table(record: RunRecord) -> str:
+    rows = [
+        {"counter": name, "value": _fmt(value)}
+        for name, value in sorted(record.counters.items())
+    ]
+    return (
+        "<details open><summary>counters</summary>"
+        f"{format_html_table(rows)}</details>"
+    )
+
+
+def _phase_table(record: RunRecord) -> str:
+    phases = record.trace.get("phases") or []
+    if not phases:
+        return ""
+    return (
+        "<details><summary>wall-clock phases (non-canonical)</summary>"
+        f"{format_html_table(phases)}</details>"
+    )
+
+
+def _stat_tiles(record: RunRecord) -> str:
+    result = record.result
+    tiles = [
+        ("requests", result.get("requests_total")),
+        ("succeeded", result.get("requests_succeeded")),
+        ("dropped", result.get("requests_dropped")),
+        ("p95 ms", result.get("p95_response_ms")),
+        ("scaling actions", result.get("scaling_actions")),
+        ("cost USD", result.get("allocation_cost_usd")),
+    ]
+    body = "".join(
+        f'<div class="tile"><div class="tile-value">{_fmt(value)}</div>'
+        f'<div class="tile-label">{html.escape(label)}</div></div>'
+        for label, value in tiles
+        if value is not None
+    )
+    return f'<div class="tiles">{body}</div>'
+
+
+_STYLE = """
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --text-primary: #0b0b0b; --text-secondary: #52514e; --muted: #898781;
+  --gridline: #e1e0d9; --baseline: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+  --series-4: #eda100; --series-5: #e87ba4; --series-6: #008300;
+  --series-7: #4a3aa7; --series-8: #e34948;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7; --muted: #898781;
+    --gridline: #2c2c2a; --baseline: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+    --series-4: #c98500; --series-5: #d55181; --series-6: #008300;
+    --series-7: #9085e9; --series-8: #e66767;
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --surface-1: #1a1a19; --page: #0d0d0d;
+  --text-primary: #ffffff; --text-secondary: #c3c2b7; --muted: #898781;
+  --gridline: #2c2c2a; --baseline: #383835;
+  --border: rgba(255,255,255,0.10);
+  --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+  --series-4: #c98500; --series-5: #d55181; --series-6: #008300;
+  --series-7: #9085e9; --series-8: #e66767;
+}
+.viz-root {
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page); color: var(--text-primary);
+  margin: 0; padding: 24px;
+}
+.viz-root h1 { font-size: 20px; margin: 0 0 4px; }
+.viz-root h3 { font-size: 14px; margin: 0 0 8px; color: var(--text-primary); }
+.meta { color: var(--text-secondary); font-size: 13px; margin-bottom: 16px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin-bottom: 20px; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; min-width: 96px;
+}
+.tile-value { font-size: 22px; }
+.tile-label { font-size: 12px; color: var(--text-secondary); }
+.chart {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px; margin-bottom: 16px; max-width: 700px;
+}
+.chart svg { width: 100%; height: auto; display: block; }
+.axis { font-size: 10px; fill: var(--muted); font-family: inherit;
+        font-variant-numeric: tabular-nums; }
+.legend { display: flex; flex-wrap: wrap; gap: 12px; margin-bottom: 8px;
+          font-size: 12px; color: var(--text-secondary); }
+.chip { display: inline-flex; align-items: center; gap: 5px; }
+.swatch { width: 10px; height: 10px; border-radius: 2px; display: inline-block; }
+details { margin: 8px 0; font-size: 13px; }
+summary { cursor: pointer; color: var(--text-secondary); }
+table { border-collapse: collapse; margin-top: 8px; font-size: 12px;
+        font-variant-numeric: tabular-nums; }
+th, td { text-align: left; padding: 3px 10px 3px 0;
+         border-bottom: 1px solid var(--gridline); }
+th { color: var(--text-secondary); font-weight: 600; }
+"""
+
+
+def render_report(record: RunRecord) -> str:
+    """The full dashboard HTML for one record (self-contained, no assets)."""
+    charts = "".join(
+        _svg_chart(title, lines)
+        for title, lines in group_series(record.series)
+    )
+    env = record.environment or {}
+    meta_bits = [
+        f"execution {html.escape(record.execution)}",
+        f"seed {record.seed}",
+        f"{record.slots} slots",
+        f"spec {html.escape(record.spec_hash[:12])}",
+    ]
+    if env.get("git_describe"):
+        meta_bits.append(f"git {html.escape(str(env['git_describe']))}")
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{html.escape(record.scenario)} · run record</title>\n"
+        f"<style>{_STYLE}</style></head>\n"
+        '<body class="viz-root">\n'
+        f"<h1>{html.escape(record.scenario)}</h1>\n"
+        f'<div class="meta">{" · ".join(meta_bits)}</div>\n'
+        f"{_stat_tiles(record)}\n"
+        f"{charts}\n"
+        f"{_counter_table(record)}\n"
+        f"{_phase_table(record)}\n"
+        "</body></html>\n"
+    )

@@ -121,6 +121,7 @@ class TestSuites:
             "server.processor_sharing",
             "broker.slot_state",
             "telemetry.registry",
+            "telemetry.timeseries",
             "faults.injection",
         }
         assert all(record.ops_per_s > 0 for record in records)
@@ -155,7 +156,7 @@ class TestBenchCli:
         assert code == 0
         payload = json.loads((tmp_path / "BENCH_clitest.json").read_text())
         assert payload["label"] == "clitest"
-        assert len(payload["records"]) == 9
+        assert len(payload["records"]) == 10
         assert payload["peak_rss_kb"] > 0
         out = capsys.readouterr().out
         assert "engine.events" in out
