@@ -21,6 +21,9 @@ class BackendPool:
 
     def __init__(self) -> None:
         self._groups: Dict[int, List[CloudInstance]] = {}
+        # Sorted non-empty levels, recomputed only when membership changes —
+        # every dispatch consults the level list, scaling actions are rare.
+        self._levels_cache: Optional[List[int]] = None
 
     @property
     def groups(self) -> Dict[int, List[CloudInstance]]:
@@ -30,7 +33,11 @@ class BackendPool:
     @property
     def levels(self) -> List[int]:
         """Sorted acceleration levels that currently have at least one instance."""
-        return sorted(level for level, instances in self._groups.items() if instances)
+        if self._levels_cache is None:
+            self._levels_cache = sorted(
+                level for level, instances in self._groups.items() if instances
+            )
+        return list(self._levels_cache)
 
     def add_instance(self, instance: CloudInstance, level: Optional[int] = None) -> None:
         """Register ``instance`` under an acceleration level.
@@ -43,12 +50,14 @@ class BackendPool:
         if level < 0:
             raise ValueError(f"acceleration level must be >= 0, got {level}")
         self._groups.setdefault(level, []).append(instance)
+        self._levels_cache = None
 
     def remove_instance(self, instance: CloudInstance) -> None:
         """Remove ``instance`` from whichever group holds it."""
         for instances in self._groups.values():
             if instance in instances:
                 instances.remove(instance)
+                self._levels_cache = None
                 return
         raise KeyError(f"instance {instance.instance_id!r} is not in the pool")
 
@@ -81,6 +90,10 @@ class BackendPool:
         provisioned (e.g. just after a re-allocation); the request is served by
         the nearest provisioned level, preferring higher levels.
         """
+        if self._groups.get(level):
+            # Fast path: the requested level is provisioned (the steady state
+            # between re-allocations) — no need to materialise the level list.
+            return level
         levels = self.levels
         if not levels:
             raise ValueError("back-end pool is empty")
@@ -93,10 +106,18 @@ class BackendPool:
 
     def select_instance(self, level: int) -> CloudInstance:
         """Pick the least-loaded running instance of the given group."""
-        instances = self.instances_for_level(level)
-        if not instances:
+        best: Optional[CloudInstance] = None
+        best_load = 0
+        for instance in self._groups.get(level, ()):
+            if not instance.is_running:
+                continue
+            load = instance.in_service
+            if best is None or load < best_load:
+                best = instance
+                best_load = load
+        if best is None:
             raise KeyError(f"no running instance serves acceleration level {level}")
-        return min(instances, key=lambda instance: instance.in_service)
+        return best
 
     def dispatch(
         self,

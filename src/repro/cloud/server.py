@@ -32,7 +32,17 @@ def jittered_work_units(work_units, jitter_z, jitter_fraction):
     service-jitter model shared by the scalar instance path and the batched
     executor, so the two execution modes cannot drift apart.
     """
-    return work_units * np.clip(1.0 + jitter_z * jitter_fraction, 0.05, 3.0)
+    factor = 1.0 + jitter_z * jitter_fraction
+    if isinstance(factor, float):
+        # Scalar fast path for the per-request event loop.  For finite
+        # floats min/max branching is bit-identical to np.clip, without the
+        # ufunc dispatch overhead.
+        if factor < 0.05:
+            factor = 0.05
+        elif factor > 3.0:
+            factor = 3.0
+        return work_units * factor
+    return work_units * np.clip(factor, 0.05, 3.0)
 
 
 @dataclass(frozen=True)

@@ -36,7 +36,7 @@ drop totals).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -75,7 +75,7 @@ from repro.scenarios.runner import (
     prediction_accuracy_samples,
 )
 from repro.scenarios.spec import ScenarioSpec
-from repro.sdn.accelerator import RequestRecord
+from repro.sdn.accelerator import DeliveryBuffer, RequestRecord
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.randomness import RandomStreams
 from repro.telemetry import NULL_TELEMETRY, resolve_telemetry
@@ -264,8 +264,11 @@ def execute_event_multisite(
             def _on_complete(record: RequestRecord) -> None:
                 device = devices[user_id]
                 if record.success:
+                    # The record's completion stamp is the delivery instant —
+                    # with buffered delivery the engine clock may already be
+                    # past it when the buffer drains.
                     moderators[user_id].observe(
-                        device, record.response_time_ms, engine.now_ms
+                        device, record.response_time_ms, record.completed_ms
                     )
                 else:
                     device.record_failure()
@@ -275,6 +278,17 @@ def execute_event_multisite(
 
     task_name = task.name
     site_ids = slot_broker.site_ids
+
+    # Fused delivery: one shared buffer across every site accelerator, so
+    # deliveries retain their global (time, issue-order) sequence even when
+    # per-user moderators span sites.  Drained strictly-before-now at each
+    # submission and slot boundary, which reproduces the legacy per-delivery
+    # event ordering exactly (deliver events always lost same-instant ties to
+    # setup-scheduled submit/broker/scale events).
+    buffer = DeliveryBuffer()
+    for site in federation:
+        site.accelerator.delivery_buffer = buffer
+    drain = buffer.drain_until
 
     # --- slot-boundary brokering + per-site provisioning control loops ------
     # Scheduling order matters at equal timestamps (the engine heap is FIFO
@@ -293,6 +307,7 @@ def execute_event_multisite(
             end: float = period_end,
             slot_index: int = period - 1,
         ) -> None:
+            drain(engine.now_ms)
             run_slot_brokering(
                 slot_broker,
                 plan=plan,
@@ -320,6 +335,7 @@ def execute_event_multisite(
                 end: float = period_end,
                 slot_index: int = period - 1,
             ) -> None:
+                drain(engine.now_ms)
                 with telemetry.span("slot.control", slot=slot_index):
                     site.autoscaler.run_period_end(
                         site.accelerator.trace_log, start, end
@@ -339,6 +355,7 @@ def execute_event_multisite(
 
             def _submit(index: int = index) -> None:
                 nonlocal unrouted
+                drain(engine.now_ms)
                 user_id = int(plan.user_ids[index])
                 device = devices[user_id]
                 device.requests_sent += 1
@@ -417,6 +434,7 @@ def execute_event_multisite(
             engine.run(until_ms=period_end)
     with telemetry.span("slot.drain"):
         engine.run(until_ms=duration_ms + DRAIN_MARGIN_MS)
+        buffer.flush(duration_ms + DRAIN_MARGIN_MS)
 
     for site in federation:
         records = site.accelerator.records
@@ -716,7 +734,12 @@ def execute_batched_multisite(
 
 
 def run_multisite_scenario(
-    spec: ScenarioSpec, *, seed: int = 0, telemetry=None
+    spec: ScenarioSpec,
+    *,
+    seed: int = 0,
+    telemetry=None,
+    shard: Optional[Tuple[int, int]] = None,
+    raw_sink: Optional[Dict[str, object]] = None,
 ) -> ScenarioResult:
     """Execute one multi-site scenario end to end (both execution modes).
 
@@ -724,15 +747,28 @@ def run_multisite_scenario(
     optional collaborator resolved against ``spec.telemetry``, observing but
     never changing the run (per-site signals additionally roll up through
     :func:`repro.analysis.metrics.federation_rollup` into the registry).
+
+    ``shard``/``raw_sink`` mirror the single-site runner's sharding hooks
+    (see :mod:`repro.scenarios.sharded`): ``(index, count)`` restricts the
+    executed plan to users with ``user_id % count == index`` after all RNG
+    draws, and ``raw_sink`` captures pre-aggregation arrays the parent fold
+    needs.  Sharding requires a static brokering policy — the dynamic
+    broker's live load view is global and cannot be replicated per shard.
     """
     if spec.sites is None:
         raise ValueError(f"scenario {spec.name!r} declares no sites")
     telemetry = resolve_telemetry(telemetry, spec.telemetry)
     with telemetry.span("scenario.run"):
-        return _run_multisite(spec, seed, telemetry)
+        return _run_multisite(spec, seed, telemetry, shard=shard, raw_sink=raw_sink)
 
 
-def _run_multisite(spec: ScenarioSpec, seed: int, telemetry) -> ScenarioResult:
+def _run_multisite(
+    spec: ScenarioSpec,
+    seed: int,
+    telemetry,
+    shard: Optional[Tuple[int, int]] = None,
+    raw_sink: Optional[Dict[str, object]] = None,
+) -> ScenarioResult:
     streams = RandomStreams(seed)
     engine = SimulationEngine()
     rng_workload = streams.stream("scenario-workload")
@@ -865,6 +901,32 @@ def _run_multisite(spec: ScenarioSpec, seed: int, telemetry) -> ScenarioResult:
                 ),
             )
 
+        # --- shard slice: applied *after* every named-stream draw so each
+        # shard sees positionally identical randomness, then keeps only the
+        # rows of users it owns.  Per-user state (devices, moderators,
+        # home_site_of_user) stays full-length — it is indexed by user id.
+        if shard is not None and shard[1] > 1:
+            if slot_broker.is_dynamic:
+                raise ValueError(
+                    "sharded execution requires a static brokering policy; "
+                    "the dynamic-load broker re-brokers from global live "
+                    "state every slot and cannot be replicated per shard"
+                )
+            shard_index, shard_count = shard
+            picks = np.flatnonzero(plan.user_ids % shard_count == shard_index)
+            plan = plan.take(picks)
+            slot_broker = StaticSlotBroker(
+                plan=plan,
+                brokered=BrokeredPlan(
+                    site_ids=slot_broker.site_ids[picks],
+                    extra_rtt_ms=slot_broker.extra_rtt_ms[picks],
+                    home_site_of_user=slot_broker.home_site_of_user,
+                ),
+                site_count=len(spec.sites.sites),
+            )
+            if fault_plane is not None:
+                fault_plane.overlay = fault_plane.overlay.take(picks)
+
     if spec.execution == "batched":
         metrics = execute_batched_multisite(
             spec=spec,
@@ -908,6 +970,7 @@ def _run_multisite(spec: ScenarioSpec, seed: int, telemetry) -> ScenarioResult:
             telemetry=telemetry,
             plan=plan,
             fault_plane=fault_plane,
+            raw_sink=raw_sink,
         )
 
 
@@ -923,6 +986,7 @@ def _fold_multisite_result(
     telemetry,
     plan: "RequestPlan | None" = None,
     fault_plane: "MultisiteFaultPlane | None" = None,
+    raw_sink: Optional[Dict[str, object]] = None,
 ) -> ScenarioResult:
     successes = metrics.success_response_ms
     requests_total = metrics.requests_total
@@ -1030,6 +1094,20 @@ def _fold_multisite_result(
                 ),
             )
         )
+
+    if raw_sink is not None:
+        # Pre-aggregation arrays the sharded parent fold needs: means and
+        # percentiles are recomputed over the shard-concatenated raw samples
+        # rather than averaged from per-shard aggregates.
+        raw_sink["successes"] = successes
+        raw_sink["utilization_samples"] = list(metrics.utilization_samples)
+        raw_sink["accuracy_samples"] = list(accuracies)
+        raw_sink["site_successes"] = [
+            metrics.per_site[site.index].success_response_ms for site in federation
+        ]
+        raw_sink["site_utilization_samples"] = [
+            list(site.utilization_samples) for site in federation
+        ]
 
     if telemetry.enabled:
         registry = telemetry.registry

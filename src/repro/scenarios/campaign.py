@@ -15,13 +15,13 @@ submission order.
 from __future__ import annotations
 
 import hashlib
-import multiprocessing
 import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_table, write_csv
+from repro.scenarios.pool import execution_context
 from repro.scenarios.registry import builtin_specs
 from repro.scenarios.runner import ScenarioResult, run_scenario
 from repro.scenarios.spec import EXECUTION_MODES, ScenarioSpec
@@ -60,14 +60,16 @@ def _run_job(
 class CampaignResult:
     """The ordered per-scenario results of one campaign.
 
-    ``records`` is empty unless the campaign ran with telemetry, in which
-    case it holds one :class:`RunRecord` per scenario, in the same order as
-    ``results``.
+    ``records`` always aligns index-wise with ``results``: entry ``i`` is
+    the :class:`RunRecord` of ``results[i]``, or ``None`` for scenarios that
+    ran without telemetry (so positional zips over the two tuples stay
+    correct even when only *some* specs set ``spec.telemetry``).  It is
+    empty when no scenario collected telemetry at all.
     """
 
     seed: int
     results: Tuple[ScenarioResult, ...]
-    records: Tuple[RunRecord, ...] = ()
+    records: Tuple[Optional[RunRecord], ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "results", tuple(self.results))
@@ -88,11 +90,11 @@ class CampaignResult:
     def get_record(self, name: str) -> RunRecord:
         """The run record of one scenario by name (telemetry campaigns only)."""
         for record in self.records:
-            if record.scenario == name:
+            if record is not None and record.scenario == name:
                 return record
         raise KeyError(
-            f"no run record for scenario {name!r}; "
-            f"have {[record.scenario for record in self.records]}"
+            f"no run record for scenario {name!r}; have "
+            f"{[r.scenario for r in self.records if r is not None]}"
         )
 
     def rows(self) -> List[Dict[str, object]]:
@@ -163,11 +165,13 @@ class CampaignRunner:
         if workers <= 1 or len(jobs) == 1:
             outcomes = [_run_job(job) for job in jobs]
         else:
-            context = multiprocessing.get_context()
+            context = execution_context()
             with context.Pool(processes=min(workers, len(jobs))) as pool:
                 outcomes = pool.map(_run_job, jobs, chunksize=1)
         results = tuple(result for result, _ in outcomes)
-        records = tuple(
-            record for _, record in outcomes if record is not None
-        )
+        # Keep index-wise alignment with ``results``: scenarios without
+        # telemetry contribute a None placeholder, never a shifted tuple.
+        records = tuple(record for _, record in outcomes)
+        if all(record is None for record in records):
+            records = ()
         return CampaignResult(seed=self.seed, results=results, records=records)

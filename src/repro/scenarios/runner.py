@@ -16,6 +16,7 @@ the process (or in which campaign worker it runs).
 from __future__ import annotations
 
 import dataclasses
+import functools
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -52,7 +53,12 @@ from repro.network.latency import (
 from repro.scenarios.batched import DRAIN_MARGIN_MS, ExecutionMetrics, execute_batched
 from repro.scenarios.plan import RequestPlan, build_request_plan
 from repro.scenarios.spec import NetworkSpec, ScenarioSpec, WorkloadSpec
-from repro.sdn.accelerator import RequestRecord, RoundRobinRouting, SDNAccelerator
+from repro.sdn.accelerator import (
+    DeliveryBuffer,
+    RequestRecord,
+    RoundRobinRouting,
+    SDNAccelerator,
+)
 from repro.sdn.autoscaler import Autoscaler
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.randomness import RandomStreams
@@ -516,8 +522,11 @@ def _execute_event(
             def _on_complete(record: RequestRecord) -> None:
                 device = devices[user_id]
                 if record.success:
+                    # The delivery instant, not engine.now_ms: with fused
+                    # delivery the callback runs at the next drain point,
+                    # after the clock has moved past the delivery.
                     moderators[user_id].observe(
-                        device, record.response_time_ms, engine.now_ms
+                        device, record.response_time_ms, record.completed_ms
                     )
                 else:
                     device.record_failure()
@@ -525,31 +534,57 @@ def _execute_event(
             callback = completion_callbacks[user_id] = _on_complete
         return callback
 
+    # Fused delivery: results buffer here instead of one engine event each,
+    # drained strictly-before-now at each submission and slot boundary (the
+    # points where delivery effects become observable) — see DeliveryBuffer
+    # for why the ordering is identical to the event-per-delivery path.
+    buffer = DeliveryBuffer()
+    accelerator.delivery_buffer = buffer
+    drain = buffer.drain_until
     task_name = task.name
-    with telemetry.span("scenario.schedule"):
-        for index in range(len(plan)):
+    arrivals = plan.arrival_ms
+    count = len(plan)
 
-            def _submit(index: int = index) -> None:
-                user_id = int(plan.user_ids[index])
-                device = devices[user_id]
-                device.requests_sent += 1
-                if overlay is not None and overlay.outcome[index] != OUTCOME_OK:
-                    return  # degraded-local / fault-dropped; tallied at fold
-                accelerator.submit_planned(
-                    user_id=user_id,
-                    acceleration_group=device.acceleration_group,
-                    work_units=float(plan.work_units[index]),
-                    t1_ms=float(plan.t1_ms[index]),
-                    t2_ms=float(plan.t2_ms[index]),
-                    routing_ms=float(plan.routing_ms[index]),
-                    jitter_z=float(plan.jitter_z[index]),
-                    task_name=task_name,
-                    battery_level=device.battery.level,
-                    on_complete=_completion_for(user_id),
-                )
-
+    # Arrival pump: each submission schedules the next one instead of all of
+    # them being pre-scheduled, keeping the event heap at O(in-flight) rather
+    # than O(requests).  ``front=True`` preserves the old tie-break: the
+    # pre-scheduled submissions carried the lowest sequence numbers, so at
+    # equal timestamps they preceded every run-time-scheduled event.
+    def _submit(index: int) -> None:
+        drain(engine.now_ms)
+        next_index = index + 1
+        if next_index < count:
             engine.schedule_at(
-                float(plan.arrival_ms[index]), _submit, label="scenario:request"
+                float(arrivals[next_index]),
+                functools.partial(_submit, next_index),
+                label="scenario:request",
+                front=True,
+            )
+        user_id = int(plan.user_ids[index])
+        device = devices[user_id]
+        device.requests_sent += 1
+        if overlay is not None and overlay.outcome[index] != OUTCOME_OK:
+            return  # degraded-local / fault-dropped; tallied at fold
+        accelerator.submit_planned(
+            user_id=user_id,
+            acceleration_group=device.acceleration_group,
+            work_units=float(plan.work_units[index]),
+            t1_ms=float(plan.t1_ms[index]),
+            t2_ms=float(plan.t2_ms[index]),
+            routing_ms=float(plan.routing_ms[index]),
+            jitter_z=float(plan.jitter_z[index]),
+            task_name=task_name,
+            battery_level=device.battery.level,
+            on_complete=_completion_for(user_id),
+        )
+
+    with telemetry.span("scenario.schedule"):
+        if count:
+            engine.schedule_at(
+                float(arrivals[0]),
+                functools.partial(_submit, 0),
+                label="scenario:request",
+                front=True,
             )
 
     # --- provisioning control loop ------------------------------------------
@@ -562,6 +597,7 @@ def _execute_event(
             end: float = period_end,
             slot_index: int = period - 1,
         ) -> None:
+            drain(engine.now_ms)
             with telemetry.span("slot.control", slot=slot_index):
                 autoscaler.run_period_end(accelerator.trace_log, start, end)
                 # Post-scaling fleet state at the boundary; the batched
@@ -603,6 +639,7 @@ def _execute_event(
             engine.run(until_ms=period_end)
     with telemetry.span("slot.drain"):
         engine.run(until_ms=duration_ms + DRAIN_MARGIN_MS)
+        buffer.flush(duration_ms + DRAIN_MARGIN_MS)
 
     records = accelerator.records
     successes = np.asarray(
@@ -622,7 +659,12 @@ def _execute_event(
 
 
 def run_scenario(
-    spec: ScenarioSpec, *, seed: Optional[int] = None, telemetry=None
+    spec: ScenarioSpec,
+    *,
+    seed: Optional[int] = None,
+    telemetry=None,
+    shard: Optional[Tuple[int, int]] = None,
+    raw_sink: Optional[Dict[str, object]] = None,
 ) -> ScenarioResult:
     """Execute one scenario end to end and return its metric summary.
 
@@ -638,6 +680,10 @@ def run_scenario(
     collect metrics and a slot-phase trace, or leave it ``None`` to follow
     ``spec.telemetry`` (off by default).  Telemetry never changes the
     result — the parity suite pins bit-identical output on vs off.
+
+    ``shard``/``raw_sink`` are the sharded executor's hooks (see
+    :mod:`repro.scenarios.sharded` and :func:`_run_single_site`); leave them
+    ``None`` for a normal run.
     """
     effective_seed = seed if seed is not None else (spec.seed if spec.seed is not None else 0)
     telemetry = resolve_telemetry(telemetry, spec.telemetry)
@@ -645,15 +691,36 @@ def run_scenario(
         from repro.multisite.runner import run_multisite_scenario
 
         return run_multisite_scenario(
-            spec, seed=effective_seed, telemetry=telemetry
+            spec,
+            seed=effective_seed,
+            telemetry=telemetry,
+            shard=shard,
+            raw_sink=raw_sink,
         )
     with telemetry.span("scenario.run"):
-        return _run_single_site(spec, effective_seed, telemetry)
+        return _run_single_site(
+            spec, effective_seed, telemetry, shard=shard, raw_sink=raw_sink
+        )
 
 
 def _run_single_site(
-    spec: ScenarioSpec, effective_seed: int, telemetry
+    spec: ScenarioSpec,
+    effective_seed: int,
+    telemetry,
+    shard: Optional[Tuple[int, int]] = None,
+    raw_sink: Optional[Dict[str, object]] = None,
 ) -> ScenarioResult:
+    """One single-site run; ``shard``/``raw_sink`` serve the sharded executor.
+
+    ``shard=(index, count)`` makes this process simulate only the users with
+    ``user_id % count == index``: the *full* plan and fault overlay are drawn
+    first from the shared named streams (positional stability — every shard
+    consumes identical draws), then row-sliced to the owned users before
+    execution.  The control plane (backend, autoscaler, model, devices) is
+    fully replicated per shard.  ``raw_sink`` (a dict) receives the raw
+    sample arrays the parent needs for an exact cross-shard fold
+    (``successes``, ``utilization_samples``, ``accuracy_samples``).
+    """
     streams = RandomStreams(effective_seed)
     engine = SimulationEngine()
     rng_workload = streams.stream("scenario-workload")
@@ -784,6 +851,13 @@ def _run_single_site(
             overlay.apply_latency(plan)
             overlay.apply_network_factor(plan)
 
+    if shard is not None and shard[1] > 1:
+        shard_index, shard_count = shard
+        picks = np.flatnonzero(plan.user_ids % shard_count == shard_index)
+        plan = plan.take(picks)
+        if overlay is not None:
+            overlay = overlay.take(picks)
+
     if spec.execution == "batched":
         metrics = execute_batched(
             spec=spec,
@@ -852,6 +926,10 @@ def _run_single_site(
         predictions = sum(
             1 for action in autoscaler.actions if action.decision is not None
         )
+        if raw_sink is not None:
+            raw_sink["successes"] = successes
+            raw_sink["utilization_samples"] = list(metrics.utilization_samples)
+            raw_sink["accuracy_samples"] = list(accuracies)
 
         if telemetry.enabled:
             registry = telemetry.registry

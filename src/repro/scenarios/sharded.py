@@ -1,0 +1,313 @@
+"""Sharded scenario execution: one batched run, N worker processes.
+
+``run_sharded_scenario`` partitions a scenario's user population across
+``ShardSpec(shards=N)`` worker processes on the batched path.  Shard ``k``
+simulates exactly the users with ``user_id % N == k``:
+
+* **Positional stability.**  Every shard draws the *full* request plan and
+  fault overlay from the same named RNG streams the unsharded run uses —
+  each shard consumes identical draws — and only then row-slices to the
+  users it owns (:meth:`~repro.scenarios.plan.RequestPlan.take`).  With
+  ``shards=1`` nothing is sliced, so the run is bit-identical to today's
+  batched run (pinned by the parity suite down to canonical record bytes).
+* **Replicated control plane.**  Each shard runs its own backend pool,
+  autoscaler and adaptive model over its slice.  Request-count signals are
+  exactly additive across shards; fleet/cost/utilization signals describe
+  per-replica stacks and are folded as documented below.
+* **Exact merge fold.**  The parent sums counters, folds response-time
+  moments via :meth:`~repro.simulation.stats.OnlineStatistics.merge`,
+  recomputes percentiles over the shard-concatenated raw success arrays,
+  and sums slot series elementwise, so telemetry, :class:`RunRecord`
+  artifacts and ``repro-accel diff`` keep working on sharded runs.
+
+What is *invariant* across shard counts (same spec, same seed):
+
+* ``requests_total`` / ``requests_succeeded`` / ``requests_dropped`` under
+  light load, the multiset of success response times, and the
+  ``slot.requests`` arrival series — the data plane is partitioned, not
+  re-randomised.
+
+What legitimately *differs* from the unsharded run when ``shards > 1``:
+
+* anything produced by the replicated control plane — fleet trajectories,
+  scaling actions, predictions, allocation cost, utilization — because N
+  independent autoscalers each observe only their slice.  ``shards=1``
+  differs in nothing.
+
+Sharding requires a static brokering policy for multi-site scenarios: the
+``dynamic-load`` broker re-brokers every slot from *global* live state,
+which cannot be replicated per shard without changing its semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.scenarios.pool import execution_context
+from repro.scenarios.runner import (
+    ScenarioResult,
+    SiteGroupResult,
+    SiteResult,
+    run_scenario,
+)
+from repro.scenarios.spec import ScenarioSpec, ShardSpec
+from repro.simulation.stats import OnlineStatistics
+from repro.telemetry import resolve_telemetry
+
+__all__ = ["ShardOutcome", "run_sharded_scenario"]
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """One shard's contribution to the parent fold (picklable).
+
+    ``raw`` carries the pre-aggregation arrays the runners expose through
+    their ``raw_sink`` hook (success response times, utilization and
+    accuracy samples, per-site variants); ``registry_payload`` and
+    ``series_payload`` are the shard telemetry's ``as_dict()`` exports, or
+    ``None`` when the parent runs with telemetry off.
+    """
+
+    index: int
+    result: ScenarioResult
+    raw: Dict[str, object]
+    registry_payload: Optional[Dict[str, object]]
+    series_payload: Optional[Dict[str, object]]
+
+
+def _run_shard_job(
+    job: Tuple[ScenarioSpec, int, int, int, bool]
+) -> ShardOutcome:
+    """Execute one shard in the current process (module-level: spawn-picklable)."""
+    spec, seed, index, count, collect_telemetry = job
+    from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+    telemetry = Telemetry() if collect_telemetry else NULL_TELEMETRY
+    raw: Dict[str, object] = {}
+    result = run_scenario(
+        spec, seed=seed, telemetry=telemetry, shard=(index, count), raw_sink=raw
+    )
+    return ShardOutcome(
+        index=index,
+        result=result,
+        raw=raw,
+        registry_payload=telemetry.registry.as_dict() if collect_telemetry else None,
+        series_payload=telemetry.recorder.as_dict() if collect_telemetry else None,
+    )
+
+
+def _validate(spec: ScenarioSpec, sharding: ShardSpec) -> None:
+    if sharding.shards <= 1:
+        return
+    if spec.execution != "batched":
+        raise ValueError(
+            "sharded execution covers the batched path only "
+            f"(spec {spec.name!r} declares execution={spec.execution!r}); "
+            "the event executor shares one live engine and cannot be "
+            "partitioned without changing its semantics"
+        )
+    if spec.sites is not None and spec.sites.policy == "dynamic-load":
+        raise ValueError(
+            "sharded execution requires a static brokering policy; the "
+            "dynamic-load broker re-brokers from global live state every "
+            "slot and cannot be replicated per shard"
+        )
+
+
+def _concat(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    chunks = [np.asarray(array, dtype=float) for array in arrays]
+    return np.concatenate(chunks) if chunks else np.empty(0, dtype=float)
+
+
+def _percentiles(successes: np.ndarray) -> Tuple[float, float, float]:
+    if successes.size == 0:
+        return (float("nan"),) * 3
+    return tuple(float(np.percentile(successes, p)) for p in (50.0, 95.0, 99.0))
+
+
+def _merged_statistics(success_chunks: Sequence[np.ndarray]) -> OnlineStatistics:
+    """Per-shard accumulators combined with the parallel merge rule."""
+    merged = OnlineStatistics()
+    for chunk in success_chunks:
+        shard_stats = OnlineStatistics()
+        shard_stats.extend_array(chunk)
+        merged = merged.merge(shard_stats)
+    return merged
+
+
+def _fold_sites(outcomes: Sequence[ShardOutcome]) -> Tuple[SiteResult, ...]:
+    """Fold per-site rows across shards (same federation, same site order)."""
+    template = outcomes[0].result.sites
+    if not template:
+        return ()
+    folded: List[SiteResult] = []
+    for position, site in enumerate(template):
+        rows = [outcome.result.sites[position] for outcome in outcomes]
+        successes = _concat(
+            [outcome.raw["site_successes"][position] for outcome in outcomes]
+        )
+        utilization: List[float] = []
+        for outcome in outcomes:
+            utilization.extend(outcome.raw["site_utilization_samples"][position])
+        tallies: Dict[int, List[int]] = {}
+        for row in rows:
+            for group in row.groups:
+                entry = tallies.setdefault(group.group, [0, 0])
+                entry[0] += group.requests_total
+                entry[1] += group.requests_dropped
+        folded.append(
+            SiteResult(
+                name=site.name,
+                requests_total=sum(row.requests_total for row in rows),
+                requests_dropped=sum(row.requests_dropped for row in rows),
+                mean_response_ms=(
+                    float(successes.mean()) if successes.size else float("nan")
+                ),
+                p95_response_ms=(
+                    float(np.percentile(successes, 95.0))
+                    if successes.size
+                    else float("nan")
+                ),
+                allocation_cost_usd=sum(row.allocation_cost_usd for row in rows),
+                scaling_actions=sum(row.scaling_actions for row in rows),
+                predictions=sum(row.predictions for row in rows),
+                mean_utilization=(
+                    float(np.mean(utilization)) if utilization else 0.0
+                ),
+                requests_spilled_in=sum(row.requests_spilled_in for row in rows),
+                requests_retried=sum(row.requests_retried for row in rows),
+                requests_failed_over=sum(row.requests_failed_over for row in rows),
+                requests_degraded_local=sum(
+                    row.requests_degraded_local for row in rows
+                ),
+                groups=tuple(
+                    SiteGroupResult(
+                        group=group,
+                        requests_total=tallies[group][0],
+                        requests_dropped=tallies[group][1],
+                    )
+                    for group in sorted(tallies)
+                ),
+            )
+        )
+    return tuple(folded)
+
+
+def _fold_slot_site_requests(
+    outcomes: Sequence[ShardOutcome],
+) -> Tuple[Tuple[int, ...], ...]:
+    tables = [outcome.result.slot_site_requests for outcome in outcomes]
+    if not tables[0]:
+        return ()
+    matrix = np.sum(
+        [np.asarray(table, dtype=np.int64) for table in tables], axis=0
+    )
+    return tuple(tuple(int(count) for count in row) for row in matrix)
+
+
+def _fold_outcomes(
+    spec: ScenarioSpec, seed: int, outcomes: Sequence[ShardOutcome]
+) -> ScenarioResult:
+    success_chunks = [
+        np.asarray(outcome.raw["successes"], dtype=float) for outcome in outcomes
+    ]
+    successes = _concat(success_chunks)
+    stats = _merged_statistics(success_chunks)
+    p50, p95, p99 = _percentiles(successes)
+    utilization: List[float] = []
+    accuracies: List[float] = []
+    for outcome in outcomes:
+        utilization.extend(outcome.raw["utilization_samples"])
+        accuracies.extend(outcome.raw["accuracy_samples"])
+    results = [outcome.result for outcome in outcomes]
+    return ScenarioResult(
+        name=spec.name,
+        seed=seed,
+        users=spec.users,
+        duration_hours=spec.duration_hours,
+        requests_total=sum(result.requests_total for result in results),
+        requests_succeeded=int(successes.size),
+        requests_dropped=sum(result.requests_dropped for result in results),
+        mean_response_ms=stats.mean if stats.count else float("nan"),
+        p50_response_ms=p50,
+        p95_response_ms=p95,
+        p99_response_ms=p99,
+        prediction_accuracy=(
+            float(np.mean(accuracies)) if accuracies else float("nan")
+        ),
+        predictions=sum(result.predictions for result in results),
+        scaling_actions=sum(result.scaling_actions for result in results),
+        allocation_cost_usd=sum(result.allocation_cost_usd for result in results),
+        mean_utilization=(float(np.mean(utilization)) if utilization else 0.0),
+        promoted_users=sum(result.promoted_users for result in results),
+        promotions=sum(result.promotions for result in results),
+        requests_unrouted=sum(result.requests_unrouted for result in results),
+        requests_spilled=sum(result.requests_spilled for result in results),
+        requests_retried=sum(result.requests_retried for result in results),
+        requests_failed_over=sum(
+            result.requests_failed_over for result in results
+        ),
+        requests_degraded_local=sum(
+            result.requests_degraded_local for result in results
+        ),
+        slot_site_requests=_fold_slot_site_requests(outcomes),
+        sites=_fold_sites(outcomes),
+    )
+
+
+def run_sharded_scenario(
+    spec: ScenarioSpec,
+    *,
+    seed: Optional[int] = None,
+    telemetry=None,
+    sharding: ShardSpec = ShardSpec(),
+) -> ScenarioResult:
+    """Run one batched scenario partitioned across shard worker processes.
+
+    ``sharding.shards == 1`` (the default) delegates straight to
+    :func:`~repro.scenarios.runner.run_scenario` — bit-identical to an
+    unsharded run, including canonical record bytes.  With ``shards=N`` the
+    user population is split by ``user_id % N``, each shard runs the batched
+    executor over its slice (in ``sharding.pool_size`` processes from
+    :func:`~repro.scenarios.pool.execution_context`, or sequentially
+    in-process when the pool size is 1), and the parent folds the shard
+    outcomes exactly (see module docstring for the merge semantics).
+
+    ``telemetry`` follows the usual runner contract; when live, each shard
+    collects into its own registry/recorder and the parent absorbs the
+    payloads (:meth:`MetricsRegistry.absorb_payload`,
+    :meth:`SlotSeriesRecorder.absorb_payload`), so records and diffs read
+    one merged signal set.
+    """
+    _validate(spec, sharding)
+    effective_seed = (
+        seed if seed is not None else (spec.seed if spec.seed is not None else 0)
+    )
+    telemetry = resolve_telemetry(telemetry, spec.telemetry)
+    if sharding.shards == 1:
+        return run_scenario(spec, seed=effective_seed, telemetry=telemetry)
+
+    count = sharding.shards
+    collect = telemetry.enabled
+    jobs = [
+        (spec, effective_seed, index, count, collect) for index in range(count)
+    ]
+    with telemetry.span("scenario.run"):
+        with telemetry.span("shards.execute"):
+            if sharding.pool_size == 1:
+                outcomes = [_run_shard_job(job) for job in jobs]
+            else:
+                context = execution_context()
+                with context.Pool(processes=sharding.pool_size) as pool:
+                    outcomes = pool.map(_run_shard_job, jobs)
+        # Shard-order fold: deterministic regardless of pool scheduling.
+        outcomes = sorted(outcomes, key=lambda outcome: outcome.index)
+        with telemetry.span("stats.fold"):
+            if collect:
+                for outcome in outcomes:
+                    telemetry.registry.absorb_payload(outcome.registry_payload)
+                    telemetry.recorder.absorb_payload(outcome.series_payload)
+            return _fold_outcomes(spec, effective_seed, outcomes)

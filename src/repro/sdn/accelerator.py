@@ -16,6 +16,7 @@ decomposition ``T_response = T1 + T2 + T_cloud`` plus the routing overhead.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Protocol
@@ -85,6 +86,87 @@ class RoundRobinRouting:
         return level
 
 
+class DeliveryBuffer:
+    """Fused result delivery: a time-ordered buffer replacing ``sdn:deliver`` events.
+
+    With a buffer attached, :meth:`SDNAccelerator._finish` computes the
+    delivery instant up front and pushes a finished :class:`RequestRecord`
+    here instead of scheduling a per-request engine event — one event per
+    request saved on the hot path.  The scenario executors drain the buffer
+    at the points where delivery effects become observable (request
+    submission, slot boundaries), strictly *before* the current instant, so
+    delivery ordering relative to submissions and control-loop reads is
+    identical to the event-per-delivery path: at equal timestamps a
+    setup-scheduled submission/scale event always preceded a run-time
+    scheduled delivery event anyway.  Order among deliveries is
+    ``(delivered_ms, push order)``; push order equals the order the old
+    delivery events would have been scheduled in, so the tie-break matches
+    too.  One buffer can be shared by several accelerators (the multi-site
+    executor does): each entry carries its owning accelerator, keeping the
+    per-site trace logs and record lists intact while preserving the global
+    delivery order the shared per-user moderators observe.
+    """
+
+    __slots__ = ("_heap", "_sequence")
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._sequence = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(
+        self,
+        delivered_ms: float,
+        accelerator: "SDNAccelerator",
+        record: RequestRecord,
+        battery_level: float,
+        on_complete: Optional[Callable[[RequestRecord], None]],
+    ) -> None:
+        heapq.heappush(
+            self._heap,
+            (
+                delivered_ms,
+                next(self._sequence),
+                accelerator,
+                record,
+                battery_level,
+                on_complete,
+            ),
+        )
+
+    @staticmethod
+    def _deliver(entry) -> None:
+        _, _, accelerator, record, battery_level, on_complete = entry
+        accelerator.records.append(record)
+        accelerator.trace_log.log(
+            timestamp_ms=record.arrival_ms,
+            user_id=record.user_id,
+            acceleration_group=record.acceleration_group,
+            battery_level=battery_level,
+            round_trip_time_ms=record.response_time_ms,
+        )
+        if on_complete is not None:
+            on_complete(record)
+
+    def drain_until(self, now_ms: float) -> None:
+        """Deliver every buffered result strictly before ``now_ms``."""
+        heap = self._heap
+        while heap and heap[0][0] < now_ms:
+            self._deliver(heapq.heappop(heap))
+
+    def flush(self, horizon_ms: float) -> None:
+        """End-of-run flush: deliver results up to and including ``horizon_ms``.
+
+        Entries past the horizon stay undelivered, exactly as their engine
+        events would have (the engine stops at the drain horizon).
+        """
+        heap = self._heap
+        while heap and heap[0][0] <= horizon_ms:
+            self._deliver(heapq.heappop(heap))
+
+
 class SDNAccelerator:
     """The cloud-side front-end that routes offloaded code to acceleration groups."""
 
@@ -99,6 +181,7 @@ class SDNAccelerator:
         routing_policy: Optional[RoutingPolicy] = None,
         routing_overhead_mean_ms: float = 150.0,
         routing_overhead_std_ms: float = 25.0,
+        delivery_buffer: Optional[DeliveryBuffer] = None,
     ) -> None:
         if routing_overhead_mean_ms < 0:
             raise ValueError(
@@ -120,6 +203,10 @@ class SDNAccelerator:
         self.routing_stats = OnlineStatistics()
         self.per_group_routing: Dict[int, List[float]] = {}
         self._request_ids = itertools.count()
+        # None keeps the historical event-per-delivery path (figure
+        # experiments and unit harnesses); the scenario executors attach a
+        # buffer and drain it themselves.
+        self.delivery_buffer = delivery_buffer
 
     # -- internals ------------------------------------------------------------
 
@@ -265,6 +352,25 @@ class SDNAccelerator:
         on_complete: Optional[Callable[[RequestRecord], None]],
     ) -> None:
         """Deliver the result (or the failure) back to the mobile device."""
+        # The downlink legs (back-end -> front-end -> mobile) complete after
+        # the remaining half of the communication delays.
+        remaining = downlink_ms if breakdown is not None else 0.0
+        if self.delivery_buffer is not None:
+            delivered_ms = self.engine.now_ms + remaining
+            record = RequestRecord(
+                request_id=request_id,
+                user_id=user_id,
+                acceleration_group=group,
+                task_name=task_name,
+                arrival_ms=arrival_ms,
+                completed_ms=delivered_ms,
+                success=breakdown is not None,
+                breakdown=breakdown,
+            )
+            self.delivery_buffer.push(
+                delivered_ms, self, record, battery_level, on_complete
+            )
+            return
 
         def _deliver() -> None:
             record = RequestRecord(
@@ -288,9 +394,6 @@ class SDNAccelerator:
             if on_complete is not None:
                 on_complete(record)
 
-        # The downlink legs (back-end -> front-end -> mobile) complete after
-        # the remaining half of the communication delays.
-        remaining = downlink_ms if breakdown is not None else 0.0
         self.engine.schedule_after(remaining, _deliver, label="sdn:deliver")
 
     # -- reporting -------------------------------------------------------------

@@ -56,6 +56,10 @@ class SimulationEngine:
         self.clock = SimulationClock(start_ms)
         self._queue: "list[tuple[float, int, Event]]" = []
         self._sequence = itertools.count()
+        # Front-tier sequences: hugely negative but still increasing, so
+        # front-scheduled events beat every normally-scheduled event at the
+        # same instant while staying FIFO among themselves.
+        self._front_sequence = itertools.count(-(2**60))
         self._processed_events = 0
         self._cancelled_pending = 0
         self._cancelled_total = 0
@@ -91,14 +95,28 @@ class SimulationEngine:
         self._cancelled_pending += 1
         self._cancelled_total += 1
 
-    def schedule_at(self, time_ms: float, callback: Callable[[], None], label: str = "") -> Event:
-        """Schedule ``callback`` at absolute simulated time ``time_ms``."""
+    def schedule_at(
+        self,
+        time_ms: float,
+        callback: Callable[[], None],
+        label: str = "",
+        *,
+        front: bool = False,
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated time ``time_ms``.
+
+        ``front=True`` places the event ahead of every normally-scheduled
+        event at the same instant (front events stay FIFO among themselves).
+        The scenario runner's arrival pump uses this to schedule request
+        submissions lazily while preserving the tie-break order that
+        pre-scheduling all submissions up front used to give them.
+        """
         if time_ms < self.clock.now_ms:
             raise ValueError(
                 f"cannot schedule event in the past: now={self.clock.now_ms} "
                 f"requested={time_ms} label={label!r}"
             )
-        sequence = next(self._sequence)
+        sequence = next(self._front_sequence) if front else next(self._sequence)
         event = Event(
             time_ms=float(time_ms),
             sequence=sequence,

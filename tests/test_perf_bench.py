@@ -201,3 +201,31 @@ class TestBenchCli:
         ])
         assert code == 2
         capsys.readouterr()
+
+
+class TestPeakRssChildFold:
+    def test_folds_in_child_process_peaks(self):
+        """A terminated child's peak must show up in the reported RSS.
+
+        Campaign pools and shard workers allocate in children; a
+        ``RUSAGE_SELF``-only implementation under-reports them entirely.
+        The child touches every page so the allocation is resident, not
+        just mapped.
+        """
+        import platform
+        import resource
+        import subprocess
+        import sys
+
+        allocate_kb = 192 * 1024
+        script = (
+            "data = bytearray(192 * 1024 * 1024)\n"
+            "for index in range(0, len(data), 4096):\n"
+            "    data[index] = 1\n"
+        )
+        subprocess.run([sys.executable, "-c", script], check=True)
+        children_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+        if platform.system() == "Darwin":
+            children_kb //= 1024
+        assert children_kb >= int(allocate_kb * 0.9)
+        assert peak_rss_kb() >= children_kb

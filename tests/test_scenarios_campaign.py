@@ -120,3 +120,46 @@ class TestCampaignRunner:
         assert len(rows) == 1
         assert rows[0]["scenario"] == "csvme"
         assert float(rows[0]["requests"]) > 0
+
+
+class TestMixedTelemetryRecordAlignment:
+    """``records`` must stay index-aligned with ``results`` when only some
+    specs opt into telemetry — a shifted tuple silently pairs record ``i``
+    with the wrong scenario in any positional zip."""
+
+    def test_records_align_index_wise(self):
+        specs = [
+            tiny_spec("plain-a"),
+            tiny_spec("traced", telemetry=True),
+            tiny_spec("plain-b"),
+        ]
+        campaign = CampaignRunner(workers=1, seed=0).run(specs)
+        assert len(campaign.records) == len(campaign.results)
+        assert campaign.records[0] is None
+        assert campaign.records[2] is None
+        assert campaign.records[1] is not None
+        for result, record in zip(campaign.results, campaign.records):
+            if record is not None:
+                assert record.scenario == result.name
+
+    def test_get_record_skips_placeholders(self):
+        specs = [tiny_spec("dark"), tiny_spec("lit", telemetry=True)]
+        campaign = CampaignRunner(workers=1, seed=0).run(specs)
+        assert campaign.get_record("lit").scenario == "lit"
+        with pytest.raises(KeyError):
+            campaign.get_record("dark")
+
+    def test_no_telemetry_anywhere_yields_empty_records(self):
+        campaign = CampaignRunner(workers=1, seed=0).run(
+            [tiny_spec("a"), tiny_spec("b")]
+        )
+        assert campaign.records == ()
+
+    def test_alignment_survives_the_pool(self):
+        specs = [
+            tiny_spec("pool-plain"),
+            tiny_spec("pool-traced", telemetry=True),
+        ]
+        campaign = CampaignRunner(workers=2, seed=0).run(specs)
+        assert campaign.records[0] is None
+        assert campaign.records[1].scenario == "pool-traced"

@@ -1,0 +1,365 @@
+"""Sharded scenario execution: parity, merge fold, pool and pickle contract.
+
+The determinism contract under test (see ``repro.scenarios.sharded``):
+
+* ``shards=1`` is *bit-identical* to an unsharded batched run, down to the
+  canonical record bytes;
+* ``shards=N`` preserves every data-plane signal exactly — request counts,
+  the success response-time multiset (pinned through exact percentile
+  equality), per-site partitions and fault verdict counters — because every
+  shard draws the full plan positionally from the same named streams and
+  only then slices;
+* the fold is independent of the worker count (sequential ``workers=1``
+  equals a real process pool);
+* the control plane is replicated, so its outputs may legitimately differ —
+  the diff-filter test pins how CI compares only the invariant surface.
+"""
+
+import dataclasses
+import math
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.spec import DegradedWindow, FaultSpec, RetryPolicy
+from repro.multisite.spec import MultiSiteSpec, SiteSpec
+from repro.scenarios import ShardSpec, run_scenario, run_sharded_scenario
+from repro.scenarios.pool import execution_context
+from repro.scenarios.sharded import ShardOutcome, _run_shard_job
+from repro.scenarios.spec import CloudSpec, ScenarioSpec, WorkloadSpec
+from repro.telemetry import Telemetry
+from repro.telemetry.diff import diff_records
+from repro.telemetry.record import build_run_record
+
+
+def single_site_spec(**overrides) -> ScenarioSpec:
+    defaults = dict(
+        name="shard-single",
+        users=24,
+        duration_hours=0.5,
+        slot_minutes=7.5,
+        task_name="fibonacci",
+        execution="batched",
+        workload=WorkloadSpec(pattern="uniform", target_requests=900),
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+def multisite_spec(**overrides) -> ScenarioSpec:
+    sites = MultiSiteSpec(
+        sites=(
+            SiteSpec(
+                name="edge",
+                cloud=CloudSpec(
+                    group_types={1: "t2.nano", 2: "t2.large"}, instance_cap=8
+                ),
+                wan_rtt_ms=5.0,
+                population_share=2.0,
+            ),
+            SiteSpec(name="core", cloud=CloudSpec(instance_cap=20), wan_rtt_ms=40.0),
+        ),
+        policy="nearest-rtt",
+    )
+    defaults = dict(
+        name="shard-multi",
+        users=30,
+        duration_hours=0.5,
+        slot_minutes=7.5,
+        task_name="fibonacci",
+        execution="batched",
+        workload=WorkloadSpec(pattern="uniform", target_requests=1200),
+        sites=sites,
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+def faulty_spec() -> ScenarioSpec:
+    return multisite_spec(
+        name="shard-faults",
+        faults=FaultSpec(
+            offload_failure_probability=0.05,
+            degraded_windows=(
+                DegradedWindow(
+                    start=0.2, end=0.5, rtt_multiplier=3.0, failure_probability=0.4
+                ),
+            ),
+            retry=RetryPolicy(max_attempts=2, backoff_base_ms=50.0),
+        ),
+    )
+
+
+def assert_data_plane_invariant(sharded, base):
+    """The partitioned data plane must agree with the unsharded run exactly."""
+    assert sharded.requests_total == base.requests_total
+    assert sharded.requests_succeeded == base.requests_succeeded
+    assert sharded.requests_dropped == base.requests_dropped
+    # The success multiset is invariant up to float reassociation: slicing
+    # changes the batched executor's reduction order, so individual response
+    # times (and hence percentiles and the merged mean) agree to ~1e-11
+    # relative rather than bitwise.
+    for field in (
+        "mean_response_ms",
+        "p50_response_ms",
+        "p95_response_ms",
+        "p99_response_ms",
+    ):
+        assert math.isclose(
+            getattr(sharded, field), getattr(base, field), rel_tol=1e-9
+        ), field
+
+
+class TestShardSpec:
+    def test_defaults_to_one_shard(self):
+        assert ShardSpec().shards == 1
+        assert ShardSpec().pool_size == 1
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError, match="shards"):
+            ShardSpec(shards=0)
+        with pytest.raises(ValueError, match="workers"):
+            ShardSpec(shards=2, workers=0)
+
+    def test_pool_size_is_capped_by_workers_and_shards(self):
+        assert ShardSpec(shards=4).pool_size == 4
+        assert ShardSpec(shards=4, workers=2).pool_size == 2
+        assert ShardSpec(shards=2, workers=8).pool_size == 2
+
+    def test_not_part_of_scenario_spec(self):
+        # Sharding is an execution strategy, not simulated state: it must
+        # never reach the spec hash.
+        assert "shards" not in {f.name for f in dataclasses.fields(ScenarioSpec)}
+
+
+class TestShardsOneBitIdentity:
+    def test_single_site_result_is_identical(self):
+        spec = single_site_spec()
+        base = run_scenario(spec, seed=7)
+        sharded = run_sharded_scenario(spec, seed=7, sharding=ShardSpec(shards=1))
+        assert sharded == base
+
+    def test_multisite_result_is_identical(self):
+        spec = multisite_spec()
+        base = run_scenario(spec, seed=3)
+        sharded = run_sharded_scenario(spec, seed=3, sharding=ShardSpec(shards=1))
+        assert sharded == base
+
+    def test_canonical_record_bytes_are_identical(self):
+        spec = single_site_spec(telemetry=True)
+        telemetry_a, telemetry_b = Telemetry(), Telemetry()
+        base = run_scenario(spec, seed=11, telemetry=telemetry_a)
+        sharded = run_sharded_scenario(
+            spec, seed=11, telemetry=telemetry_b, sharding=ShardSpec(shards=1)
+        )
+        record_a = build_run_record(spec, base, telemetry_a, environment=False)
+        record_b = build_run_record(spec, sharded, telemetry_b, environment=False)
+        assert record_a.canonical_bytes() == record_b.canonical_bytes()
+
+
+class TestShardParity:
+    @settings(max_examples=6, deadline=None, derandomize=True)
+    @given(shards=st.sampled_from((2, 4, 7)))
+    def test_single_site_data_plane_invariant(self, shards):
+        spec = single_site_spec()
+        base = run_scenario(spec, seed=7)
+        sharded = run_sharded_scenario(
+            spec, seed=7, sharding=ShardSpec(shards=shards, workers=1)
+        )
+        assert_data_plane_invariant(sharded, base)
+
+    @settings(max_examples=6, deadline=None, derandomize=True)
+    @given(shards=st.sampled_from((2, 4, 7)))
+    def test_multisite_partition_invariant(self, shards):
+        spec = multisite_spec()
+        base = run_scenario(spec, seed=3)
+        sharded = run_sharded_scenario(
+            spec, seed=3, sharding=ShardSpec(shards=shards, workers=1)
+        )
+        assert_data_plane_invariant(sharded, base)
+        # The broker is static and shared: per-site partitions match exactly.
+        assert [site.requests_total for site in sharded.sites] == [
+            site.requests_total for site in base.sites
+        ]
+        assert [site.name for site in sharded.sites] == [
+            site.name for site in base.sites
+        ]
+        assert sharded.slot_site_requests == base.slot_site_requests
+
+    @settings(max_examples=6, deadline=None, derandomize=True)
+    @given(shards=st.sampled_from((2, 4, 7)))
+    def test_fault_verdicts_invariant(self, shards):
+        spec = faulty_spec()
+        base = run_scenario(spec, seed=5)
+        sharded = run_sharded_scenario(
+            spec, seed=5, sharding=ShardSpec(shards=shards, workers=1)
+        )
+        # Fault draws are positional rows of the overlay: slicing the overlay
+        # with the plan keeps every verdict on the request it belongs to.
+        assert sharded.requests_total == base.requests_total
+        assert sharded.requests_dropped == base.requests_dropped
+        assert sharded.requests_retried == base.requests_retried
+        assert sharded.requests_degraded_local == base.requests_degraded_local
+        assert sharded.requests_failed_over == base.requests_failed_over
+
+
+class TestWorkerCountIndependence:
+    def test_sequential_equals_real_pool(self):
+        spec = single_site_spec()
+        sequential = run_sharded_scenario(
+            spec, seed=7, sharding=ShardSpec(shards=4, workers=1)
+        )
+        pooled = run_sharded_scenario(
+            spec, seed=7, sharding=ShardSpec(shards=4, workers=2)
+        )
+        assert pooled == sequential
+
+
+class TestValidation:
+    def test_rejects_event_execution(self):
+        spec = single_site_spec(execution="event")
+        with pytest.raises(ValueError, match="batched"):
+            run_sharded_scenario(spec, seed=0, sharding=ShardSpec(shards=2))
+
+    def test_rejects_dynamic_load_broker(self):
+        spec = multisite_spec()
+        spec = dataclasses.replace(
+            spec, sites=dataclasses.replace(spec.sites, policy="dynamic-load")
+        )
+        with pytest.raises(ValueError, match="static"):
+            run_sharded_scenario(
+                spec, seed=0, sharding=ShardSpec(shards=2, workers=1)
+            )
+
+    def test_shards_one_delegates_without_validation(self):
+        # shards=1 is a plain run: no sharded-path restrictions apply.
+        spec = single_site_spec(
+            execution="event", workload=WorkloadSpec(target_requests=80)
+        )
+        result = run_sharded_scenario(spec, seed=0, sharding=ShardSpec(shards=1))
+        assert result.requests_total > 0
+
+
+class TestTelemetryMerge:
+    def run_pair(self, shards):
+        spec = single_site_spec(telemetry=True)
+        telemetry_base, telemetry_sharded = Telemetry(), Telemetry()
+        run_scenario(spec, seed=7, telemetry=telemetry_base)
+        run_sharded_scenario(
+            spec,
+            seed=7,
+            telemetry=telemetry_sharded,
+            sharding=ShardSpec(shards=shards, workers=1),
+        )
+        return telemetry_base, telemetry_sharded
+
+    def test_arrival_series_and_request_counters_fold_exactly(self):
+        telemetry_base, telemetry_sharded = self.run_pair(shards=4)
+        base_series = telemetry_base.recorder.as_dict()["series"]
+        sharded_series = telemetry_sharded.recorder.as_dict()["series"]
+        assert sharded_series["slot.requests"] == base_series["slot.requests"]
+        base_counters = telemetry_base.registry.as_dict()["counters"]
+        sharded_counters = telemetry_sharded.registry.as_dict()["counters"]
+        for name in (
+            "scenario.requests_total",
+            "scenario.requests_succeeded",
+            "scenario.requests_dropped",
+        ):
+            assert sharded_counters[name] == base_counters[name], name
+
+    def test_series_length_mismatch_is_an_error(self):
+        from repro.telemetry.timeseries import SlotSeriesRecorder
+
+        recorder = SlotSeriesRecorder()
+        recorder.set_series("slot.requests", [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="length"):
+            recorder.absorb_payload(
+                {"series": {"slot.requests": [1.0, 2.0]}}
+            )
+
+    def test_absorbed_missing_series_is_copied(self):
+        from repro.telemetry.timeseries import SlotSeriesRecorder
+
+        recorder = SlotSeriesRecorder()
+        recorder.absorb_payload({"series": {"slot.new": [4.0, 5.0]}})
+        assert recorder.as_dict()["series"]["slot.new"] == [4.0, 5.0]
+
+
+class TestDiffFilters:
+    def make_records(self):
+        spec = single_site_spec(telemetry=True)
+        records = []
+        for shards in (1, 4):
+            telemetry = Telemetry()
+            result = run_sharded_scenario(
+                spec,
+                seed=7,
+                telemetry=telemetry,
+                sharding=ShardSpec(shards=shards, workers=1),
+            )
+            records.append(
+                build_run_record(spec, result, telemetry, environment=False)
+            )
+        return records
+
+    def test_filtered_diff_pins_the_invariant_surface(self):
+        record_one, record_four = self.make_records()
+        # Unfiltered: the replicated control plane legitimately diverges.
+        full = diff_records(record_one, record_four)
+        assert full.verdict in ("ok", "regression")
+        # Filtered to the data-plane invariants: byte-for-byte identical —
+        # this is exactly the check the CI sharded smoke job runs.
+        filtered = diff_records(
+            record_one,
+            record_four,
+            counter_filter=["scenario.requests_*"],
+            series_filter=["slot.requests"],
+        )
+        assert filtered.verdict == "identical"
+        assert [entry.name for entry in filtered.counters] == [
+            "scenario.requests_dropped",
+            "scenario.requests_succeeded",
+            "scenario.requests_total",
+        ]
+        assert [entry.name for entry in filtered.series] == ["slot.requests"]
+
+    def test_empty_filter_compares_everything(self):
+        record_one, record_four = self.make_records()
+        assert diff_records(record_one, record_four).counters == diff_records(
+            record_one, record_four, counter_filter=None, series_filter=None
+        ).counters
+
+
+class TestSpawnPickleContract:
+    """Every pool payload must survive the spawn/forkserver pickler."""
+
+    def test_execution_context_is_pinned(self):
+        method = execution_context().get_start_method()
+        assert method in ("forkserver", "spawn")
+
+    def test_shard_job_and_outcome_round_trip(self):
+        spec = single_site_spec(telemetry=True)
+        job = (spec, 7, 0, 2, True)
+        restored = pickle.loads(pickle.dumps(job))
+        outcome = _run_shard_job(restored)
+        assert isinstance(outcome, ShardOutcome)
+        clone = pickle.loads(pickle.dumps(outcome))
+        assert clone.result == outcome.result
+        assert clone.registry_payload == outcome.registry_payload
+        assert clone.series_payload == outcome.series_payload
+        assert np.array_equal(
+            np.asarray(clone.raw["successes"]),
+            np.asarray(outcome.raw["successes"]),
+        )
+
+    def test_campaign_job_round_trips(self):
+        from repro.scenarios.campaign import _run_job
+
+        spec = single_site_spec(workload=WorkloadSpec(target_requests=120))
+        job = pickle.loads(pickle.dumps((spec, 3, False)))
+        result, record = _run_job(job)
+        assert result.requests_total > 0
+        assert record is None
